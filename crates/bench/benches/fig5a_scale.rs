@@ -1,0 +1,58 @@
+//! Fig. 5(a) kernel benchmark: `L(SimProv)`-reachability runtime vs graph
+//! size, per evaluator.
+//!
+//! Criterion sizes are kept modest so `cargo bench --workspace` terminates in
+//! minutes; the full-scale sweep (up to `Pd100k`, with DNF entries) is
+//! produced by `cargo run -p prov-bench --release --bin figure -- 5a`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_bitset::SetBackend;
+use prov_segment::{evaluate_similarity, MaskedGraph, PgSegOptions, SimilarEvaluator};
+use prov_store::ProvIndex;
+use prov_workload::{generate_pd, standard_query, PdParams};
+use std::time::Duration;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_scale");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &n in &[100usize, 500, 1000, 2000] {
+        let graph = generate_pd(&PdParams::with_size(n));
+        let index = ProvIndex::build(&graph);
+        let view = MaskedGraph::unmasked(&index);
+        let (vsrc, vdst) = standard_query(&graph, 2);
+
+        let evaluators: Vec<(&str, SimilarEvaluator)> = vec![
+            ("cflrb", SimilarEvaluator::CflrB(SetBackend::Bit)),
+            ("cflrb_cbm", SimilarEvaluator::CflrB(SetBackend::Compressed)),
+            ("simprov_alg", SimilarEvaluator::SimProvAlg(SetBackend::Bit)),
+            ("simprov_alg_cbm", SimilarEvaluator::SimProvAlg(SetBackend::Compressed)),
+            ("simprov_tst", SimilarEvaluator::SimProvTst),
+        ];
+        for (name, evaluator) in evaluators {
+            // CflrB above 1k is too slow for a timed loop; the figure binary
+            // covers it.
+            if name.starts_with("cflrb") && n > 1000 {
+                continue;
+            }
+            let opts = PgSegOptions { evaluator, ..PgSegOptions::default() };
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts))
+            });
+        }
+        // The Cypher baseline only at the paper's feasible size.
+        if n == 100 {
+            let opts = PgSegOptions {
+                evaluator: SimilarEvaluator::Naive,
+                ..PgSegOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new("cypher_naive", n), &n, |b, _| {
+                b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 5(b) kernel benchmark: runtime vs input-selection skew `se`.
+//! The paper's observation — all methods are stable w.r.t. `se` — shows up as
+//! near-identical timings across the three parameterizations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_bitset::SetBackend;
+use prov_segment::{evaluate_similarity, MaskedGraph, PgSegOptions, SimilarEvaluator};
+use prov_store::ProvIndex;
+use prov_workload::{generate_pd, standard_query, PdParams};
+use std::time::Duration;
+
+fn bench_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_skew");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &se in &[1.1f64, 1.6, 2.1] {
+        let graph = generate_pd(&PdParams { se, ..PdParams::with_size(1000) });
+        let index = ProvIndex::build(&graph);
+        let view = MaskedGraph::unmasked(&index);
+        let (vsrc, vdst) = standard_query(&graph, 2);
+        for (name, evaluator) in [
+            ("cflrb", SimilarEvaluator::CflrB(SetBackend::Bit)),
+            ("simprov_alg", SimilarEvaluator::SimProvAlg(SetBackend::Bit)),
+            ("simprov_tst", SimilarEvaluator::SimProvTst),
+        ] {
+            let opts = PgSegOptions { evaluator, ..PgSegOptions::default() };
+            group.bench_with_input(BenchmarkId::new(name, format!("se={se}")), &se, |b, _| {
+                b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skew);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 5(c) kernel benchmark: runtime vs activity input mean `λi` (graph
+//! density). The paper's shape: all methods grow with `λi`, CflrB steepest,
+//! SimProvTst flattest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_bitset::SetBackend;
+use prov_segment::{evaluate_similarity, MaskedGraph, PgSegOptions, SimilarEvaluator};
+use prov_store::ProvIndex;
+use prov_workload::{generate_pd, standard_query, PdParams};
+use std::time::Duration;
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_density");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &lambda_in in &[1.0f64, 3.0, 5.0] {
+        let graph = generate_pd(&PdParams { lambda_in, ..PdParams::with_size(1000) });
+        let index = ProvIndex::build(&graph);
+        let view = MaskedGraph::unmasked(&index);
+        let (vsrc, vdst) = standard_query(&graph, 2);
+        for (name, evaluator) in [
+            ("cflrb", SimilarEvaluator::CflrB(SetBackend::Bit)),
+            ("simprov_alg", SimilarEvaluator::SimProvAlg(SetBackend::Bit)),
+            ("simprov_tst", SimilarEvaluator::SimProvTst),
+        ] {
+            let opts = PgSegOptions { evaluator, ..PgSegOptions::default() };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("li={lambda_in}")),
+                &lambda_in,
+                |b, _| b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 5(d) kernel benchmark: the effectiveness of early stopping. Runtime
+//! as the sources move later in the project (smaller temporal gap to the
+//! destinations) — with the pruning rule the runtime drops, without it it
+//! stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_bitset::SetBackend;
+use prov_segment::{evaluate_similarity, MaskedGraph, PgSegOptions, SimilarEvaluator};
+use prov_store::ProvIndex;
+use prov_workload::{generate_pd, sources_at_percentile, standard_query, PdParams};
+use std::time::Duration;
+
+fn bench_earlystop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5d_earlystop");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let graph = generate_pd(&PdParams::with_size(5000));
+    let index = ProvIndex::build(&graph);
+    let view = MaskedGraph::unmasked(&index);
+    let (_, vdst) = standard_query(&graph, 2);
+
+    for &pct in &[0.0f64, 40.0, 80.0] {
+        let vsrc = sources_at_percentile(&graph, pct, 2);
+        for (name, evaluator, early_stop) in [
+            ("alg_pruned", SimilarEvaluator::SimProvAlg(SetBackend::Bit), true),
+            ("alg_noprune", SimilarEvaluator::SimProvAlg(SetBackend::Bit), false),
+            ("tst_pruned", SimilarEvaluator::SimProvTst, true),
+            ("tst_noprune", SimilarEvaluator::SimProvTst, false),
+        ] {
+            let opts = PgSegOptions { evaluator, early_stop, ..PgSegOptions::default() };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("src@{pct}%")),
+                &pct,
+                |b, _| b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_earlystop);
+criterion_main!(benches);

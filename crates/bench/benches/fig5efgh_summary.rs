@@ -1,0 +1,59 @@
+//! Fig. 5(e)–(h) kernel benchmark: PgSum vs pSum runtime on `Sd` segment
+//! sets across the paper's four sweeps (α, k, n, |S|), one representative
+//! point per sweep extreme. Compaction-ratio series (the figures' y-axis)
+//! are produced by the `figure` binary; here Criterion tracks the cost of
+//! the summarizers themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_model::VertexKind;
+use prov_summary::{PgSumQuery, PropertyAggregation, SegmentRef};
+use prov_workload::{generate_sd, SdParams};
+use std::time::Duration;
+
+fn query() -> PgSumQuery {
+    PgSumQuery::new(
+        PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]),
+        0,
+    )
+}
+
+fn prepared(params: &SdParams) -> (prov_store::ProvGraph, Vec<SegmentRef>) {
+    let out = generate_sd(params);
+    let segments = out
+        .segments
+        .iter()
+        .map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone()))
+        .collect();
+    (out.graph, segments)
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5efgh_summary");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let cases: Vec<(&str, SdParams)> = vec![
+        ("e_alpha0.025", SdParams { alpha: 0.025, ..SdParams::default() }),
+        ("e_alpha1.0", SdParams { alpha: 1.0, ..SdParams::default() }),
+        ("f_k3", SdParams { k: 3, ..SdParams::default() }),
+        ("f_k25", SdParams { k: 25, ..SdParams::default() }),
+        ("g_n5", SdParams { n: 5, ..SdParams::default() }),
+        ("g_n50", SdParams { n: 50, ..SdParams::default() }),
+        ("h_s5", SdParams { alpha: 0.25, num_segments: 5, ..SdParams::default() }),
+        ("h_s40", SdParams { alpha: 0.25, num_segments: 40, ..SdParams::default() }),
+    ];
+
+    for (label, params) in cases {
+        let (graph, segments) = prepared(&params);
+        let q = query();
+        group.bench_with_input(BenchmarkId::new("pgsum", label), &label, |b, _| {
+            b.iter(|| prov_summary::pgsum(&graph, &segments, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("psum", label), &label, |b, _| {
+            b.iter(|| prov_summary::psum_baseline(&graph, &segments, &q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summary);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerate the paper's evaluation figures as text tables.
+//!
+//! ```sh
+//! cargo run -p prov-bench --release --bin figure -- all          # full scale
+//! cargo run -p prov-bench --release --bin figure -- 5a --quick   # smoke run
+//! ```
+
+use prov_bench::{run_figure, Scale, ALL_FIGURES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ALL_FIGURES.iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+    for id in &ids {
+        match run_figure(id, scale) {
+            Some(fig) => {
+                println!("{}", fig.render());
+            }
+            None => {
+                eprintln!("unknown figure id {id:?}; valid: {ALL_FIGURES:?} or `all`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Experiment harness reproducing every subplot of Fig. 5.
+//!
+//! Each `fig5x` function regenerates one subplot as a [`FigureResult`]: the
+//! same x-axis sweep, the same competing methods, the same y quantity
+//! (runtime for (a)–(d), compaction ratio for (e)–(h)). Absolute numbers
+//! differ from the paper's 2018 testbed; the reproduction target is the
+//! *shape* — method ordering, growth trends, DNF points (see
+//! `EXPERIMENTS.md`).
+//!
+//! Methods that the paper reports as failing (Cypher beyond ~10² vertices,
+//! CflrB out-of-memory at `Pd50k`, SimProvAlg's plain-bitset tables at
+//! `Pd100k`) are capped per series; points beyond the cap are emitted as
+//! `DNF`, mirroring the paper's missing data points.
+
+use prov_bitset::SetBackend;
+use prov_model::{VertexId, VertexKind};
+use prov_segment::{
+    evaluate_similarity, similar_tst, MaskedGraph, NaiveBudget, PgSegOptions, SimilarEvaluator,
+    TstConfig,
+};
+use prov_store::{ProvGraph, ProvIndex};
+use prov_summary::{PgSumQuery, PropertyAggregation, SegmentRef};
+use prov_workload::{
+    generate_pd, generate_sd, sources_at_percentile, standard_query, PdParams, SdParams,
+};
+use std::time::Instant;
+
+/// Experiment scale: `Quick` for smoke runs and `cargo bench` sanity,
+/// `Full` for regenerating the figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes, single repetition (seconds).
+    Quick,
+    /// Paper-like sizes (minutes).
+    Full,
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend name (matches the paper's).
+    pub name: String,
+    /// `(x, y)` points; `None` = DNF (time/memory budget exceeded).
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+/// One reproduced subplot.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    /// Figure id, e.g. `5a`.
+    pub id: &'static str,
+    /// Title (the paper's caption).
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Render the figure as an aligned text table (one row per x value).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Fig. {} — {}\n", self.id, self.title));
+        out.push_str(&format!("{:<14}", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!("{:>18}", s.name));
+        }
+        out.push('\n');
+        let xs: Vec<f64> = self.series[0].points.iter().map(|p| p.0).collect();
+        for (i, x) in xs.iter().enumerate() {
+            out.push_str(&format!("{:<14}", trim_float(*x)));
+            for s in &self.series {
+                match s.points.get(i).and_then(|p| p.1) {
+                    Some(y) => out.push_str(&format!("{:>18}", format_y(&self.y_label, y))),
+                    None => out.push_str(&format!("{:>18}", "DNF")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e9 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn format_y(label: &str, y: f64) -> String {
+    if label.contains("ratio") {
+        format!("{y:.3}")
+    } else if y < 0.001 {
+        format!("{:.1}us", y * 1e6)
+    } else if y < 1.0 {
+        format!("{:.2}ms", y * 1e3)
+    } else {
+        format!("{y:.2}s")
+    }
+}
+
+/// Time one similarity evaluation; returns seconds (None on naive DNF).
+fn time_eval(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    evaluator: SimilarEvaluator,
+) -> Option<f64> {
+    let opts = PgSegOptions {
+        evaluator,
+        naive_budget: NaiveBudget { max_paths: 400_000, max_expansions: 4_000_000 },
+        ..PgSegOptions::default()
+    };
+    let t0 = Instant::now();
+    let out = evaluate_similarity(view, vsrc, vdst, &opts);
+    let secs = t0.elapsed().as_secs_f64();
+    if out.stats.dnf {
+        None
+    } else {
+        Some(secs)
+    }
+}
+
+struct PdInstance {
+    graph: ProvGraph,
+    index: ProvIndex,
+    vsrc: Vec<VertexId>,
+    vdst: Vec<VertexId>,
+}
+
+fn pd_instance(params: &PdParams) -> PdInstance {
+    let graph = generate_pd(params);
+    let index = ProvIndex::build(&graph);
+    let (vsrc, vdst) = standard_query(&graph, 2);
+    PdInstance { graph, index, vsrc, vdst }
+}
+
+/// Fig. 5(a): runtime vs graph size `N`, all methods.
+pub fn fig5a(scale: Scale) -> FigureResult {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[50, 100, 1_000, 5_000],
+        Scale::Full => &[50, 100, 1_000, 10_000, 50_000, 100_000],
+    };
+    // Caps reproducing the paper's DNF entries.
+    let naive_cap = 200;
+    let cflr_cap = match scale {
+        Scale::Quick => 1_000,
+        Scale::Full => 10_000,
+    };
+    let alg_bit_cap = 50_000; // paper: OOM at Pd100k with 32-bit BitSet tables
+
+    let methods: Vec<(String, SimilarEvaluator, usize)> = vec![
+        ("Cypher".into(), SimilarEvaluator::Naive, naive_cap),
+        ("CflrB".into(), SimilarEvaluator::CflrB(SetBackend::Bit), cflr_cap),
+        ("CflrB wCBM".into(), SimilarEvaluator::CflrB(SetBackend::Compressed), cflr_cap),
+        ("SimProvAlg".into(), SimilarEvaluator::SimProvAlg(SetBackend::Bit), alg_bit_cap),
+        (
+            "Alg wCBM".into(),
+            SimilarEvaluator::SimProvAlg(SetBackend::Compressed),
+            usize::MAX,
+        ),
+        ("SimProvTst".into(), SimilarEvaluator::SimProvTst, usize::MAX),
+    ];
+
+    let mut series: Vec<Series> =
+        methods.iter().map(|(n, ..)| Series { name: n.clone(), points: Vec::new() }).collect();
+    let mut tst_cbm = Series { name: "Tst wCBM".into(), points: Vec::new() };
+
+    for &n in sizes {
+        let inst = pd_instance(&PdParams::with_size(n));
+        let view = MaskedGraph::unmasked(&inst.index);
+        for ((name, evaluator, cap), serie) in methods.iter().zip(series.iter_mut()) {
+            let y = if n <= *cap {
+                time_eval(&view, &inst.vsrc, &inst.vdst, *evaluator)
+            } else {
+                None
+            };
+            let _ = name;
+            serie.points.push((n as f64, y));
+        }
+        // SimProvTst with compressed level sets.
+        let t0 = Instant::now();
+        let _ = similar_tst(
+            &view,
+            &inst.vsrc,
+            &inst.vdst,
+            &TstConfig { compressed_sets: true, ..TstConfig::default() },
+        );
+        tst_cbm.points.push((n as f64, Some(t0.elapsed().as_secs_f64())));
+        drop(inst);
+    }
+    series.push(tst_cbm);
+
+    FigureResult {
+        id: "5a",
+        title: "Varying graph size N (Pd graphs, standard first/last-entity query)".into(),
+        x_label: "N".into(),
+        y_label: "runtime (s)".into(),
+        series,
+    }
+}
+
+fn sweep_pd<F: Fn(f64) -> PdParams>(
+    xs: &[f64],
+    make_params: F,
+    methods: &[(&str, SimilarEvaluator)],
+) -> Vec<Series> {
+    let mut series: Vec<Series> = methods
+        .iter()
+        .map(|(n, _)| Series { name: n.to_string(), points: Vec::new() })
+        .collect();
+    for &x in xs {
+        let inst = pd_instance(&make_params(x));
+        let view = MaskedGraph::unmasked(&inst.index);
+        for ((_, evaluator), serie) in methods.iter().zip(series.iter_mut()) {
+            let y = time_eval(&view, &inst.vsrc, &inst.vdst, *evaluator);
+            serie.points.push((x, y));
+        }
+    }
+    series
+}
+
+/// Fig. 5(b): runtime vs input-selection skew `se` on `Pd10k`.
+pub fn fig5b(scale: Scale) -> FigureResult {
+    let n = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 10_000,
+    };
+    let xs = [1.1, 1.3, 1.5, 1.7, 1.9, 2.1];
+    let methods = [
+        ("CflrB", SimilarEvaluator::CflrB(SetBackend::Bit)),
+        ("SimProvAlg", SimilarEvaluator::SimProvAlg(SetBackend::Bit)),
+        ("SimProvTst", SimilarEvaluator::SimProvTst),
+    ];
+    let series = sweep_pd(&xs, |se| PdParams { se, ..PdParams::with_size(n) }, &methods);
+    FigureResult {
+        id: "5b",
+        title: format!("Varying selection skew se (Pd{n})"),
+        x_label: "se".into(),
+        y_label: "runtime (s)".into(),
+        series,
+    }
+}
+
+/// Fig. 5(c): runtime vs activity input mean `λi` on `Pd10k`.
+pub fn fig5c(scale: Scale) -> FigureResult {
+    let n = match scale {
+        Scale::Quick => 2_000,
+        Scale::Full => 10_000,
+    };
+    let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let methods = [
+        ("CflrB", SimilarEvaluator::CflrB(SetBackend::Bit)),
+        ("SimProvAlg", SimilarEvaluator::SimProvAlg(SetBackend::Bit)),
+        ("SimProvTst", SimilarEvaluator::SimProvTst),
+    ];
+    let series =
+        sweep_pd(&xs, |li| PdParams { lambda_in: li, ..PdParams::with_size(n) }, &methods);
+    FigureResult {
+        id: "5c",
+        title: format!("Varying activity input mean λi (Pd{n})"),
+        x_label: "λi".into(),
+        y_label: "runtime (s)".into(),
+        series,
+    }
+}
+
+/// Fig. 5(d): effectiveness of early stopping — runtime vs the percentile at
+/// which `Vsrc` starts, on `Pd50k`.
+pub fn fig5d(scale: Scale) -> FigureResult {
+    let n = match scale {
+        Scale::Quick => 5_000,
+        Scale::Full => 50_000,
+    };
+    let inst = pd_instance(&PdParams::with_size(n));
+    let view = MaskedGraph::unmasked(&inst.index);
+    let xs = [0.0, 20.0, 40.0, 60.0, 80.0];
+    let configs: [(&str, SimilarEvaluator, bool); 4] = [
+        ("SimProvAlg", SimilarEvaluator::SimProvAlg(SetBackend::Bit), true),
+        ("Alg w/oPrune", SimilarEvaluator::SimProvAlg(SetBackend::Bit), false),
+        ("SimProvTst", SimilarEvaluator::SimProvTst, true),
+        ("Tst w/oPrune", SimilarEvaluator::SimProvTst, false),
+    ];
+    let mut series: Vec<Series> = configs
+        .iter()
+        .map(|(name, ..)| Series { name: name.to_string(), points: Vec::new() })
+        .collect();
+    for &pct in &xs {
+        let vsrc = sources_at_percentile(&inst.graph, pct, 2);
+        for ((_, evaluator, early), serie) in configs.iter().zip(series.iter_mut()) {
+            let opts = PgSegOptions {
+                evaluator: *evaluator,
+                early_stop: *early,
+                ..PgSegOptions::default()
+            };
+            let t0 = Instant::now();
+            let _ = evaluate_similarity(&view, &vsrc, &inst.vdst, &opts);
+            serie.points.push((pct, Some(t0.elapsed().as_secs_f64())));
+        }
+    }
+    FigureResult {
+        id: "5d",
+        title: format!("Early stopping: varying Vsrc starting rank (Pd{n})"),
+        x_label: "src rank (%)".into(),
+        y_label: "runtime (s)".into(),
+        series,
+    }
+}
+
+/// The PgSum experiments share one sweep skeleton: generate `Sd` segment
+/// sets, compute compaction ratios for PgSum and pSum, average over seeds.
+fn sweep_sd<F: Fn(f64) -> SdParams>(xs: &[f64], make_params: F, seeds: &[u64]) -> Vec<Series> {
+    let query = PgSumQuery::new(
+        PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]),
+        0,
+    );
+    let mut psum_series = Series { name: "pSum".into(), points: Vec::new() };
+    let mut pgsum_series = Series { name: "PGSum Alg".into(), points: Vec::new() };
+    for &x in xs {
+        let mut cr_pg = 0.0;
+        let mut cr_ps = 0.0;
+        for &seed in seeds {
+            let out = generate_sd(&SdParams { seed, ..make_params(x) });
+            let segments: Vec<SegmentRef> = out
+                .segments
+                .iter()
+                .map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone()))
+                .collect();
+            let psg = prov_summary::pgsum(&out.graph, &segments, &query);
+            let ps = prov_summary::psum_baseline(&out.graph, &segments, &query);
+            cr_pg += psg.compaction_ratio();
+            cr_ps += ps.compaction_ratio;
+        }
+        let k = seeds.len() as f64;
+        pgsum_series.points.push((x, Some(cr_pg / k)));
+        psum_series.points.push((x, Some(cr_ps / k)));
+    }
+    vec![psum_series, pgsum_series]
+}
+
+fn sd_seeds(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Quick => vec![42],
+        Scale::Full => vec![42, 1042, 2042],
+    }
+}
+
+/// Fig. 5(e): compaction ratio vs transition concentration `α`.
+pub fn fig5e(scale: Scale) -> FigureResult {
+    let xs = [0.025, 0.05, 0.1, 0.25, 0.5, 1.0];
+    let series = sweep_sd(&xs, |alpha| SdParams { alpha, ..SdParams::default() }, &sd_seeds(scale));
+    FigureResult {
+        id: "5e",
+        title: "Varying concentration α (Sd: k=5, n=20, |S|=10)".into(),
+        x_label: "α".into(),
+        y_label: "compaction ratio".into(),
+        series,
+    }
+}
+
+/// Fig. 5(f): compaction ratio vs number of activity types `k`.
+pub fn fig5f(scale: Scale) -> FigureResult {
+    let xs = [3.0, 5.0, 10.0, 15.0, 20.0, 25.0];
+    let series = sweep_sd(
+        &xs,
+        |k| SdParams { k: k as usize, ..SdParams::default() },
+        &sd_seeds(scale),
+    );
+    FigureResult {
+        id: "5f",
+        title: "Varying activity types k (Sd: α=0.1, n=20, |S|=10)".into(),
+        x_label: "k".into(),
+        y_label: "compaction ratio".into(),
+        series,
+    }
+}
+
+/// Fig. 5(g): compaction ratio vs segment size `n`.
+pub fn fig5g(scale: Scale) -> FigureResult {
+    let xs = [5.0, 10.0, 20.0, 30.0, 40.0, 50.0];
+    let series = sweep_sd(
+        &xs,
+        |n| SdParams { n: n as usize, ..SdParams::default() },
+        &sd_seeds(scale),
+    );
+    FigureResult {
+        id: "5g",
+        title: "Varying number of activities n (Sd: α=0.1, k=5, |S|=10)".into(),
+        x_label: "n".into(),
+        y_label: "compaction ratio".into(),
+        series,
+    }
+}
+
+/// Fig. 5(h): compaction ratio vs number of segments `|S|`.
+pub fn fig5h(scale: Scale) -> FigureResult {
+    let xs = [5.0, 10.0, 20.0, 30.0, 40.0];
+    let series = sweep_sd(
+        &xs,
+        |s| SdParams { alpha: 0.25, num_segments: s as usize, ..SdParams::default() },
+        &sd_seeds(scale),
+    );
+    FigureResult {
+        id: "5h",
+        title: "Varying number of segments |S| (Sd: α=0.25, k=5, n=20)".into(),
+        x_label: "|S|".into(),
+        y_label: "compaction ratio".into(),
+        series,
+    }
+}
+
+/// Run one figure by id.
+pub fn run_figure(id: &str, scale: Scale) -> Option<FigureResult> {
+    Some(match id {
+        "5a" => fig5a(scale),
+        "5b" => fig5b(scale),
+        "5c" => fig5c(scale),
+        "5d" => fig5d(scale),
+        "5e" => fig5e(scale),
+        "5f" => fig5f(scale),
+        "5g" => fig5g(scale),
+        "5h" => fig5h(scale),
+        _ => return None,
+    })
+}
+
+/// All figure ids in paper order.
+pub const ALL_FIGURES: [&str; 8] = ["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pgsum_figures_have_expected_shapes() {
+        let fig = fig5e(Scale::Quick);
+        assert_eq!(fig.series.len(), 2);
+        let psum = &fig.series[0];
+        let pgsum = &fig.series[1];
+        for (ps, pg) in psum.points.iter().zip(pgsum.points.iter()) {
+            let (ps, pg) = (ps.1.unwrap(), pg.1.unwrap());
+            assert!(pg <= ps + 1e-12, "PgSum never worse than pSum");
+            assert!(pg > 0.0 && ps <= 1.0);
+        }
+        // cr grows with α (allow small non-monotonic noise at single seed).
+        let first = pgsum.points.first().unwrap().1.unwrap();
+        let last = pgsum.points.last().unwrap().1.unwrap();
+        assert!(last >= first - 0.05, "cr should trend upward with α");
+    }
+
+    #[test]
+    fn render_formats_dnf_and_values() {
+        let fig = FigureResult {
+            id: "5a",
+            title: "t".into(),
+            x_label: "N".into(),
+            y_label: "runtime (s)".into(),
+            series: vec![Series {
+                name: "m".into(),
+                points: vec![(50.0, Some(0.25)), (100.0, None)],
+            }],
+        };
+        let text = fig.render();
+        assert!(text.contains("DNF"));
+        assert!(text.contains("250.00ms"));
+    }
+
+    #[test]
+    fn unknown_figure_id_is_none() {
+        assert!(run_figure("9z", Scale::Quick).is_none());
+        for id in ALL_FIGURES {
+            // Only check resolvability, not execution (expensive).
+            assert!(["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h"].contains(&id));
+        }
+    }
+}

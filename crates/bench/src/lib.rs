@@ -1,0 +1,10 @@
+//! Benchmark harness for the Fig. 5 reproduction (see `DESIGN.md` §4).
+//!
+//! * [`harness`] — one function per subplot, printable as text tables;
+//! * `src/bin/figure.rs` — CLI that regenerates any figure
+//!   (`cargo run -p prov-bench --release --bin figure -- 5a`);
+//! * `benches/` — Criterion micro-benchmarks over the same kernels.
+
+pub mod harness;
+
+pub use harness::{run_figure, FigureResult, Scale, Series, ALL_FIGURES};

@@ -1,0 +1,388 @@
+//! [`CompressedBitmap`]: a roaring-style compressed bitmap.
+//!
+//! The paper's `w CBM` variants swap the dense `BitSet` fact tables for
+//! RoaringBitmap to keep the `O(n²)`-cell tables affordable on large graphs, at
+//! the cost of slower random reads/writes (Sec. V(a)). Since RoaringBitmap itself
+//! is not among the allowed dependencies, this module implements the same
+//! two-level design from the Roaring paper (Lemire et al.):
+//!
+//! * the 32-bit id space is partitioned by the high 16 bits into *containers*;
+//! * a container holding ≤ [`ARRAY_CONTAINER_MAX`] values stores a sorted
+//!   `Vec<u16>` of the low bits (binary-searched);
+//! * a denser container upgrades to a 1024-word / 65536-bit bitmap;
+//! * containers downgrade back to arrays when they shrink below the threshold.
+
+use crate::traits::FastSet;
+
+/// Maximum cardinality of an array container before it upgrades to a bitmap
+/// container (the canonical Roaring threshold).
+pub const ARRAY_CONTAINER_MAX: usize = 4096;
+
+const BITMAP_WORDS: usize = 65536 / 64;
+
+#[derive(Clone, Debug)]
+enum Container {
+    /// Sorted low-16-bit values.
+    Array(Vec<u16>),
+    /// 65536-bit bitmap plus cardinality.
+    Bitmap(Box<[u64; BITMAP_WORDS]>, u32),
+}
+
+impl Container {
+    fn len(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitmap(_, n) => *n as usize,
+        }
+    }
+
+    fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => v.binary_search(&low).is_ok(),
+            Container::Bitmap(w, _) => w[(low as usize) / 64] & (1u64 << (low % 64)) != 0,
+        }
+    }
+
+    fn insert(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => match v.binary_search(&low) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, low);
+                    if v.len() > ARRAY_CONTAINER_MAX {
+                        *self = Self::bitmap_from_sorted(v);
+                    }
+                    true
+                }
+            },
+            Container::Bitmap(w, n) => {
+                let (i, m) = ((low as usize) / 64, 1u64 << (low % 64));
+                let newly = w[i] & m == 0;
+                w[i] |= m;
+                *n += newly as u32;
+                newly
+            }
+        }
+    }
+
+    fn remove(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => match v.binary_search(&low) {
+                Ok(pos) => {
+                    v.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap(w, n) => {
+                let (i, m) = ((low as usize) / 64, 1u64 << (low % 64));
+                let present = w[i] & m != 0;
+                w[i] &= !m;
+                *n -= present as u32;
+                if present && (*n as usize) <= ARRAY_CONTAINER_MAX / 2 {
+                    *self = Self::array_from_bitmap(w, *n);
+                }
+                present
+            }
+        }
+    }
+
+    fn bitmap_from_sorted(values: &[u16]) -> Container {
+        let mut words = Box::new([0u64; BITMAP_WORDS]);
+        for &v in values {
+            words[(v as usize) / 64] |= 1u64 << (v % 64);
+        }
+        Container::Bitmap(words, values.len() as u32)
+    }
+
+    fn array_from_bitmap(words: &[u64; BITMAP_WORDS], card: u32) -> Container {
+        let mut out = Vec::with_capacity(card as usize);
+        for (i, &w) in words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                out.push((i * 64 + bit) as u16);
+            }
+        }
+        Container::Array(out)
+    }
+
+    fn for_each(&self, mut f: impl FnMut(u16)) {
+        match self {
+            Container::Array(v) => v.iter().copied().for_each(&mut f),
+            Container::Bitmap(words, _) => {
+                for (i, &w) in words.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        f((i * 64 + bit) as u16);
+                    }
+                }
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Array(v) => v.capacity() * 2,
+            Container::Bitmap(..) => BITMAP_WORDS * 8,
+        }
+    }
+}
+
+/// A roaring-style compressed set of `u32` ids.
+#[derive(Clone, Debug, Default)]
+pub struct CompressedBitmap {
+    /// `(high16, container)` pairs sorted by key.
+    containers: Vec<(u16, Container)>,
+    len: usize,
+}
+
+impl CompressedBitmap {
+    /// Create an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn split(x: u32) -> (u16, u16) {
+        ((x >> 16) as u16, (x & 0xFFFF) as u16)
+    }
+
+    fn container_idx(&self, high: u16) -> Result<usize, usize> {
+        self.containers.binary_search_by_key(&high, |(h, _)| *h)
+    }
+
+    /// Number of containers currently allocated (exposed for tests/benches).
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// True when the container holding `x` (if any) is in bitmap form.
+    pub fn is_bitmap_container(&self, x: u32) -> bool {
+        let (high, _) = Self::split(x);
+        match self.container_idx(high) {
+            Ok(i) => matches!(self.containers[i].1, Container::Bitmap(..)),
+            Err(_) => false,
+        }
+    }
+}
+
+impl FastSet for CompressedBitmap {
+    fn with_universe(_universe: usize) -> Self {
+        Self::new()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn contains(&self, x: u32) -> bool {
+        let (high, low) = Self::split(x);
+        match self.container_idx(high) {
+            Ok(i) => self.containers[i].1.contains(low),
+            Err(_) => false,
+        }
+    }
+
+    fn insert(&mut self, x: u32) -> bool {
+        let (high, low) = Self::split(x);
+        let newly = match self.container_idx(high) {
+            Ok(i) => self.containers[i].1.insert(low),
+            Err(pos) => {
+                self.containers.insert(pos, (high, Container::Array(vec![low])));
+                true
+            }
+        };
+        self.len += newly as usize;
+        newly
+    }
+
+    fn remove(&mut self, x: u32) -> bool {
+        let (high, low) = Self::split(x);
+        match self.container_idx(high) {
+            Ok(i) => {
+                let present = self.containers[i].1.remove(low);
+                if present {
+                    self.len -= 1;
+                    if self.containers[i].1.len() == 0 {
+                        self.containers.remove(i);
+                    }
+                }
+                present
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.containers.clear();
+        self.len = 0;
+    }
+
+    fn collect_missing(&self, other: &Self, out: &mut Vec<u32>) {
+        for (high, cont) in &other.containers {
+            let base = (*high as u32) << 16;
+            match self.container_idx(*high) {
+                Err(_) => cont.for_each(|low| out.push(base | low as u32)),
+                Ok(i) => {
+                    let mine = &self.containers[i].1;
+                    match (mine, cont) {
+                        (Container::Bitmap(mw, _), Container::Bitmap(ow, _)) => {
+                            for (wi, (&m, &o)) in mw.iter().zip(ow.iter()).enumerate() {
+                                let mut missing = o & !m;
+                                while missing != 0 {
+                                    let bit = missing.trailing_zeros() as usize;
+                                    missing &= missing - 1;
+                                    out.push(base | (wi * 64 + bit) as u32);
+                                }
+                            }
+                        }
+                        _ => cont.for_each(|low| {
+                            if !mine.contains(low) {
+                                out.push(base | low as u32);
+                            }
+                        }),
+                    }
+                }
+            }
+        }
+    }
+
+    fn union_with(&mut self, other: &Self) {
+        for (high, cont) in &other.containers {
+            let base = (*high as u32) << 16;
+            cont.for_each(|low| {
+                self.insert(base | low as u32);
+            });
+        }
+    }
+
+    fn iter_elems(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        let mut all = Vec::with_capacity(self.len);
+        for (high, cont) in &self.containers {
+            let base = (*high as u32) << 16;
+            cont.for_each(|low| all.push(base | low as u32));
+        }
+        Box::new(all.into_iter())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.containers.capacity() * std::mem::size_of::<(u16, Container)>()
+            + self.containers.iter().map(|(_, c)| c.heap_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_across_containers() {
+        let mut s = CompressedBitmap::new();
+        assert!(s.insert(1));
+        assert!(s.insert(0x1_0000)); // second container
+        assert!(s.insert(0xFFFF_FFFF));
+        assert!(!s.insert(1));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.container_count(), 3);
+        assert!(s.contains(0x1_0000));
+        assert!(!s.contains(2));
+        assert_eq!(s.to_vec(), vec![1, 0x1_0000, 0xFFFF_FFFF]);
+    }
+
+    #[test]
+    fn remove_drops_empty_container() {
+        let mut s = CompressedBitmap::new();
+        s.insert(7);
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert_eq!(s.container_count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn array_upgrades_to_bitmap_and_back() {
+        let mut s = CompressedBitmap::new();
+        for x in 0..=(ARRAY_CONTAINER_MAX as u32) {
+            s.insert(x * 2); // spread within one container (max 8192 < 65536)
+        }
+        assert!(s.is_bitmap_container(0));
+        assert_eq!(s.len(), ARRAY_CONTAINER_MAX + 1);
+        // Remove until below half threshold: downgrades to array.
+        for x in 0..=(ARRAY_CONTAINER_MAX as u32) {
+            if s.len() <= ARRAY_CONTAINER_MAX / 2 {
+                break;
+            }
+            s.remove(x * 2);
+        }
+        assert!(!s.is_bitmap_container(0));
+        // Contents still correct.
+        let v = s.to_vec();
+        assert_eq!(v.len(), s.len());
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn collect_missing_mixed_containers() {
+        let mut a = CompressedBitmap::new();
+        let mut b = CompressedBitmap::new();
+        // Make b's first container a bitmap, a's an array.
+        for x in 0..5000u32 {
+            b.insert(x);
+        }
+        for x in 0..5000u32 {
+            if x % 2 == 0 {
+                a.insert(x);
+            }
+        }
+        b.insert(0x2_0000);
+        let mut out = Vec::new();
+        a.collect_missing(&b, &mut out);
+        let expect: Vec<u32> =
+            (0..5000u32).filter(|x| x % 2 == 1).chain(std::iter::once(0x2_0000)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn collect_missing_bitmap_bitmap() {
+        let mut a = CompressedBitmap::new();
+        let mut b = CompressedBitmap::new();
+        for x in 0..9000u32 {
+            if x % 3 != 0 {
+                a.insert(x);
+            }
+            b.insert(x);
+        }
+        assert!(a.is_bitmap_container(0) && b.is_bitmap_container(0));
+        let mut out = Vec::new();
+        a.collect_missing(&b, &mut out);
+        let expect: Vec<u32> = (0..9000u32).filter(|x| x % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = CompressedBitmap::new();
+        let mut b = CompressedBitmap::new();
+        a.insert(1);
+        a.insert(0x3_0001);
+        b.insert(2);
+        b.insert(0x3_0001);
+        a.union_with(&b);
+        assert_eq!(a.to_vec(), vec![1, 2, 0x3_0001]);
+    }
+
+    #[test]
+    fn heap_bytes_reflects_compression() {
+        // A sparse set should take far less memory compressed than dense.
+        let mut sparse = CompressedBitmap::new();
+        for i in 0..100u32 {
+            sparse.insert(i * 0x10_000); // one element per container
+        }
+        // 100 array containers of 1 element each; well under bitmap cost.
+        assert!(sparse.heap_bytes() < 100 * BITMAP_WORDS * 8);
+    }
+}

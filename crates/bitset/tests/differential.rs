@@ -1,0 +1,104 @@
+//! Differential property tests: every `FastSet` implementation must behave like
+//! a reference `BTreeSet<u32>` under arbitrary operation sequences.
+
+use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Contains(u32),
+    Clear,
+}
+
+fn op_strategy(universe: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0..universe).prop_map(Op::Insert),
+        3 => (0..universe).prop_map(Op::Remove),
+        3 => (0..universe).prop_map(Op::Contains),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn run_ops<S: FastSet>(mut set: S, ops: &[Op]) -> (S, BTreeSet<u32>) {
+    let mut reference = BTreeSet::new();
+    for op in ops {
+        match *op {
+            Op::Insert(x) => {
+                assert_eq!(set.insert(x), reference.insert(x), "insert({x}) disagreed");
+            }
+            Op::Remove(x) => {
+                assert_eq!(set.remove(x), reference.remove(&x), "remove({x}) disagreed");
+            }
+            Op::Contains(x) => {
+                assert_eq!(set.contains(x), reference.contains(&x), "contains({x}) disagreed");
+            }
+            Op::Clear => {
+                set.clear();
+                reference.clear();
+            }
+        }
+        assert_eq!(set.len(), reference.len(), "len disagreed after {op:?}");
+    }
+    (set, reference)
+}
+
+const UNIVERSE: u32 = 300_000; // spans multiple roaring containers
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fixed_bitset_matches_reference(ops in proptest::collection::vec(op_strategy(UNIVERSE), 1..200)) {
+        let (set, reference) = run_ops(FixedBitSet::with_universe(UNIVERSE as usize), &ops);
+        prop_assert_eq!(set.to_vec(), reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compressed_bitmap_matches_reference(ops in proptest::collection::vec(op_strategy(UNIVERSE), 1..200)) {
+        let (set, reference) = run_ops(CompressedBitmap::new(), &ops);
+        prop_assert_eq!(set.to_vec(), reference.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_missing_agrees_between_backends(
+        xs in proptest::collection::btree_set(0u32..UNIVERSE, 0..300),
+        ys in proptest::collection::btree_set(0u32..UNIVERSE, 0..300),
+    ) {
+        let mut fixed_a = FixedBitSet::with_universe(UNIVERSE as usize);
+        let mut fixed_b = FixedBitSet::with_universe(UNIVERSE as usize);
+        let mut cbm_a = CompressedBitmap::new();
+        let mut cbm_b = CompressedBitmap::new();
+        for &x in &xs { fixed_a.insert(x); cbm_a.insert(x); }
+        for &y in &ys { fixed_b.insert(y); cbm_b.insert(y); }
+
+        let mut out_fixed = Vec::new();
+        fixed_a.collect_missing(&fixed_b, &mut out_fixed);
+        let mut out_cbm = Vec::new();
+        cbm_a.collect_missing(&cbm_b, &mut out_cbm);
+
+        let expect: Vec<u32> = ys.difference(&xs).copied().collect();
+        prop_assert_eq!(&out_fixed, &expect);
+        prop_assert_eq!(&out_cbm, &expect);
+    }
+
+    #[test]
+    fn union_agrees_between_backends(
+        xs in proptest::collection::btree_set(0u32..UNIVERSE, 0..200),
+        ys in proptest::collection::btree_set(0u32..UNIVERSE, 0..200),
+    ) {
+        let mut fixed = FixedBitSet::with_universe(UNIVERSE as usize);
+        let mut fixed_other = FixedBitSet::with_universe(UNIVERSE as usize);
+        let mut cbm = CompressedBitmap::new();
+        let mut cbm_other = CompressedBitmap::new();
+        for &x in &xs { fixed.insert(x); cbm.insert(x); }
+        for &y in &ys { fixed_other.insert(y); cbm_other.insert(y); }
+        fixed.union_with(&fixed_other);
+        cbm.union_with(&cbm_other);
+        let expect: Vec<u32> = xs.union(&ys).copied().collect();
+        prop_assert_eq!(fixed.to_vec(), expect.clone());
+        prop_assert_eq!(cbm.to_vec(), expect);
+    }
+}

@@ -1,0 +1,190 @@
+//! Derivation recording for CFLR facts (the paper's "parent table").
+//!
+//! CflrB answers *reachability*; when the user needs the witnessing paths
+//! ("If path is needed, a parent table would be used similar to BFS",
+//! Sec. III-B), each derived fact remembers how it was first produced:
+//!
+//! * `Base` — a terminal rule matched a graph edge / self-loop;
+//! * `Unit` — copied through a unit rule `A → B`;
+//! * `Join` — composed from two adjacent facts by a binary rule `A → B C`.
+//!
+//! Recursively expanding a fact's derivation tree yields one witnessing path;
+//! its vertex set is what segmentation would display. Only the *first*
+//! derivation is kept (like a BFS parent pointer), so reconstruction is
+//! linear in the path length.
+
+use crate::symbol::{NonTerminal, Terminal};
+use prov_store::hash::FxHashMap;
+
+/// A fact key: `(nonterminal, i, j)`.
+pub type FactKey = (NonTerminal, u32, u32);
+
+/// How a fact was first derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Derivation {
+    /// Matched a terminal edge from `i` to `j`.
+    Base(Terminal),
+    /// Copied from `B(i, j)` through a unit rule.
+    Unit(NonTerminal),
+    /// Composed from `B(i, mid)` and `C(mid, j)`.
+    Join {
+        /// Left child nonterminal.
+        left: NonTerminal,
+        /// Right child nonterminal.
+        right: NonTerminal,
+        /// The shared middle vertex.
+        mid: u32,
+    },
+}
+
+/// Parent table: first derivation of every fact.
+#[derive(Debug, Default)]
+pub struct DerivationTable {
+    parents: FxHashMap<FactKey, Derivation>,
+}
+
+impl DerivationTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the first derivation of a fact (later ones are ignored, like
+    /// BFS parent pointers).
+    pub fn record(&mut self, key: FactKey, how: Derivation) {
+        self.parents.entry(key).or_insert(how);
+    }
+
+    /// Number of recorded facts.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Derivation of a fact, if known.
+    pub fn derivation(&self, key: &FactKey) -> Option<&Derivation> {
+        self.parents.get(key)
+    }
+
+    /// Reconstruct one witnessing path for `key`: the ordered vertex sequence
+    /// from `i` to `j` (adjacent duplicates collapsed — vertex-label
+    /// self-loops do not repeat vertices). Returns `None` for unknown facts.
+    pub fn witness_path(&self, key: FactKey) -> Option<Vec<u32>> {
+        let mut out: Vec<u32> = Vec::new();
+        out.push(key.1);
+        self.expand(key, &mut out)?;
+        out.dedup();
+        Some(out)
+    }
+
+    /// Append the interior + right endpoint of `key`'s path to `out`
+    /// (the left endpoint is already there).
+    fn expand(&self, key: FactKey, out: &mut Vec<u32>) -> Option<()> {
+        match *self.parents.get(&key)? {
+            Derivation::Base(_) => {
+                out.push(key.2);
+                Some(())
+            }
+            Derivation::Unit(from) => self.expand((from, key.1, key.2), out),
+            Derivation::Join { left, right, mid } => {
+                self.expand((left, key.1, mid), out)?;
+                self.expand((right, mid, key.2), out)
+            }
+        }
+    }
+}
+
+/// Tracing hook for the solver: either a no-op or a recording table.
+pub trait Tracer {
+    /// A base fact was inserted.
+    fn base(&mut self, key: FactKey, t: Terminal);
+    /// A unit-rule fact was inserted.
+    fn unit(&mut self, key: FactKey, from: NonTerminal);
+    /// A join fact was inserted.
+    fn join(&mut self, key: FactKey, left: NonTerminal, right: NonTerminal, mid: u32);
+}
+
+/// Zero-cost tracer (the default solve path).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoTrace;
+
+impl Tracer for NoTrace {
+    #[inline]
+    fn base(&mut self, _key: FactKey, _t: Terminal) {}
+
+    #[inline]
+    fn unit(&mut self, _key: FactKey, _from: NonTerminal) {}
+
+    #[inline]
+    fn join(&mut self, _key: FactKey, _left: NonTerminal, _right: NonTerminal, _mid: u32) {}
+}
+
+impl Tracer for DerivationTable {
+    fn base(&mut self, key: FactKey, t: Terminal) {
+        self.record(key, Derivation::Base(t));
+    }
+
+    fn unit(&mut self, key: FactKey, from: NonTerminal) {
+        self.record(key, Derivation::Unit(from));
+    }
+
+    fn join(&mut self, key: FactKey, left: NonTerminal, right: NonTerminal, mid: u32) {
+        self.record(key, Derivation::Join { left, right, mid });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nt(i: u16) -> NonTerminal {
+        NonTerminal(i)
+    }
+
+    #[test]
+    fn base_fact_path_is_the_edge() {
+        let mut t = DerivationTable::new();
+        t.record((nt(0), 3, 7), Derivation::Base(Terminal::fwd(prov_model::EdgeKind::Used)));
+        assert_eq!(t.witness_path((nt(0), 3, 7)), Some(vec![3, 7]));
+        assert_eq!(t.witness_path((nt(0), 3, 8)), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn join_expands_both_sides() {
+        // A(0,2) = B(0,1) C(1,2), all bases.
+        let u = Terminal::fwd(prov_model::EdgeKind::Used);
+        let mut t = DerivationTable::new();
+        t.record((nt(1), 0, 1), Derivation::Base(u));
+        t.record((nt(2), 1, 2), Derivation::Base(u));
+        t.record((nt(0), 0, 2), Derivation::Join { left: nt(1), right: nt(2), mid: 1 });
+        assert_eq!(t.witness_path((nt(0), 0, 2)), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn unit_rules_and_self_loops_collapse() {
+        // Self-loop base (vertex label) then a real edge: path has no dup.
+        let e_label = Terminal::VertexLabel(prov_model::VertexKind::Entity);
+        let u = Terminal::fwd(prov_model::EdgeKind::Used);
+        let mut t = DerivationTable::new();
+        t.record((nt(2), 0, 0), Derivation::Base(e_label));
+        t.record((nt(3), 0, 5), Derivation::Base(u));
+        t.record((nt(1), 0, 5), Derivation::Join { left: nt(2), right: nt(3), mid: 0 });
+        t.record((nt(0), 0, 5), Derivation::Unit(nt(1)));
+        assert_eq!(t.witness_path((nt(0), 0, 5)), Some(vec![0, 5]));
+    }
+
+    #[test]
+    fn first_derivation_wins() {
+        let u = Terminal::fwd(prov_model::EdgeKind::Used);
+        let g = Terminal::fwd(prov_model::EdgeKind::WasGeneratedBy);
+        let mut t = DerivationTable::new();
+        t.record((nt(0), 1, 2), Derivation::Base(u));
+        t.record((nt(0), 1, 2), Derivation::Base(g));
+        assert_eq!(t.derivation(&(nt(0), 1, 2)), Some(&Derivation::Base(u)));
+    }
+}

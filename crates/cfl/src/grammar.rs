@@ -1,0 +1,202 @@
+//! Context-free grammars over path-label alphabets, with a CYK recognizer.
+//!
+//! A CFG here is the 6-tuple of Sec. III-A: alphabet (edge labels, vertex
+//! labels, `Vdst` ids), nonterminals, productions, and a start symbol. The
+//! solver ([`crate::solver`]) requires the *binary normal form* produced by
+//! [`crate::normal::normalize`]; this module stores grammars in the general
+//! form with arbitrary-length right-hand sides, as written in the paper
+//! (Fig. 4 deliberately uses productions with more than two RHS symbols).
+
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+
+/// A production `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Production {
+    /// Left-hand side nonterminal.
+    pub lhs: NonTerminal,
+    /// Right-hand side symbols (non-empty: we never need ε-productions).
+    pub rhs: Vec<Symbol>,
+}
+
+/// A context-free grammar over path labels.
+#[derive(Debug, Clone, Default)]
+pub struct Grammar {
+    names: Vec<String>,
+    productions: Vec<Production>,
+    start: Option<NonTerminal>,
+}
+
+impl Grammar {
+    /// Empty grammar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern (or look up) a nonterminal by name.
+    pub fn nonterminal(&mut self, name: &str) -> NonTerminal {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return NonTerminal(i as u16);
+        }
+        assert!(self.names.len() < u16::MAX as usize, "too many nonterminals");
+        self.names.push(name.to_string());
+        NonTerminal((self.names.len() - 1) as u16)
+    }
+
+    /// Look up an existing nonterminal by name.
+    pub fn find(&self, name: &str) -> Option<NonTerminal> {
+        self.names.iter().position(|n| n == name).map(|i| NonTerminal(i as u16))
+    }
+
+    /// Name of a nonterminal.
+    pub fn name(&self, nt: NonTerminal) -> &str {
+        &self.names[nt.index()]
+    }
+
+    /// Number of nonterminals.
+    pub fn nonterminal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Add a production `lhs → rhs`.
+    pub fn rule(&mut self, lhs: NonTerminal, rhs: impl IntoIterator<Item = Symbol>) {
+        let rhs: Vec<Symbol> = rhs.into_iter().collect();
+        assert!(!rhs.is_empty(), "ε-productions are not supported");
+        self.productions.push(Production { lhs, rhs });
+    }
+
+    /// Set the start symbol.
+    pub fn set_start(&mut self, start: NonTerminal) {
+        self.start = Some(start);
+    }
+
+    /// The start symbol.
+    pub fn start(&self) -> NonTerminal {
+        self.start.expect("grammar start symbol not set")
+    }
+
+    /// All productions.
+    pub fn productions(&self) -> &[Production] {
+        &self.productions
+    }
+
+    /// Pretty-print the grammar in paper notation (for docs and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for nt in 0..self.names.len() {
+            let nt = NonTerminal(nt as u16);
+            let alts: Vec<String> = self
+                .productions
+                .iter()
+                .filter(|p| p.lhs == nt)
+                .map(|p| {
+                    p.rhs
+                        .iter()
+                        .map(|s| match s {
+                            Symbol::T(t) => t.render(),
+                            Symbol::N(n) => self.name(*n).to_string(),
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            if !alts.is_empty() {
+                out.push_str(&format!("{} → {}\n", self.name(nt), alts.join(" | ")));
+            }
+        }
+        out
+    }
+
+    /// CYK recognition: does `word` belong to `L(nt)`?
+    ///
+    /// Used by tests to validate grammar constructions against hand-built path
+    /// words. Runs on the general grammar by normalizing on the fly, so it is
+    /// `O(|word|³ · |P|)` — fine for the short words in tests.
+    pub fn accepts(&self, nt: NonTerminal, word: &[Terminal]) -> bool {
+        let normal = crate::normal::normalize(self);
+        normal.accepts_word(normal.map_nonterminal(nt), word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{EdgeKind, VertexId, VertexKind};
+
+    /// A toy palindrome-ish grammar: S → U⁻¹ S U | v0 (matched literally).
+    fn toy() -> (Grammar, NonTerminal) {
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        let u_inv = Terminal::inv(EdgeKind::Used);
+        let u = Terminal::fwd(EdgeKind::Used);
+        g.rule(s, [Symbol::T(u_inv), Symbol::N(s), Symbol::T(u)]);
+        g.rule(s, [Symbol::T(Terminal::VertexIs(VertexId::new(0)))]);
+        g.set_start(s);
+        (g, s)
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut g = Grammar::new();
+        let a = g.nonterminal("A");
+        let b = g.nonterminal("B");
+        assert_eq!(g.nonterminal("A"), a);
+        assert_ne!(a, b);
+        assert_eq!(g.name(a), "A");
+        assert_eq!(g.find("B"), Some(b));
+        assert_eq!(g.find("C"), None);
+    }
+
+    #[test]
+    fn cyk_accepts_palindrome_words() {
+        let (g, s) = toy();
+        let u_inv = Terminal::inv(EdgeKind::Used);
+        let u = Terminal::fwd(EdgeKind::Used);
+        let v0 = Terminal::VertexIs(VertexId::new(0));
+        assert!(g.accepts(s, &[v0]));
+        assert!(g.accepts(s, &[u_inv, v0, u]));
+        assert!(g.accepts(s, &[u_inv, u_inv, v0, u, u]));
+        // Unbalanced words rejected.
+        assert!(!g.accepts(s, &[u_inv, v0]));
+        assert!(!g.accepts(s, &[u_inv, v0, u, u]));
+        assert!(!g.accepts(s, &[u, v0, u_inv]));
+        assert!(!g.accepts(s, &[]));
+    }
+
+    #[test]
+    fn cyk_distinguishes_vertex_ids() {
+        let (g, s) = toy();
+        let v1 = Terminal::VertexIs(VertexId::new(1));
+        assert!(!g.accepts(s, &[v1]));
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let (g, _) = toy();
+        let text = g.render();
+        assert!(text.contains("S →"), "got: {text}");
+        assert!(text.contains("U⁻¹ S U"), "got: {text}");
+    }
+
+    #[test]
+    fn vertex_label_terminals_render() {
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        g.rule(
+            s,
+            [
+                Symbol::T(Terminal::VertexLabel(VertexKind::Entity)),
+                Symbol::T(Terminal::fwd(EdgeKind::WasGeneratedBy)),
+            ],
+        );
+        g.set_start(s);
+        assert!(g.render().contains("E G"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ε-productions")]
+    fn empty_rhs_rejected() {
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        g.rule(s, []);
+    }
+}

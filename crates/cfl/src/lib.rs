@@ -1,0 +1,37 @@
+//! Context-free-language reachability (CFLR) over provenance graphs.
+//!
+//! Parts of the segmentation operator require a context-free language to
+//! express their semantics (the `SimProv` palindrome language of Sec. III-A,
+//! which no regular path query can capture). This crate provides:
+//!
+//! * [`symbol`] / [`grammar`] — path-label alphabets and CFGs with a CYK
+//!   recognizer for testing grammar constructions;
+//! * [`normal`] — binary normal form (what CflrB requires);
+//! * [`solver`] — the generic CflrB worklist solver with pluggable fast-set
+//!   fact tables (hash / bitset / compressed bitmap);
+//! * [`graphs`] — the adapter exposing a `prov-store` snapshot as a
+//!   terminal-labeled graph (virtual inverse edges, vertex-label self-loops);
+//! * [`simprov`] — the SimProv grammar in its surface, Fig. 6 normal, and
+//!   Fig. 4 rewritten forms.
+//!
+//! The specialized `SimProvAlg` / `SimProvTst` evaluators that *beat* CflrB by
+//! exploiting grammar properties live in `prov-segment`; this crate is the
+//! general-purpose engine and baseline.
+
+pub mod derivation;
+pub mod grammar;
+pub mod graphs;
+pub mod normal;
+pub mod simprov;
+pub mod solver;
+pub mod symbol;
+
+pub use grammar::{Grammar, Production};
+pub use graphs::IndexedProvGraph;
+pub use normal::{normalize, NormalGrammar};
+pub use derivation::{Derivation, DerivationTable, FactKey, NoTrace, Tracer};
+pub use solver::{
+    solve, solve_bitset, solve_cbm, solve_hash, solve_traced, solve_with_tracer, CflrResult,
+    SolveStats, TerminalEdges,
+};
+pub use symbol::{NonTerminal, Orientation, Symbol, Terminal};

@@ -1,0 +1,275 @@
+//! Binary normal form for CFLR solving.
+//!
+//! CflrB works on grammars "where each production has at most two RHS symbols"
+//! (Sec. III-B). [`normalize`] converts any [`Grammar`] by (a) lifting each
+//! terminal that appears in a long production into a fresh nonterminal
+//! `T_x → x`, and (b) binarizing long productions left-to-right with fresh
+//! chain nonterminals. Original nonterminal indices are preserved, so callers
+//! can translate symbols with [`NormalGrammar::map_nonterminal`] (the identity)
+//! and read answers off the same ids.
+//!
+//! The paper's observation that normalization "introduces more worklist
+//! entries and misses important grammar properties" is reproduced empirically:
+//! the chain nonterminals below are exactly the `Lg/Rg/La/...` intermediates
+//! that SimProvAlg's rewritten grammar avoids.
+
+use crate::grammar::Grammar;
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+use prov_store::hash::FxHashMap;
+
+/// A grammar in binary normal form.
+#[derive(Debug, Clone)]
+pub struct NormalGrammar {
+    names: Vec<String>,
+    /// `lhs → t` rules.
+    pub term_rules: Vec<(NonTerminal, Terminal)>,
+    /// `lhs → B` unit rules.
+    pub unit_rules: Vec<(NonTerminal, NonTerminal)>,
+    /// `lhs → B C` binary rules.
+    pub binary_rules: Vec<(NonTerminal, NonTerminal, NonTerminal)>,
+    start: NonTerminal,
+    original_count: usize,
+}
+
+impl NormalGrammar {
+    /// Number of nonterminals (original + fresh).
+    pub fn nonterminal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a nonterminal.
+    pub fn name(&self, nt: NonTerminal) -> &str {
+        &self.names[nt.index()]
+    }
+
+    /// The start symbol (same id as in the source grammar).
+    pub fn start(&self) -> NonTerminal {
+        self.start
+    }
+
+    /// Translate a source-grammar nonterminal (identity by construction).
+    pub fn map_nonterminal(&self, nt: NonTerminal) -> NonTerminal {
+        debug_assert!(nt.index() < self.original_count);
+        nt
+    }
+
+    /// CYK recognition on the normal form: `word ∈ L(nt)`?
+    pub fn accepts_word(&self, nt: NonTerminal, word: &[Terminal]) -> bool {
+        let n = word.len();
+        if n == 0 {
+            return false;
+        }
+        let k = self.nonterminal_count();
+        // table[s][len-1] = bitset of nonterminals deriving word[s..s+len]
+        let mut table = vec![vec![vec![false; k]; n]; n];
+        let close_units = |set: &mut Vec<bool>| {
+            // Fixpoint over unit rules (tiny grammars; loop until stable).
+            loop {
+                let mut changed = false;
+                for &(a, b) in &self.unit_rules {
+                    if set[b.index()] && !set[a.index()] {
+                        set[a.index()] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        };
+        for s in 0..n {
+            for &(a, t) in &self.term_rules {
+                if t == word[s] {
+                    table[s][0][a.index()] = true;
+                }
+            }
+            let cell = std::mem::take(&mut table[s][0]);
+            let mut cell = cell;
+            close_units(&mut cell);
+            table[s][0] = cell;
+        }
+        for len in 2..=n {
+            for s in 0..=(n - len) {
+                let mut cell = vec![false; k];
+                for split in 1..len {
+                    for &(a, b, c) in &self.binary_rules {
+                        if table[s][split - 1][b.index()]
+                            && table[s + split][len - split - 1][c.index()]
+                        {
+                            cell[a.index()] = true;
+                        }
+                    }
+                }
+                close_units(&mut cell);
+                table[s][len - 1] = cell;
+            }
+        }
+        table[0][n - 1][nt.index()]
+    }
+
+    /// Pretty-print the normal form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &(a, t) in &self.term_rules {
+            out.push_str(&format!("{} → {}\n", self.name(a), t.render()));
+        }
+        for &(a, b) in &self.unit_rules {
+            out.push_str(&format!("{} → {}\n", self.name(a), self.name(b)));
+        }
+        for &(a, b, c) in &self.binary_rules {
+            out.push_str(&format!("{} → {} {}\n", self.name(a), self.name(b), self.name(c)));
+        }
+        out
+    }
+}
+
+/// Convert `grammar` to binary normal form.
+pub fn normalize(grammar: &Grammar) -> NormalGrammar {
+    let mut names: Vec<String> =
+        (0..grammar.nonterminal_count()).map(|i| grammar.name(NonTerminal(i as u16)).to_string()).collect();
+    let original_count = names.len();
+    let mut term_rules = Vec::new();
+    let mut unit_rules = Vec::new();
+    let mut binary_rules = Vec::new();
+    let mut lifted: FxHashMap<Terminal, NonTerminal> = FxHashMap::default();
+
+    let fresh = |names: &mut Vec<String>, base: String| -> NonTerminal {
+        assert!(names.len() < u16::MAX as usize, "too many nonterminals");
+        names.push(base);
+        NonTerminal((names.len() - 1) as u16)
+    };
+
+    for prod in grammar.productions() {
+        match prod.rhs.as_slice() {
+            [Symbol::T(t)] => term_rules.push((prod.lhs, *t)),
+            [Symbol::N(n)] => unit_rules.push((prod.lhs, *n)),
+            longer => {
+                // Lift terminals to fresh nonterminals.
+                let mut nts: Vec<NonTerminal> = Vec::with_capacity(longer.len());
+                for sym in longer {
+                    match sym {
+                        Symbol::N(n) => nts.push(*n),
+                        Symbol::T(t) => {
+                            let nt = *lifted.entry(*t).or_insert_with(|| {
+                                let nt = fresh(&mut names, format!("T[{}]", t.render()));
+                                term_rules.push((nt, *t));
+                                nt
+                            });
+                            nts.push(nt);
+                        }
+                    }
+                }
+                // Binarize right-to-left: lhs → n0 C0, C0 → n1 C1, ...
+                let mut rest = nts.pop().expect("rhs non-empty");
+                while nts.len() > 1 {
+                    let left = nts.pop().expect("len > 1");
+                    let chain =
+                        fresh(&mut names, format!("C{}[{}]", binary_rules.len(), grammar.name(prod.lhs)));
+                    binary_rules.push((chain, left, rest));
+                    rest = chain;
+                }
+                binary_rules.push((prod.lhs, nts[0], rest));
+            }
+        }
+    }
+
+    NormalGrammar {
+        names,
+        term_rules,
+        unit_rules,
+        binary_rules,
+        start: grammar.start(),
+        original_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{EdgeKind, VertexId};
+
+    fn palindrome() -> (Grammar, NonTerminal) {
+        // S → U⁻¹ S U | v0
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        g.rule(
+            s,
+            [
+                Symbol::T(Terminal::inv(EdgeKind::Used)),
+                Symbol::N(s),
+                Symbol::T(Terminal::fwd(EdgeKind::Used)),
+            ],
+        );
+        g.rule(s, [Symbol::T(Terminal::VertexIs(VertexId::new(0)))]);
+        g.set_start(s);
+        (g, s)
+    }
+
+    #[test]
+    fn normalization_produces_binary_rules_only() {
+        let (g, _) = palindrome();
+        let n = normalize(&g);
+        // 3-symbol rule becomes 2 binary rules + 2 lifted terminals.
+        assert_eq!(n.binary_rules.len(), 2);
+        assert_eq!(n.term_rules.len(), 3); // v0 unit + two lifted terminals
+        assert!(n.unit_rules.is_empty());
+        assert!(n.nonterminal_count() > 1);
+    }
+
+    #[test]
+    fn lifted_terminals_are_shared() {
+        // Two rules using the same terminal lift it once.
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        let a = g.nonterminal("A2");
+        let u = Terminal::fwd(EdgeKind::Used);
+        g.rule(s, [Symbol::T(u), Symbol::N(a), Symbol::T(u)]);
+        g.rule(a, [Symbol::T(u), Symbol::T(u)]);
+        g.set_start(s);
+        let n = normalize(&g);
+        let lifted_count =
+            (0..n.nonterminal_count()).filter(|&i| n.name(NonTerminal(i as u16)).starts_with("T[")).count();
+        assert_eq!(lifted_count, 1);
+    }
+
+    #[test]
+    fn normal_form_accepts_same_language() {
+        let (g, s) = palindrome();
+        let n = normalize(&g);
+        let u_inv = Terminal::inv(EdgeKind::Used);
+        let u = Terminal::fwd(EdgeKind::Used);
+        let v0 = Terminal::VertexIs(VertexId::new(0));
+        for depth in 0..4usize {
+            let mut word = Vec::new();
+            word.extend(std::iter::repeat_n(u_inv, depth));
+            word.push(v0);
+            word.extend(std::iter::repeat_n(u, depth));
+            assert!(n.accepts_word(n.map_nonterminal(s), &word), "depth {depth}");
+        }
+        assert!(!n.accepts_word(n.map_nonterminal(s), &[u_inv, v0]));
+    }
+
+    #[test]
+    fn unit_rules_close_transitively() {
+        // S → A2; A2 → B2; B2 → v0
+        let mut g = Grammar::new();
+        let s = g.nonterminal("S");
+        let a = g.nonterminal("A2");
+        let b = g.nonterminal("B2");
+        g.rule(s, [Symbol::N(a)]);
+        g.rule(a, [Symbol::N(b)]);
+        g.rule(b, [Symbol::T(Terminal::VertexIs(VertexId::new(0)))]);
+        g.set_start(s);
+        let n = normalize(&g);
+        assert!(n.accepts_word(s, &[Terminal::VertexIs(VertexId::new(0))]));
+    }
+
+    #[test]
+    fn render_lists_all_rule_shapes() {
+        let (g, _) = palindrome();
+        let n = normalize(&g);
+        let text = n.render();
+        assert!(text.contains("→"));
+        assert!(text.lines().count() >= 4, "got: {text}");
+    }
+}

@@ -1,0 +1,294 @@
+//! The `SimProv` grammar in its three published forms.
+//!
+//! * [`surface`] — the reading grammar of Sec. III-A:
+//!   `SimProv → G⁻¹ E SimProv E G | U⁻¹ A SimProv A U | G⁻¹ vj G`.
+//!   Words are *path segment labels* (endpoint labels omitted); the language is
+//!   a palindrome language and provably not regular.
+//! * [`normal_form_fig6`] — the paper's Fig. 6 normal form with nonterminals
+//!   `Qd, Lg, Rg, La, Ra, Lu, Ru, Le, Re` (start `Re`), the form CflrB runs on.
+//! * [`rewritten_fig4`] — the paper's Fig. 4 rewriting with only two
+//!   nonterminals `Ee ⊆ E×E`, `Aa ⊆ A×A` (start `Ee`), the form SimProvAlg
+//!   exploits (symmetry, combined rules, early stopping).
+//!
+//! Semantics reminder: a SimProv path runs *downstream* from a source entity
+//! via inverse ancestry labels (`U⁻¹`, `G⁻¹`) to some destination `vj ∈ Vdst`,
+//! then *upstream* via forward labels (`G`, `U`) for the same number of steps —
+//! reaching ancestors of `vj` that contribute to it "in a similar way" as the
+//! source does.
+
+use crate::grammar::Grammar;
+use crate::symbol::{NonTerminal, Symbol, Terminal};
+use prov_model::{EdgeKind, VertexId, VertexKind};
+
+/// Handles to the interesting nonterminals of a SimProv grammar build.
+#[derive(Debug, Clone, Copy)]
+pub struct SimProvHandles {
+    /// The start symbol (answers are read off this relation).
+    pub start: NonTerminal,
+    /// The entity-pair relation (`Re` in Fig. 6, `Ee` in Fig. 4); equals
+    /// `start` for the rewritten form.
+    pub entity_pairs: NonTerminal,
+    /// The activity-pair relation, when the form has one (`Aa` in Fig. 4).
+    pub activity_pairs: Option<NonTerminal>,
+}
+
+fn u_fwd() -> Terminal {
+    Terminal::fwd(EdgeKind::Used)
+}
+fn u_inv() -> Terminal {
+    Terminal::inv(EdgeKind::Used)
+}
+fn g_fwd() -> Terminal {
+    Terminal::fwd(EdgeKind::WasGeneratedBy)
+}
+fn g_inv() -> Terminal {
+    Terminal::inv(EdgeKind::WasGeneratedBy)
+}
+fn e_label() -> Terminal {
+    Terminal::VertexLabel(VertexKind::Entity)
+}
+fn a_label() -> Terminal {
+    Terminal::VertexLabel(VertexKind::Activity)
+}
+
+/// Build the surface grammar of Sec. III-A for destination set `vdst`.
+pub fn surface(vdst: &[VertexId]) -> (Grammar, SimProvHandles) {
+    let mut g = Grammar::new();
+    let s = g.nonterminal("SimProv");
+    // SimProv → G⁻¹ E SimProv E G
+    g.rule(
+        s,
+        [
+            Symbol::T(g_inv()),
+            Symbol::T(e_label()),
+            Symbol::N(s),
+            Symbol::T(e_label()),
+            Symbol::T(g_fwd()),
+        ],
+    );
+    // SimProv → U⁻¹ A SimProv A U
+    g.rule(
+        s,
+        [
+            Symbol::T(u_inv()),
+            Symbol::T(a_label()),
+            Symbol::N(s),
+            Symbol::T(a_label()),
+            Symbol::T(u_fwd()),
+        ],
+    );
+    // SimProv → G⁻¹ vj G   ∀ vj ∈ Vdst
+    for &vj in vdst {
+        g.rule(s, [Symbol::T(g_inv()), Symbol::T(Terminal::VertexIs(vj)), Symbol::T(g_fwd())]);
+    }
+    g.set_start(s);
+    (g, SimProvHandles { start: s, entity_pairs: s, activity_pairs: None })
+}
+
+/// Build the Fig. 6 normal form (`r0`–`r8`, start `Re`).
+pub fn normal_form_fig6(vdst: &[VertexId]) -> (Grammar, SimProvHandles) {
+    let mut g = Grammar::new();
+    let qd = g.nonterminal("Qd");
+    let lg = g.nonterminal("Lg");
+    let rg = g.nonterminal("Rg");
+    let la = g.nonterminal("La");
+    let ra = g.nonterminal("Ra");
+    let lu = g.nonterminal("Lu");
+    let ru = g.nonterminal("Ru");
+    let le = g.nonterminal("Le");
+    let re = g.nonterminal("Re");
+    // r0: Qd → vj
+    for &vj in vdst {
+        g.rule(qd, [Symbol::T(Terminal::VertexIs(vj))]);
+    }
+    // r1: Lg → G⁻¹ Qd | G⁻¹ Re
+    g.rule(lg, [Symbol::T(g_inv()), Symbol::N(qd)]);
+    g.rule(lg, [Symbol::T(g_inv()), Symbol::N(re)]);
+    // r2: Rg → Lg G
+    g.rule(rg, [Symbol::N(lg), Symbol::T(g_fwd())]);
+    // r3: La → A Rg
+    g.rule(la, [Symbol::T(a_label()), Symbol::N(rg)]);
+    // r4: Ra → La A
+    g.rule(ra, [Symbol::N(la), Symbol::T(a_label())]);
+    // r5: Lu → U⁻¹ Ra
+    g.rule(lu, [Symbol::T(u_inv()), Symbol::N(ra)]);
+    // r6: Ru → Lu U
+    g.rule(ru, [Symbol::N(lu), Symbol::T(u_fwd())]);
+    // r7: Le → E Ru
+    g.rule(le, [Symbol::T(e_label()), Symbol::N(ru)]);
+    // r8: Re → Le E
+    g.rule(re, [Symbol::N(le), Symbol::T(e_label())]);
+    g.set_start(re);
+    (g, SimProvHandles { start: re, entity_pairs: re, activity_pairs: None })
+}
+
+/// Build the Fig. 4 rewritten grammar (start `Ee`).
+pub fn rewritten_fig4(vdst: &[VertexId]) -> (Grammar, SimProvHandles) {
+    let mut g = Grammar::new();
+    let ee = g.nonterminal("Ee");
+    let aa = g.nonterminal("Aa");
+    // r'1: Ee → vj | U⁻¹ Aa U | E Ee E
+    for &vj in vdst {
+        g.rule(ee, [Symbol::T(Terminal::VertexIs(vj))]);
+    }
+    g.rule(ee, [Symbol::T(u_inv()), Symbol::N(aa), Symbol::T(u_fwd())]);
+    g.rule(ee, [Symbol::T(e_label()), Symbol::N(ee), Symbol::T(e_label())]);
+    // r'2: Aa → G⁻¹ Ee G | A Aa A
+    g.rule(aa, [Symbol::T(g_inv()), Symbol::N(ee), Symbol::T(g_fwd())]);
+    g.rule(aa, [Symbol::T(a_label()), Symbol::N(aa), Symbol::T(a_label())]);
+    g.set_start(ee);
+    (g, SimProvHandles { start: ee, entity_pairs: ee, activity_pairs: Some(aa) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn surface_accepts_palindrome_segment_labels() {
+        let (g, h) = surface(&[v(7)]);
+        // Base: G⁻¹ v7 G (an activity pair sharing generated entity v7).
+        assert!(g.accepts(h.start, &[g_inv(), Terminal::VertexIs(v(7)), g_fwd()]));
+        // One U-wrap: U⁻¹ A G⁻¹ v7 G A U (the Fig. 2(d) Q1 shape).
+        assert!(g.accepts(
+            h.start,
+            &[
+                u_inv(),
+                a_label(),
+                g_inv(),
+                Terminal::VertexIs(v(7)),
+                g_fwd(),
+                a_label(),
+                u_fwd()
+            ]
+        ));
+        // Two wraps: U⁻¹ A G⁻¹ E U⁻¹ A G⁻¹ v7 G A U E G A U — mixed nesting.
+        assert!(g.accepts(
+            h.start,
+            &[
+                u_inv(),
+                a_label(),
+                g_inv(),
+                e_label(),
+                u_inv(),
+                a_label(),
+                g_inv(),
+                Terminal::VertexIs(v(7)),
+                g_fwd(),
+                a_label(),
+                u_fwd(),
+                e_label(),
+                g_fwd(),
+                a_label(),
+                u_fwd()
+            ]
+        ));
+    }
+
+    #[test]
+    fn surface_rejects_non_palindromes() {
+        let (g, h) = surface(&[v(7)]);
+        // Mismatched wrap types.
+        assert!(!g.accepts(
+            h.start,
+            &[
+                u_inv(),
+                a_label(),
+                g_inv(),
+                Terminal::VertexIs(v(7)),
+                g_fwd(),
+                e_label(),
+                g_fwd()
+            ]
+        ));
+        // Wrong anchor.
+        assert!(!g.accepts(h.start, &[g_inv(), Terminal::VertexIs(v(8)), g_fwd()]));
+        // Unbalanced.
+        assert!(!g.accepts(h.start, &[g_inv(), Terminal::VertexIs(v(7))]));
+    }
+
+    #[test]
+    fn fig6_words_wrap_endpoints_with_entity_labels() {
+        let (g, h) = normal_form_fig6(&[v(3)]);
+        // Minimal Re word: E U⁻¹ A G⁻¹ v3 G A U E
+        assert!(g.accepts(
+            h.start,
+            &[
+                e_label(),
+                u_inv(),
+                a_label(),
+                g_inv(),
+                Terminal::VertexIs(v(3)),
+                g_fwd(),
+                a_label(),
+                u_fwd(),
+                e_label()
+            ]
+        ));
+        // Without the E wraps it is not an Re word.
+        assert!(!g.accepts(
+            h.start,
+            &[
+                u_inv(),
+                a_label(),
+                g_inv(),
+                Terminal::VertexIs(v(3)),
+                g_fwd(),
+                a_label(),
+                u_fwd()
+            ]
+        ));
+    }
+
+    #[test]
+    fn fig4_is_anchor_or_deeper() {
+        let (g, h) = rewritten_fig4(&[v(3)]);
+        // Base anchor word.
+        assert!(g.accepts(h.start, &[Terminal::VertexIs(v(3))]));
+        // One level: U⁻¹ (G⁻¹ v3 G) U
+        assert!(g.accepts(
+            h.start,
+            &[u_inv(), g_inv(), Terminal::VertexIs(v(3)), g_fwd(), u_fwd()]
+        ));
+        // Optional vertex-label wraps are allowed.
+        assert!(g.accepts(
+            h.start,
+            &[
+                e_label(),
+                u_inv(),
+                g_inv(),
+                Terminal::VertexIs(v(3)),
+                g_fwd(),
+                u_fwd(),
+                e_label()
+            ]
+        ));
+        // Aa relation: G⁻¹ v3 G.
+        let aa = h.activity_pairs.expect("fig4 exposes Aa");
+        assert!(g.accepts(aa, &[g_inv(), Terminal::VertexIs(v(3)), g_fwd()]));
+        assert!(!g.accepts(aa, &[Terminal::VertexIs(v(3))]));
+    }
+
+    #[test]
+    fn multiple_destinations_multiple_anchors() {
+        let (g, h) = rewritten_fig4(&[v(1), v(2)]);
+        assert!(g.accepts(h.start, &[Terminal::VertexIs(v(1))]));
+        assert!(g.accepts(h.start, &[Terminal::VertexIs(v(2))]));
+        assert!(!g.accepts(h.start, &[Terminal::VertexIs(v(3))]));
+    }
+
+    #[test]
+    fn grammars_render_paper_shapes() {
+        let (g6, _) = normal_form_fig6(&[v(0)]);
+        let text = g6.render();
+        assert!(text.contains("Lg →"), "{text}");
+        assert!(text.contains("Re → Le E"), "{text}");
+        let (g4, _) = rewritten_fig4(&[v(0)]);
+        let t4 = g4.render();
+        assert!(t4.contains("Aa → G⁻¹ Ee G"), "{t4}");
+    }
+}

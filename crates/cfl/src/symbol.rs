@@ -1,0 +1,112 @@
+//! Terminal and nonterminal symbols of path-label grammars.
+//!
+//! A path word over a provenance graph concatenates vertex labels, edge labels
+//! and — for segmentation queries — the identifiers of destination vertices
+//! (Sec. III-A: "Σ = {E,A,U} ∪ {U,G,S,A,D} ∪ Vdst"). Ancestry edges (`used`,
+//! `wasGeneratedBy`) additionally appear with *inverse* labels `U⁻¹`, `G⁻¹`
+//! when a path traverses them against their stored orientation.
+
+use prov_model::{EdgeKind, VertexId, VertexKind};
+
+/// Orientation of an edge-label terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Orientation {
+    /// The edge is traversed as stored (label `X`).
+    Forward,
+    /// The edge is traversed against its orientation (label `X⁻¹`).
+    Inverse,
+}
+
+/// A terminal symbol of a path-label grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminal {
+    /// An edge label, possibly inverted (e.g. `G`, `U⁻¹`).
+    Edge(EdgeKind, Orientation),
+    /// A vertex type label (`E`, `A`, `U`); matched as a self-loop.
+    VertexLabel(VertexKind),
+    /// A specific vertex identifier (the `v_j ∈ Vdst` anchors); a self-loop on
+    /// exactly that vertex.
+    VertexIs(VertexId),
+}
+
+impl Terminal {
+    /// Forward edge label.
+    pub fn fwd(kind: EdgeKind) -> Terminal {
+        Terminal::Edge(kind, Orientation::Forward)
+    }
+
+    /// Inverse edge label.
+    pub fn inv(kind: EdgeKind) -> Terminal {
+        Terminal::Edge(kind, Orientation::Inverse)
+    }
+
+    /// Paper-style rendering (`G⁻¹`, `E`, `v17`).
+    pub fn render(&self) -> String {
+        match self {
+            Terminal::Edge(k, Orientation::Forward) => k.letter().to_string(),
+            Terminal::Edge(k, Orientation::Inverse) => format!("{}⁻¹", k.letter()),
+            Terminal::VertexLabel(k) => k.letter().to_string(),
+            Terminal::VertexIs(v) => v.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Terminal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A nonterminal, interned per grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NonTerminal(pub u16);
+
+impl NonTerminal {
+    /// Array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A grammar symbol: terminal or nonterminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// Terminal symbol.
+    T(Terminal),
+    /// Nonterminal symbol.
+    N(NonTerminal),
+}
+
+impl From<Terminal> for Symbol {
+    fn from(t: Terminal) -> Symbol {
+        Symbol::T(t)
+    }
+}
+
+impl From<NonTerminal> for Symbol {
+    fn from(n: NonTerminal) -> Symbol {
+        Symbol::N(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_paper_notation() {
+        assert_eq!(Terminal::fwd(EdgeKind::WasGeneratedBy).render(), "G");
+        assert_eq!(Terminal::inv(EdgeKind::Used).render(), "U⁻¹");
+        assert_eq!(Terminal::VertexLabel(VertexKind::Activity).render(), "A");
+        assert_eq!(Terminal::VertexIs(VertexId::new(17)).render(), "v17");
+    }
+
+    #[test]
+    fn symbols_convert() {
+        let t: Symbol = Terminal::fwd(EdgeKind::Used).into();
+        assert!(matches!(t, Symbol::T(_)));
+        let n: Symbol = NonTerminal(3).into();
+        assert!(matches!(n, Symbol::N(NonTerminal(3))));
+    }
+}

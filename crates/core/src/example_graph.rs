@@ -1,0 +1,308 @@
+//! Builders for the paper's running examples.
+//!
+//! * [`fig2`] — the Fig. 2 lifecycle (Alice & Bob's classification project,
+//!   three committed versions), used by the quickstart example and the
+//!   integration tests for Q1/Q2/Q3.
+//! * [`fig3`] — the repetitive model-adjustment loop of Fig. 3, used to
+//!   demonstrate similar-path induction.
+
+use prov_store::hash::FxHashMap;
+use prov_model::{EdgeKind, VertexId};
+use prov_store::ProvGraph;
+
+/// A built example: the graph plus a name → vertex map.
+#[derive(Debug)]
+pub struct Example {
+    /// The provenance graph.
+    pub graph: ProvGraph,
+    /// Lookup by the names used in the paper's figures.
+    pub names: FxHashMap<&'static str, VertexId>,
+}
+
+impl Example {
+    /// Resolve a figure name (panics on typos in tests/examples).
+    pub fn v(&self, name: &str) -> VertexId {
+        *self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown example vertex {name:?}"))
+    }
+}
+
+/// Build the Fig. 2 provenance graph (vertices named exactly as in Fig. 2(c)).
+pub mod fig2 {
+    use super::*;
+
+    /// Construct the lifecycle of Example 1: Alice trains (v1), adjusts the
+    /// model and retrains (v2, accuracy drops), Bob adjusts the solver from v1
+    /// and retrains (v3, accuracy recovers).
+    pub fn build() -> Example {
+        let mut g = ProvGraph::new();
+        let mut names: FxHashMap<&'static str, VertexId> = FxHashMap::default();
+
+        let alice = g.add_agent("Alice");
+        let bob = g.add_agent("Bob");
+
+        // Version 1 artifacts.
+        let dataset = g.add_entity("dataset-v1");
+        g.set_vprop(dataset, "filename", "dataset");
+        g.set_vprop(dataset, "url", "http://example.org/faces.tar.gz");
+        g.add_edge(EdgeKind::WasAttributedTo, dataset, alice).unwrap();
+
+        let model1 = g.add_entity("model-v1");
+        g.set_vprop(model1, "filename", "model");
+        g.set_vprop(model1, "ref", "vgg16");
+        let solver1 = g.add_entity("solver-v1");
+        g.set_vprop(solver1, "filename", "solver");
+        g.set_vprop(solver1, "iter", 20000i64);
+
+        let train1 = g.add_activity("train-v1");
+        g.set_vprop(train1, "command", "train");
+        g.set_vprop(train1, "opt", "-gpu");
+        g.set_vprop(train1, "exp", "v1");
+        g.add_edge(EdgeKind::Used, train1, dataset).unwrap();
+        g.add_edge(EdgeKind::Used, train1, model1).unwrap();
+        g.add_edge(EdgeKind::Used, train1, solver1).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, train1, alice).unwrap();
+        let log1 = g.add_entity("log-v1");
+        g.set_vprop(log1, "filename", "logs");
+        g.set_vprop(log1, "acc", 0.7);
+        let weight1 = g.add_entity("weight-v1");
+        g.set_vprop(weight1, "filename", "weight");
+        g.add_edge(EdgeKind::WasGeneratedBy, log1, train1).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, weight1, train1).unwrap();
+
+        // Version 2: Alice edits the model definition and retrains.
+        let update2 = g.add_activity("update-v2");
+        g.set_vprop(update2, "command", "update");
+        g.set_vprop(update2, "ann", "AVG");
+        g.add_edge(EdgeKind::Used, update2, model1).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, update2, alice).unwrap();
+        let model2 = g.add_entity("model-v2");
+        g.set_vprop(model2, "filename", "model");
+        g.add_edge(EdgeKind::WasGeneratedBy, model2, update2).unwrap();
+        g.add_edge(EdgeKind::WasDerivedFrom, model2, model1).unwrap();
+
+        let train2 = g.add_activity("train-v2");
+        g.set_vprop(train2, "command", "train");
+        g.set_vprop(train2, "opt", "-gpu");
+        g.set_vprop(train2, "exp", "v2");
+        g.add_edge(EdgeKind::Used, train2, dataset).unwrap();
+        g.add_edge(EdgeKind::Used, train2, model2).unwrap();
+        g.add_edge(EdgeKind::Used, train2, solver1).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, train2, alice).unwrap();
+        let log2 = g.add_entity("log-v2");
+        g.set_vprop(log2, "filename", "logs");
+        g.set_vprop(log2, "acc", 0.5);
+        let weight2 = g.add_entity("weight-v2");
+        g.set_vprop(weight2, "filename", "weight");
+        g.add_edge(EdgeKind::WasGeneratedBy, log2, train2).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, weight2, train2).unwrap();
+        g.add_edge(EdgeKind::WasDerivedFrom, log2, log1).unwrap();
+
+        // Version 3: Bob edits the solver hyperparameters from v1 and trains.
+        let update3 = g.add_activity("update-v3");
+        g.set_vprop(update3, "command", "update");
+        g.set_vprop(update3, "lr", 0.01);
+        g.add_edge(EdgeKind::Used, update3, solver1).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, update3, bob).unwrap();
+        let solver3 = g.add_entity("solver-v3");
+        g.set_vprop(solver3, "filename", "solver");
+        g.add_edge(EdgeKind::WasGeneratedBy, solver3, update3).unwrap();
+        g.add_edge(EdgeKind::WasDerivedFrom, solver3, solver1).unwrap();
+
+        let train3 = g.add_activity("train-v3");
+        g.set_vprop(train3, "command", "train");
+        g.set_vprop(train3, "opt", "-gpu");
+        g.set_vprop(train3, "exp", "v3");
+        g.add_edge(EdgeKind::Used, train3, dataset).unwrap();
+        g.add_edge(EdgeKind::Used, train3, model1).unwrap();
+        g.add_edge(EdgeKind::Used, train3, solver3).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, train3, bob).unwrap();
+        let log3 = g.add_entity("log-v3");
+        g.set_vprop(log3, "filename", "logs");
+        g.set_vprop(log3, "acc", 0.75);
+        let weight3 = g.add_entity("weight-v3");
+        g.set_vprop(weight3, "filename", "weight");
+        g.add_edge(EdgeKind::WasGeneratedBy, log3, train3).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, weight3, train3).unwrap();
+        g.add_edge(EdgeKind::WasDerivedFrom, log3, log2).unwrap();
+
+        for (name, id) in [
+            ("Alice", alice),
+            ("Bob", bob),
+            ("dataset-v1", dataset),
+            ("model-v1", model1),
+            ("solver-v1", solver1),
+            ("train-v1", train1),
+            ("log-v1", log1),
+            ("weight-v1", weight1),
+            ("update-v2", update2),
+            ("model-v2", model2),
+            ("train-v2", train2),
+            ("log-v2", log2),
+            ("weight-v2", weight2),
+            ("update-v3", update3),
+            ("solver-v3", solver3),
+            ("train-v3", train3),
+            ("log-v3", log3),
+            ("weight-v3", weight3),
+        ] {
+            names.insert(name, id);
+        }
+        Example { graph: g, names }
+    }
+}
+
+/// Build the Fig. 3 repetitive model-adjustment graph.
+pub mod fig3 {
+    use super::*;
+
+    /// `partition` splits `d1` into `d2`; two adjustment rounds
+    /// (`update → train → plot`) produce models `m2`, `m3`, weights, logs and
+    /// plots; a final `compare` generates `p4` from the plots. The PgSeg query
+    /// of the figure asks `Vsrc = {m3}`, `Vdst = {p4}`.
+    pub fn build() -> Example {
+        let mut g = ProvGraph::new();
+        let mut names: FxHashMap<&'static str, VertexId> = FxHashMap::default();
+        let add_entity = |g: &mut ProvGraph, name: &'static str, file: &str| {
+            let v = g.add_entity(name);
+            g.set_vprop(v, "filename", file);
+            v
+        };
+
+        let d1 = add_entity(&mut g, "d1", "data");
+        let m1 = add_entity(&mut g, "m1", "model");
+        let partition = g.add_activity("partition");
+        g.set_vprop(partition, "command", "partition");
+        g.add_edge(EdgeKind::Used, partition, d1).unwrap();
+        let d2 = add_entity(&mut g, "d2", "data");
+        g.add_edge(EdgeKind::WasGeneratedBy, d2, partition).unwrap();
+
+        // Round 1: update m1 -> m2, train on d1, plot.
+        let u1 = g.add_activity("update-1");
+        g.set_vprop(u1, "command", "update");
+        g.add_edge(EdgeKind::Used, u1, m1).unwrap();
+        let m2 = add_entity(&mut g, "m2", "model");
+        g.add_edge(EdgeKind::WasGeneratedBy, m2, u1).unwrap();
+
+        let t1 = g.add_activity("train-1");
+        g.set_vprop(t1, "command", "train");
+        g.add_edge(EdgeKind::Used, t1, m2).unwrap();
+        g.add_edge(EdgeKind::Used, t1, d1).unwrap();
+        let w2 = add_entity(&mut g, "w2", "weights");
+        let l2 = add_entity(&mut g, "l2", "log");
+        g.add_edge(EdgeKind::WasGeneratedBy, w2, t1).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, l2, t1).unwrap();
+
+        let pl1 = g.add_activity("plot-1");
+        g.set_vprop(pl1, "command", "plot");
+        g.add_edge(EdgeKind::Used, pl1, l2).unwrap();
+        let p2 = add_entity(&mut g, "p2", "plot");
+        g.add_edge(EdgeKind::WasGeneratedBy, p2, pl1).unwrap();
+
+        // Round 2: update m2 -> m3, train on d2, plot.
+        let u2 = g.add_activity("update-2");
+        g.set_vprop(u2, "command", "update");
+        g.add_edge(EdgeKind::Used, u2, m2).unwrap();
+        let m3 = add_entity(&mut g, "m3", "model");
+        g.add_edge(EdgeKind::WasGeneratedBy, m3, u2).unwrap();
+
+        let t2 = g.add_activity("train-2");
+        g.set_vprop(t2, "command", "train");
+        g.add_edge(EdgeKind::Used, t2, m3).unwrap();
+        g.add_edge(EdgeKind::Used, t2, d2).unwrap();
+        let w3 = add_entity(&mut g, "w3", "weights");
+        let l3 = add_entity(&mut g, "l3", "log");
+        g.add_edge(EdgeKind::WasGeneratedBy, w3, t2).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, l3, t2).unwrap();
+
+        let pl2 = g.add_activity("plot-2");
+        g.set_vprop(pl2, "command", "plot");
+        g.add_edge(EdgeKind::Used, pl2, l3).unwrap();
+        let p3 = add_entity(&mut g, "p3", "plot");
+        g.add_edge(EdgeKind::WasGeneratedBy, p3, pl2).unwrap();
+
+        // Compare both rounds' plots into the final figure p4.
+        let compare = g.add_activity("compare");
+        g.set_vprop(compare, "command", "compare");
+        g.add_edge(EdgeKind::Used, compare, p2).unwrap();
+        g.add_edge(EdgeKind::Used, compare, p3).unwrap();
+        let p4 = add_entity(&mut g, "p4", "plot");
+        g.add_edge(EdgeKind::WasGeneratedBy, p4, compare).unwrap();
+
+        for (name, id) in [
+            ("d1", d1),
+            ("m1", m1),
+            ("partition", partition),
+            ("d2", d2),
+            ("update-1", u1),
+            ("m2", m2),
+            ("train-1", t1),
+            ("w2", w2),
+            ("l2", l2),
+            ("plot-1", pl1),
+            ("p2", p2),
+            ("update-2", u2),
+            ("m3", m3),
+            ("train-2", t2),
+            ("w3", w3),
+            ("l3", l3),
+            ("plot-2", pl2),
+            ("p3", p3),
+            ("compare", compare),
+            ("p4", p4),
+        ] {
+            names.insert(name, id);
+        }
+        Example { graph: g, names }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_structure_matches_paper() {
+        let ex = fig2::build();
+        let g = &ex.graph;
+        g.validate_acyclic().unwrap();
+        assert_eq!(g.kind_count(prov_model::VertexKind::Agent), 2);
+        assert_eq!(g.kind_count(prov_model::VertexKind::Activity), 5);
+        assert_eq!(g.kind_count(prov_model::VertexKind::Entity), 11);
+        // Accuracies as in Fig. 2(a).
+        assert_eq!(g.vprop(ex.v("log-v1"), "acc").and_then(|v| v.as_float()), Some(0.7));
+        assert_eq!(g.vprop(ex.v("log-v2"), "acc").and_then(|v| v.as_float()), Some(0.5));
+        assert_eq!(g.vprop(ex.v("log-v3"), "acc").and_then(|v| v.as_float()), Some(0.75));
+        // Bob's train-v3 uses Alice's ORIGINAL model-v1, not model-v2.
+        let inputs: Vec<VertexId> =
+            g.out_neighbors(ex.v("train-v3"), EdgeKind::Used).collect();
+        assert!(inputs.contains(&ex.v("model-v1")));
+        assert!(!inputs.contains(&ex.v("model-v2")));
+    }
+
+    #[test]
+    fn fig2_lookup_panics_on_typo() {
+        let ex = fig2::build();
+        let caught = std::panic::catch_unwind(|| ex.v("weight-v9"));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn fig3_has_two_similar_rounds() {
+        let ex = fig3::build();
+        ex.graph.validate_acyclic().unwrap();
+        // Both rounds share the update→train→plot command sequence.
+        for round in ["1", "2"] {
+            for op in ["update", "train", "plot"] {
+                let v = ex.v(&format!("{op}-{round}"));
+                assert_eq!(
+                    ex.graph.vprop(v, "command").and_then(|p| p.as_str()),
+                    Some(op)
+                );
+            }
+        }
+        assert_eq!(ex.graph.kind_count(prov_model::VertexKind::Activity), 8);
+    }
+}

@@ -1,0 +1,379 @@
+//! `ProvDb`: the lifecycle provenance management facade (Fig. 1).
+//!
+//! Bundles the ingestion surface (agents, versioned artifacts, activity
+//! records — what the paper's non-intrusive CLI toolkit would feed in) with
+//! the query facilities (PgSeg segmentation, PgSum summarization, lineage and
+//! pattern matching) over the embedded property graph store.
+
+use prov_model::{PropValue, VertexId, VertexKind};
+use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
+use prov_store::{ProvGraph, ProvIndex, StoreResult};
+use prov_summary::{pgsum, PgSumQuery, Psg, SegmentRef};
+
+/// Description of one artifact an activity generates.
+#[derive(Debug, Clone)]
+pub struct OutputSpec {
+    /// Artifact name (versioned automatically: `name-vN`).
+    pub artifact: String,
+    /// Properties to attach to the new version.
+    pub props: Vec<(String, PropValue)>,
+}
+
+impl OutputSpec {
+    /// Output with no properties.
+    pub fn named(artifact: &str) -> Self {
+        OutputSpec { artifact: artifact.to_string(), props: Vec::new() }
+    }
+
+    /// Attach a property.
+    pub fn with(mut self, key: &str, value: impl Into<PropValue>) -> Self {
+        self.props.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+/// One ingested activity (a CLI command execution).
+#[derive(Debug, Clone)]
+pub struct ActivityRecord {
+    /// Command line / operation name.
+    pub command: String,
+    /// Responsible agent.
+    pub agent: Option<VertexId>,
+    /// Input entity versions the activity used.
+    pub inputs: Vec<VertexId>,
+    /// Artifacts generated.
+    pub outputs: Vec<OutputSpec>,
+    /// Extra activity properties.
+    pub props: Vec<(String, PropValue)>,
+}
+
+/// Result of ingesting an activity.
+#[derive(Debug, Clone)]
+pub struct ActivityOutcome {
+    /// The activity vertex.
+    pub activity: VertexId,
+    /// The generated entity versions, in `outputs` order.
+    pub outputs: Vec<VertexId>,
+}
+
+/// The lifecycle provenance management system facade.
+#[derive(Debug, Default)]
+pub struct ProvDb {
+    graph: ProvGraph,
+    index: Option<ProvIndex>,
+    /// Next version number per artifact name.
+    versions: std::collections::HashMap<String, u32>,
+}
+
+impl ProvDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap an existing provenance graph.
+    pub fn from_graph(graph: ProvGraph) -> Self {
+        ProvDb { graph, index: None, versions: std::collections::HashMap::new() }
+    }
+
+    /// The underlying store (read-only).
+    pub fn graph(&self) -> &ProvGraph {
+        &self.graph
+    }
+
+    /// The frozen snapshot, rebuilt lazily after mutations.
+    pub fn index(&mut self) -> &ProvIndex {
+        if self.index.is_none() {
+            self.index = Some(ProvIndex::build(&self.graph));
+        }
+        self.index.as_ref().expect("just built")
+    }
+
+    fn touch(&mut self) {
+        self.index = None;
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion
+    // ------------------------------------------------------------------
+
+    /// Register a team member.
+    pub fn add_agent(&mut self, name: &str) -> VertexId {
+        self.touch();
+        self.graph.add_agent(name)
+    }
+
+    /// Register a new version of an artifact (external addition, e.g. a
+    /// downloaded dataset); optionally attributed to an agent.
+    pub fn add_artifact_version(
+        &mut self,
+        artifact: &str,
+        attributed_to: Option<VertexId>,
+    ) -> StoreResult<VertexId> {
+        self.touch();
+        let v = self.next_version(artifact);
+        let e = self.graph.add_entity(&format!("{artifact}-v{v}"));
+        self.graph.set_vprop(e, "filename", artifact);
+        self.graph.set_vprop(e, "version", v as i64);
+        if let Some(agent) = attributed_to {
+            self.graph.add_edge(prov_model::EdgeKind::WasAttributedTo, e, agent)?;
+        }
+        Ok(e)
+    }
+
+    fn next_version(&mut self, artifact: &str) -> u32 {
+        let slot = self.versions.entry(artifact.to_string()).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    /// Ingest one activity execution with its used/generated artifacts.
+    pub fn record_activity(&mut self, record: ActivityRecord) -> StoreResult<ActivityOutcome> {
+        self.touch();
+        let a = self.graph.add_activity(&record.command);
+        self.graph.set_vprop(a, "command", record.command.as_str());
+        for (k, v) in &record.props {
+            self.graph.set_vprop(a, k, v.clone());
+        }
+        if let Some(agent) = record.agent {
+            self.graph.add_edge(prov_model::EdgeKind::WasAssociatedWith, a, agent)?;
+        }
+        for &input in &record.inputs {
+            self.graph.add_edge(prov_model::EdgeKind::Used, a, input)?;
+        }
+        let mut outputs = Vec::with_capacity(record.outputs.len());
+        for spec in &record.outputs {
+            let v = self.next_version(&spec.artifact);
+            let e = self.graph.add_entity(&format!("{}-v{}", spec.artifact, v));
+            self.graph.set_vprop(e, "filename", spec.artifact.as_str());
+            self.graph.set_vprop(e, "version", v as i64);
+            for (k, val) in &spec.props {
+                self.graph.set_vprop(e, k, val.clone());
+            }
+            self.graph.add_edge(prov_model::EdgeKind::WasGeneratedBy, e, a)?;
+            // Version lineage: derive from the previous version when present.
+            if v > 1 {
+                if let Some(prev) = self.graph.vertex_by_name(&format!("{}-v{}", spec.artifact, v - 1))
+                {
+                    self.graph.add_edge(prov_model::EdgeKind::WasDerivedFrom, e, prev)?;
+                }
+            }
+            outputs.push(e);
+        }
+        Ok(ActivityOutcome { activity: a, outputs })
+    }
+
+    /// Latest version of an artifact, if any.
+    pub fn latest_version(&self, artifact: &str) -> Option<VertexId> {
+        let v = *self.versions.get(artifact)?;
+        self.graph.vertex_by_name(&format!("{artifact}-v{v}"))
+    }
+
+    /// Resolve an entity by its versioned name (`model-v2`).
+    pub fn entity(&self, versioned_name: &str) -> Option<VertexId> {
+        self.graph.vertex_by_name(versioned_name)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Run a one-shot PgSeg query.
+    pub fn segment(
+        &mut self,
+        query: PgSegQuery,
+        opts: &PgSegOptions,
+    ) -> StoreResult<SegmentGraph> {
+        self.index();
+        let index = self.index.as_ref().expect("built above");
+        prov_segment::pgseg(&self.graph, index, query, opts)
+    }
+
+    /// Open an interactive PgSeg session (induce once, adjust repeatedly).
+    pub fn segment_session(
+        &mut self,
+        query: PgSegQuery,
+        opts: &PgSegOptions,
+    ) -> StoreResult<PgSegSession<'_>> {
+        self.index();
+        let index = self.index.as_ref().expect("built above");
+        PgSegSession::open(&self.graph, index, query, opts)
+    }
+
+    /// Summarize a set of segments with PgSum.
+    pub fn summarize(&self, segments: &[SegmentRef], query: &PgSumQuery) -> Psg {
+        pgsum(&self.graph, segments, query)
+    }
+
+    /// All ancestors of an entity (transitive inputs through `U`/`G` edges).
+    pub fn ancestors_of(&mut self, e: VertexId) -> Vec<VertexId> {
+        self.index();
+        let index = self.index.as_ref().expect("built above");
+        let view = prov_segment::MaskedGraph::unmasked(index);
+        let mut seen = vec![false; index.vertex_count()];
+        let mut stack = vec![e];
+        seen[e.index()] = true;
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            for w in view.upstream(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    out.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Everything derived (transitively) from an entity.
+    pub fn descendants_of(&mut self, e: VertexId) -> Vec<VertexId> {
+        self.index();
+        let index = self.index.as_ref().expect("built above");
+        let view = prov_segment::MaskedGraph::unmasked(index);
+        let mut seen = vec![false; index.vertex_count()];
+        let mut stack = vec![e];
+        seen[e.index()] = true;
+        let mut out = Vec::new();
+        while let Some(v) = stack.pop() {
+            for w in view.downstream(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    out.push(w);
+                    stack.push(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Export to the PROV-JSON-style interchange format.
+    pub fn export_json(&self) -> String {
+        prov_store::json::to_json_string(&self.graph)
+    }
+
+    /// Import from the interchange format.
+    pub fn import_json(data: &str) -> StoreResult<ProvDb> {
+        let graph = prov_store::json::from_json_string(data)?;
+        let mut versions = std::collections::HashMap::new();
+        for v in graph.vertices_of_kind(VertexKind::Entity) {
+            if let (Some(name), Some(ver)) = (
+                graph.vprop(*v, "filename").and_then(|p| p.as_str().map(str::to_string)),
+                graph.vprop(*v, "version").and_then(|p| p.as_int()),
+            ) {
+                let slot = versions.entry(name).or_insert(0u32);
+                *slot = (*slot).max(ver as u32);
+            }
+        }
+        Ok(ProvDb { graph, index: None, versions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_project() -> (ProvDb, VertexId, VertexId) {
+        let mut db = ProvDb::new();
+        let alice = db.add_agent("alice");
+        let data = db.add_artifact_version("dataset", Some(alice)).unwrap();
+        let out = db
+            .record_activity(ActivityRecord {
+                command: "train".into(),
+                agent: Some(alice),
+                inputs: vec![data],
+                outputs: vec![
+                    OutputSpec::named("weights").with("acc", 0.7),
+                    OutputSpec::named("log"),
+                ],
+                props: vec![("opt".into(), "-gpu".into())],
+            })
+            .unwrap();
+        (db, data, out.outputs[0])
+    }
+
+    #[test]
+    fn ingestion_builds_prov_structure() {
+        let (db, data, weights) = small_project();
+        let g = db.graph();
+        assert_eq!(g.kind_count(VertexKind::Entity), 3);
+        assert_eq!(g.kind_count(VertexKind::Activity), 1);
+        assert_eq!(g.vertex_name(weights), Some("weights-v1"));
+        assert_eq!(g.vprop(weights, "acc").and_then(|v| v.as_float()), Some(0.7));
+        assert_eq!(g.vertex_name(data), Some("dataset-v1"));
+        g.validate_acyclic().unwrap();
+    }
+
+    #[test]
+    fn versioning_links_derivations() {
+        let (mut db, data, w1) = small_project();
+        let out = db
+            .record_activity(ActivityRecord {
+                command: "train".into(),
+                agent: None,
+                inputs: vec![data],
+                outputs: vec![OutputSpec::named("weights").with("acc", 0.75)],
+                props: vec![],
+            })
+            .unwrap();
+        let w2 = out.outputs[0];
+        assert_eq!(db.graph().vertex_name(w2), Some("weights-v2"));
+        assert_eq!(db.latest_version("weights"), Some(w2));
+        // D edge w2 -> w1 exists.
+        let derived: Vec<VertexId> = db
+            .graph()
+            .out_neighbors(w2, prov_model::EdgeKind::WasDerivedFrom)
+            .collect();
+        assert_eq!(derived, vec![w1]);
+    }
+
+    #[test]
+    fn lineage_queries() {
+        let (mut db, data, weights) = small_project();
+        let anc = db.ancestors_of(weights);
+        assert!(anc.contains(&data));
+        let desc = db.descendants_of(data);
+        assert!(desc.contains(&weights));
+        assert!(!db.ancestors_of(data).contains(&weights));
+    }
+
+    #[test]
+    fn segment_and_summarize_roundtrip() {
+        let (mut db, data, weights) = small_project();
+        let seg = db
+            .segment(PgSegQuery::between(vec![data], vec![weights]), &PgSegOptions::default())
+            .unwrap();
+        assert!(seg.vertex_count() >= 3);
+        let psg = db.summarize(&[SegmentRef::from(&seg)], &PgSumQuery::fig2e());
+        assert!(psg.vertex_count() >= 3);
+        assert!(psg.compaction_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_versions() {
+        let (db, ..) = small_project();
+        let json = db.export_json();
+        let mut db2 = ProvDb::import_json(&json).unwrap();
+        assert_eq!(db2.graph().vertex_count(), db.graph().vertex_count());
+        // Version counters restored: the next weights version is v2.
+        let out = db2
+            .record_activity(ActivityRecord {
+                command: "train".into(),
+                agent: None,
+                inputs: vec![],
+                outputs: vec![OutputSpec::named("weights")],
+                props: vec![],
+            })
+            .unwrap();
+        assert_eq!(db2.graph().vertex_name(out.outputs[0]), Some("weights-v2"));
+    }
+
+    #[test]
+    fn entity_lookup_by_versioned_name() {
+        let (db, data, _) = small_project();
+        assert_eq!(db.entity("dataset-v1"), Some(data));
+        assert_eq!(db.entity("dataset-v9"), None);
+    }
+}

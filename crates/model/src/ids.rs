@@ -1,0 +1,113 @@
+//! Dense typed identifiers.
+//!
+//! Vertices and edges are addressed by dense `u32` ids, mirroring the paper's
+//! assumption that "both nodes and edges are accessed via their id" in constant
+//! time (Sec. III-B, Neo4j's physical storage). Dense ids double as indexes into
+//! the columnar arrays of `prov-store` and as elements of the `prov-bitset` fact
+//! tables.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw value as a `usize` array index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// Identifier of a vertex (entity, activity or agent) in a provenance graph.
+    VertexId,
+    "v"
+);
+
+dense_id!(
+    /// Identifier of an edge (relationship) in a provenance graph.
+    EdgeId,
+    "e"
+);
+
+dense_id!(
+    /// Interned identifier of a property key (schema-later property names).
+    PropKeyId,
+    "k"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(VertexId::new(3).to_string(), "v3");
+        assert_eq!(EdgeId::new(0).to_string(), "e0");
+        assert_eq!(PropKeyId::new(7).to_string(), "k7");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v: VertexId = 42u32.into();
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(v.index(), 42usize);
+        assert_eq!(v.raw(), 42u32);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        let mut ids = vec![EdgeId::new(5), EdgeId::new(1), EdgeId::new(3)];
+        ids.sort();
+        assert_eq!(ids, vec![EdgeId::new(1), EdgeId::new(3), EdgeId::new(5)]);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let v = VertexId::new(9);
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(json, "9");
+        let back: VertexId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

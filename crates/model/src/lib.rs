@@ -1,0 +1,104 @@
+//! W3C PROV core data model for data science lifecycle provenance.
+//!
+//! This crate defines the vocabulary of Definition 1 in the paper: a provenance
+//! graph is a DAG `G(V, E, λv, λe, σ, ω)` with
+//!
+//! * three vertex types `V = E ∪ A ∪ U` — [`VertexKind::Entity`],
+//!   [`VertexKind::Activity`], [`VertexKind::Agent`];
+//! * five edge types `E = U ∪ G ∪ S ∪ A ∪ D` — [`EdgeKind::Used`],
+//!   [`EdgeKind::WasGeneratedBy`], [`EdgeKind::WasAssociatedWith`],
+//!   [`EdgeKind::WasAttributedTo`], [`EdgeKind::WasDerivedFrom`];
+//! * total label functions `λv`, `λe` (the `kind` of each record);
+//! * partial property functions `σ` (vertex properties) and `ω` (edge
+//!   properties), represented as schema-later key/value pairs
+//!   ([`PropValue`], [`PropMap`]).
+//!
+//! The crate is deliberately storage-agnostic: the actual graph container lives
+//! in `prov-store`. Here we keep the typed ids, the kind/label vocabulary, the
+//! PROV domain/range rules ([`EdgeKind::endpoints`]) and the W3C PROV term names
+//! used by the JSON interchange format.
+
+pub mod ids;
+pub mod kind;
+pub mod property;
+
+pub use ids::{EdgeId, PropKeyId, VertexId};
+pub use kind::{EdgeKind, VertexKind};
+pub use property::{PropMap, PropValue};
+
+/// Error raised when an edge would violate the PROV domain/range rules of
+/// Sec. II-A (e.g. a `used` edge must go from an Activity to an Entity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeTypeError {
+    /// The offending relationship type.
+    pub kind: EdgeKind,
+    /// Kind of the proposed source vertex.
+    pub src: VertexKind,
+    /// Kind of the proposed destination vertex.
+    pub dst: VertexKind,
+}
+
+impl std::fmt::Display for EdgeTypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (want_src, want_dst) = self.kind.endpoints();
+        write!(
+            f,
+            "edge type {:?} requires {:?} -> {:?}, got {:?} -> {:?}",
+            self.kind, want_src, want_dst, self.src, self.dst
+        )
+    }
+}
+
+impl std::error::Error for EdgeTypeError {}
+
+/// Validate the PROV domain/range rule for a single edge.
+pub fn check_edge_types(
+    kind: EdgeKind,
+    src: VertexKind,
+    dst: VertexKind,
+) -> Result<(), EdgeTypeError> {
+    let (want_src, want_dst) = kind.endpoints();
+    if src == want_src && dst == want_dst {
+        Ok(())
+    } else {
+        Err(EdgeTypeError { kind, src, dst })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn used_edge_must_be_activity_to_entity() {
+        assert!(check_edge_types(EdgeKind::Used, VertexKind::Activity, VertexKind::Entity).is_ok());
+        let err = check_edge_types(EdgeKind::Used, VertexKind::Entity, VertexKind::Activity)
+            .unwrap_err();
+        assert_eq!(err.kind, EdgeKind::Used);
+        assert!(err.to_string().contains("Used"));
+    }
+
+    #[test]
+    fn all_edge_kinds_accept_their_declared_endpoints() {
+        for kind in EdgeKind::ALL {
+            let (s, d) = kind.endpoints();
+            assert!(check_edge_types(kind, s, d).is_ok());
+        }
+    }
+
+    #[test]
+    fn derivation_is_entity_to_entity() {
+        assert!(check_edge_types(
+            EdgeKind::WasDerivedFrom,
+            VertexKind::Entity,
+            VertexKind::Entity
+        )
+        .is_ok());
+        assert!(check_edge_types(
+            EdgeKind::WasDerivedFrom,
+            VertexKind::Activity,
+            VertexKind::Entity
+        )
+        .is_err());
+    }
+}

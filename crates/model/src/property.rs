@@ -1,0 +1,268 @@
+//! Schema-later properties (`σ`, `ω` of Definition 1).
+//!
+//! Provenance records ingested during activity executions are key/value pairs
+//! with no predefined schema (Sec. I, II). Keys are interned to [`PropKeyId`]
+//! by the store; values are a small dynamic type.
+
+use crate::ids::PropKeyId;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A property value (`O` in Definition 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum PropValue {
+    /// String value (interned cheaply via `Arc<str>`).
+    Str(Arc<str>),
+    /// 64-bit integer value.
+    Int(i64),
+    /// 64-bit float value (e.g. `acc: 0.75`).
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl PropValue {
+    /// String content, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            PropValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Float content; integers are widened.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            PropValue::Float(f) => Some(*f),
+            PropValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for PropValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PropValue::Str(a), PropValue::Str(b)) => a == b,
+            (PropValue::Int(a), PropValue::Int(b)) => a == b,
+            // Floats compare by bit pattern so that PropValue is usable as a
+            // grouping key in summarization (NaN == NaN for our purposes).
+            (PropValue::Float(a), PropValue::Float(b)) => a.to_bits() == b.to_bits(),
+            (PropValue::Bool(a), PropValue::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PropValue {}
+
+impl std::hash::Hash for PropValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            PropValue::Str(s) => {
+                state.write_u8(0);
+                s.hash(state);
+            }
+            PropValue::Int(i) => {
+                state.write_u8(1);
+                i.hash(state);
+            }
+            PropValue::Float(f) => {
+                state.write_u8(2);
+                f.to_bits().hash(state);
+            }
+            PropValue::Bool(b) => {
+                state.write_u8(3);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PropValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropValue::Str(s) => write!(f, "{s}"),
+            PropValue::Int(i) => write!(f, "{i}"),
+            PropValue::Float(x) => write!(f, "{x}"),
+            PropValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(s: &str) -> Self {
+        PropValue::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for PropValue {
+    fn from(s: String) -> Self {
+        PropValue::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(i: i64) -> Self {
+        PropValue::Int(i)
+    }
+}
+
+impl From<f64> for PropValue {
+    fn from(f: f64) -> Self {
+        PropValue::Float(f)
+    }
+}
+
+impl From<bool> for PropValue {
+    fn from(b: bool) -> Self {
+        PropValue::Bool(b)
+    }
+}
+
+/// A small sorted association list from interned keys to values.
+///
+/// Vertices/edges carry a handful of properties each, so a sorted `Vec` beats a
+/// hash map on both memory and lookup time (see the perf-book guidance on small
+/// collections).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropMap {
+    entries: Vec<(PropKeyId, PropValue)>,
+}
+
+impl PropMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no property is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or overwrite a property; returns the previous value if any.
+    pub fn set(&mut self, key: PropKeyId, value: PropValue) -> Option<PropValue> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Look up a property (`σ(v, p)` / `ω(e, p)`; `None` encodes partiality).
+    pub fn get(&self, key: PropKeyId) -> Option<&PropValue> {
+        self.entries
+            .binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Remove a property, returning it if present.
+    pub fn unset(&mut self, key: PropKeyId) -> Option<PropValue> {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterate `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (PropKeyId, &PropValue)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+impl FromIterator<(PropKeyId, PropValue)> for PropMap {
+    fn from_iter<T: IntoIterator<Item = (PropKeyId, PropValue)>>(iter: T) -> Self {
+        let mut m = PropMap::new();
+        for (k, v) in iter {
+            m.set(k, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: u32) -> PropKeyId {
+        PropKeyId::new(i)
+    }
+
+    #[test]
+    fn set_get_unset() {
+        let mut m = PropMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.set(k(2), "x".into()), None);
+        assert_eq!(m.set(k(1), 7i64.into()), None);
+        assert_eq!(m.get(k(1)), Some(&PropValue::Int(7)));
+        assert_eq!(m.get(k(2)).and_then(|v| v.as_str()), Some("x"));
+        assert_eq!(m.get(k(3)), None);
+        // Overwrite returns old value.
+        assert_eq!(m.set(k(1), 8i64.into()), Some(PropValue::Int(7)));
+        assert_eq!(m.unset(k(1)), Some(PropValue::Int(8)));
+        assert_eq!(m.unset(k(1)), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let m: PropMap =
+            [(k(5), PropValue::Bool(true)), (k(1), PropValue::Int(1)), (k(3), "a".into())]
+                .into_iter()
+                .collect();
+        let keys: Vec<u32> = m.iter().map(|(key, _)| key.raw()).collect();
+        assert_eq!(keys, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(PropValue::from("s").as_str(), Some("s"));
+        assert_eq!(PropValue::from(3i64).as_int(), Some(3));
+        assert_eq!(PropValue::from(3i64).as_float(), Some(3.0));
+        assert_eq!(PropValue::from(0.5).as_float(), Some(0.5));
+        assert_eq!(PropValue::from(true).as_bool(), Some(true));
+        assert_eq!(PropValue::from("s").as_int(), None);
+    }
+
+    #[test]
+    fn float_equality_is_bitwise() {
+        assert_eq!(PropValue::Float(f64::NAN), PropValue::Float(f64::NAN));
+        assert_ne!(PropValue::Float(0.1), PropValue::Float(0.2));
+        // Int and Float never compare equal even for same numeric value.
+        assert_ne!(PropValue::Int(1), PropValue::Float(1.0));
+    }
+
+    #[test]
+    fn display_renders_scalar() {
+        assert_eq!(PropValue::from("vgg16").to_string(), "vgg16");
+        assert_eq!(PropValue::from(20000i64).to_string(), "20000");
+        assert_eq!(PropValue::from(0.75).to_string(), "0.75");
+        assert_eq!(PropValue::from(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,434 @@
+//! `SimProvAlg`: worklist evaluation of the rewritten Fig. 4 grammar.
+//!
+//! Compared with running generic CflrB on the Fig. 6 normal form, SimProvAlg
+//! exploits three properties (Sec. III-B):
+//!
+//! 1. **Combined rules** — `Aa → G⁻¹ Ee G` fuses the two normal-form rules
+//!    `Lg → G⁻¹ Re` and `Rg → Lg G`, so no `Lg/Rg/...` intermediate facts ever
+//!    enter the worklist: a popped `Ee(e1,e2)` directly produces activity
+//!    pairs over the generator adjacency, and a popped `Aa(a1,a2)` directly
+//!    produces entity pairs over the input adjacency.
+//! 2. **Symmetry** — `Ee` and `Aa` are symmetric relations, so only canonical
+//!    pairs (`rank(x) ≤ rank(y)`) are stored and processed (the paper's
+//!    pruning strategy; toggleable for the Fig. 5(d)-style ablation).
+//! 3. **Early stopping** — a pair whose endpoints are both older than every
+//!    source entity can never extend to an accepting fact (expansion only
+//!    moves further upstream, i.e. strictly older), so it is not expanded.
+//!    PROV-specific: generic CFLR cannot use source information.
+//!
+//! Facts live in per-kind rank universes (dense entity/activity ids), so the
+//! `FixedBitSet` tables take `O(|E|²/w + |A|²/w)` bits and the compressed
+//! variant trades random-access speed for memory exactly as in the paper.
+
+use crate::outcome::{EvalStats, SimilarOutcome};
+use crate::view::MaskedGraph;
+use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
+use prov_model::{VertexId, VertexKind};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Configuration for [`similar_alg`].
+#[derive(Debug, Clone, Default)]
+pub struct AlgConfig {
+    /// Store/process only canonical (ordered) pairs of the symmetric
+    /// relations (`Default::default()` turns this on).
+    pub symmetric_prune: bool,
+    /// Apply the temporal early-stopping rule (on by default).
+    pub early_stop: bool,
+    /// Property-constrained similarity (Sec. III-A's generalization): the two
+    /// matched path sides must also agree on these property values at every
+    /// step. E.g. the "same command" table realizes the rewritten rule
+    /// `Ee → U⁻¹ σ(ai, command) Aa σ(aj, command) U` — only activity pairs
+    /// running the same command count as similar. `None` = plain SimProv.
+    pub constraint: Option<ConstraintTable>,
+}
+
+impl AlgConfig {
+    /// The paper's default configuration (both optimizations on, plain
+    /// label-based SimProv). Same as `Default::default()`… except that the
+    /// derived default would turn the optimizations *off*; use this.
+    pub fn paper_default() -> Self {
+        AlgConfig { symmetric_prune: true, early_stop: true, constraint: None }
+    }
+}
+
+/// Per-vertex property fingerprints compiled from a [`SimilarConstraint`].
+#[derive(Debug, Clone)]
+pub struct ConstraintTable {
+    /// Fingerprint per vertex (activities constrained by `activity_prop`,
+    /// entities by `entity_prop`; unconstrained kinds and missing values get
+    /// fixed sentinels so that "both missing" still matches).
+    fp: Vec<u64>,
+}
+
+impl ConstraintTable {
+    /// Fingerprint of a vertex.
+    #[inline]
+    pub fn fp(&self, v: VertexId) -> u64 {
+        self.fp[v.index()]
+    }
+}
+
+/// Fine-grained similarity constraints over property values (`σ`).
+#[derive(Debug, Clone, Default)]
+pub struct SimilarConstraint {
+    /// Matched activities must share this property's value.
+    pub activity_prop: Option<String>,
+    /// Matched entities must share this property's value.
+    pub entity_prop: Option<String>,
+}
+
+impl SimilarConstraint {
+    /// No constraint (plain SimProv).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The paper's example: matched activities must run the same command.
+    pub fn same_command() -> Self {
+        SimilarConstraint { activity_prop: Some("command".into()), entity_prop: None }
+    }
+
+    /// True when no property constraint is active.
+    pub fn is_empty(&self) -> bool {
+        self.activity_prop.is_none() && self.entity_prop.is_none()
+    }
+
+    /// Compile against a graph into per-vertex fingerprints.
+    pub fn compile(&self, graph: &prov_store::ProvGraph) -> ConstraintTable {
+        use prov_store::hash::fx_hash64;
+        let fp = graph
+            .vertex_ids()
+            .map(|v| {
+                let key = match graph.vertex_kind(v) {
+                    VertexKind::Activity => self.activity_prop.as_deref(),
+                    VertexKind::Entity => self.entity_prop.as_deref(),
+                    VertexKind::Agent => None,
+                };
+                match key {
+                    None => 0u64, // unconstrained kind: always matches
+                    Some(k) => match graph.vprop(v, k) {
+                        Some(val) => fx_hash64(&(1u8, val)),
+                        None => fx_hash64(&2u8), // "missing" matches "missing"
+                    },
+                }
+            })
+            .collect();
+        ConstraintTable { fp }
+    }
+}
+
+/// A pair relation over a dense rank universe, row- and column-indexed.
+struct PairRel<S: FastSet> {
+    rows: Vec<Option<S>>,
+    cols: Vec<Option<S>>,
+    universe: usize,
+    len: usize,
+}
+
+impl<S: FastSet> PairRel<S> {
+    fn new(universe: usize) -> Self {
+        PairRel {
+            rows: (0..universe).map(|_| None).collect(),
+            cols: (0..universe).map(|_| None).collect(),
+            universe,
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, i: u32, j: u32) -> bool {
+        let u = self.universe;
+        let row = self.rows[i as usize].get_or_insert_with(|| S::with_universe(u));
+        if !row.insert(j) {
+            return false;
+        }
+        self.cols[j as usize].get_or_insert_with(|| S::with_universe(u)).insert(i);
+        self.len += 1;
+        true
+    }
+
+    fn partners(&self, r: u32, out: &mut Vec<u32>) {
+        if let Some(row) = &self.rows[r as usize] {
+            out.extend(row.iter_elems());
+        }
+        if let Some(col) = &self.cols[r as usize] {
+            out.extend(col.iter_elems());
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .chain(self.cols.iter())
+            .filter_map(|s| s.as_ref().map(|s| s.heap_bytes()))
+            .sum()
+    }
+}
+
+/// Evaluate `L(SimProv)`-reachability with SimProvAlg over fact tables `S`.
+pub fn similar_alg<S: FastSet>(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+) -> SimilarOutcome {
+    let t0 = Instant::now();
+    let idx = view.index();
+    let entities = idx.kind_members(VertexKind::Entity);
+    let activities = idx.kind_members(VertexKind::Activity);
+    let (ne, na) = (entities.len(), activities.len());
+
+    let mut ee: PairRel<S> = PairRel::new(ne);
+    let mut aa: PairRel<S> = PairRel::new(na);
+    // Worklist entries: (is_ee, lo_rank, hi_rank).
+    let mut worklist: VecDeque<(bool, u32, u32)> = VecDeque::new();
+    let mut pops: u64 = 0;
+
+    let min_src_birth: Option<u64> = vsrc
+        .iter()
+        .filter(|&&s| s.index() < idx.vertex_count() && view.vertex_ok(s))
+        .map(|&s| idx.birth(s))
+        .min()
+        .filter(|_| cfg.early_stop);
+
+    let canon = |i: u32, j: u32| if i <= j { (i, j) } else { (j, i) };
+
+    // Init: Ee(vj, vj) anchors.
+    for &vj in vdst {
+        if vj.index() < idx.vertex_count()
+            && view.vertex_ok(vj)
+            && idx.kind(vj) == VertexKind::Entity
+        {
+            let r = idx.kind_rank(vj);
+            if ee.insert(r, r) {
+                worklist.push_back((true, r, r));
+            }
+        }
+    }
+
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    while let Some((is_ee, lo, hi)) = worklist.pop_front() {
+        pops += 1;
+        if is_ee {
+            let (e1, e2) = (entities[lo as usize], entities[hi as usize]);
+            if let Some(minb) = min_src_birth {
+                if idx.birth(e1) < minb && idx.birth(e2) < minb {
+                    continue; // early stop: both older than every source
+                }
+            }
+            scratch.clear();
+            for a1 in view.generators_of(e1) {
+                for a2 in view.generators_of(e2) {
+                    if let Some(table) = &cfg.constraint {
+                        if table.fp(a1) != table.fp(a2) {
+                            continue; // σ(a1, p0) ≠ σ(a2, p0)
+                        }
+                    }
+                    let (r1, r2) = (idx.kind_rank(a1), idx.kind_rank(a2));
+                    let pair = if cfg.symmetric_prune { canon(r1, r2) } else { (r1, r2) };
+                    scratch.push(pair);
+                    if !cfg.symmetric_prune && r1 != r2 {
+                        scratch.push((r2, r1));
+                    }
+                }
+            }
+            for &(i, j) in &scratch {
+                if aa.insert(i, j) {
+                    worklist.push_back((false, i, j));
+                }
+            }
+        } else {
+            let (a1, a2) = (activities[lo as usize], activities[hi as usize]);
+            if let Some(minb) = min_src_birth {
+                if idx.birth(a1) < minb && idx.birth(a2) < minb {
+                    continue;
+                }
+            }
+            scratch.clear();
+            for e1 in view.inputs_of(a1) {
+                for e2 in view.inputs_of(a2) {
+                    if let Some(table) = &cfg.constraint {
+                        if table.fp(e1) != table.fp(e2) {
+                            continue;
+                        }
+                    }
+                    let (r1, r2) = (idx.kind_rank(e1), idx.kind_rank(e2));
+                    let pair = if cfg.symmetric_prune { canon(r1, r2) } else { (r1, r2) };
+                    scratch.push(pair);
+                    if !cfg.symmetric_prune && r1 != r2 {
+                        scratch.push((r2, r1));
+                    }
+                }
+            }
+            for &(i, j) in &scratch {
+                if ee.insert(i, j) {
+                    worklist.push_back((true, i, j));
+                }
+            }
+        }
+    }
+
+    // Answer: partners of each source in the Ee relation.
+    let mut marks = vec![false; idx.vertex_count()];
+    let mut buf: Vec<u32> = Vec::new();
+    for &src in vsrc {
+        if src.index() >= idx.vertex_count()
+            || !view.vertex_ok(src)
+            || idx.kind(src) != VertexKind::Entity
+        {
+            continue;
+        }
+        buf.clear();
+        ee.partners(idx.kind_rank(src), &mut buf);
+        for &r in &buf {
+            marks[entities[r as usize].index()] = true;
+        }
+    }
+    let answer = crate::outcome::marks_to_vec(&marks);
+    let mem = ee.heap_bytes() + aa.heap_bytes();
+    SimilarOutcome {
+        answer,
+        vc2: None,
+        stats: EvalStats {
+            elapsed: t0.elapsed(),
+            work: pops + (ee.len + aa.len) as u64,
+            memory_bytes: mem,
+            dnf: false,
+        },
+    }
+}
+
+/// SimProvAlg with `FixedBitSet` fact tables (the paper's default).
+pub fn similar_alg_bitset(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+) -> SimilarOutcome {
+    similar_alg::<FixedBitSet>(view, vsrc, vdst, cfg)
+}
+
+/// SimProvAlg with compressed-bitmap fact tables (`w CBM`).
+pub fn similar_alg_cbm(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+) -> SimilarOutcome {
+    similar_alg::<CompressedBitmap>(view, vsrc, vdst, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tst::{similar_tst, TstConfig};
+    use prov_model::EdgeKind;
+    use prov_store::{ProvGraph, ProvIndex};
+
+    fn shared_dst() -> (ProvGraph, ProvIndex, Vec<VertexId>) {
+        // d <-U- t1 <-G- m1 ; d <-U- t2 <-G- m2 ; {m1,m2} <-U- t3 <-G- w
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("d");
+        let t1 = g.add_activity("t1");
+        let m1 = g.add_entity("m1");
+        let t2 = g.add_activity("t2");
+        let m2 = g.add_entity("m2");
+        let t3 = g.add_activity("t3");
+        let w = g.add_entity("w");
+        g.add_edge(EdgeKind::Used, t1, d).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, m1, t1).unwrap();
+        g.add_edge(EdgeKind::Used, t2, d).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, m2, t2).unwrap();
+        g.add_edge(EdgeKind::Used, t3, m1).unwrap();
+        g.add_edge(EdgeKind::Used, t3, m2).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, w, t3).unwrap();
+        let idx = ProvIndex::build(&g);
+        let ids = vec![d, t1, m1, t2, m2, t3, w];
+        (g, idx, ids)
+    }
+
+    #[test]
+    fn alg_finds_similar_siblings() {
+        let (_, idx, ids) = shared_dst();
+        let view = MaskedGraph::unmasked(&idx);
+        let (m1, m2, w) = (ids[2], ids[4], ids[6]);
+        let out = similar_alg_bitset(&view, &[m1], &[w], &AlgConfig::paper_default());
+        assert_eq!(out.answer, vec![m1, m2]);
+        assert!(out.vc2.is_none());
+        assert!(out.stats.work > 0);
+    }
+
+    #[test]
+    fn alg_agrees_with_tst_on_all_query_shapes() {
+        let (_, idx, ids) = shared_dst();
+        let view = MaskedGraph::unmasked(&idx);
+        let entity_ids: Vec<_> =
+            ids.iter().copied().filter(|&v| idx.kind(v) == VertexKind::Entity).collect();
+        for &src in &entity_ids {
+            for &dst in &entity_ids {
+                let a = similar_alg_bitset(&view, &[src], &[dst], &AlgConfig::paper_default());
+                let t = similar_tst(&view, &[src], &[dst], &TstConfig::default());
+                assert_eq!(a.answer, t.answer, "src={src} dst={dst}");
+            }
+        }
+        // Multi-source multi-destination.
+        let a = similar_alg_bitset(
+            &view,
+            &[entity_ids[0], entity_ids[1]],
+            &[entity_ids[3], entity_ids[2]],
+            &AlgConfig::paper_default(),
+        );
+        let t = similar_tst(
+            &view,
+            &[entity_ids[0], entity_ids[1]],
+            &[entity_ids[3], entity_ids[2]],
+            &TstConfig::default(),
+        );
+        assert_eq!(a.answer, t.answer);
+    }
+
+    #[test]
+    fn pruning_variants_agree() {
+        let (_, idx, ids) = shared_dst();
+        let view = MaskedGraph::unmasked(&idx);
+        let (d, w) = (ids[0], ids[6]);
+        let configs = [
+            AlgConfig { symmetric_prune: true, early_stop: true, constraint: None },
+            AlgConfig { symmetric_prune: true, early_stop: false, constraint: None },
+            AlgConfig { symmetric_prune: false, early_stop: true, constraint: None },
+            AlgConfig { symmetric_prune: false, early_stop: false, constraint: None },
+        ];
+        let expect = similar_alg_bitset(&view, &[d], &[w], &configs[0]).answer;
+        for cfg in &configs[1..] {
+            assert_eq!(similar_alg_bitset(&view, &[d], &[w], cfg).answer, expect, "{cfg:?}");
+        }
+        // Pruned run does less or equal work than unpruned.
+        let pruned = similar_alg_bitset(&view, &[d], &[w], &configs[0]);
+        let unpruned = similar_alg_bitset(&view, &[d], &[w], &configs[3]);
+        assert!(pruned.stats.work <= unpruned.stats.work);
+    }
+
+    #[test]
+    fn cbm_backend_agrees_with_bitset() {
+        let (_, idx, ids) = shared_dst();
+        let view = MaskedGraph::unmasked(&idx);
+        let (d, w) = (ids[0], ids[6]);
+        let b = similar_alg_bitset(&view, &[d], &[w], &AlgConfig::paper_default());
+        let c = similar_alg_cbm(&view, &[d], &[w], &AlgConfig::paper_default());
+        assert_eq!(b.answer, c.answer);
+    }
+
+    #[test]
+    fn non_entity_and_out_of_range_inputs_are_ignored() {
+        let (_, idx, ids) = shared_dst();
+        let view = MaskedGraph::unmasked(&idx);
+        let t1 = ids[1]; // activity: invalid as src/dst
+        let out = similar_alg_bitset(&view, &[t1], &[ids[6]], &AlgConfig::paper_default());
+        assert!(out.answer.is_empty());
+        let out =
+            similar_alg_bitset(&view, &[VertexId::new(999)], &[ids[6]], &AlgConfig::paper_default());
+        assert!(out.answer.is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Boundary criteria `B` of a PgSeg query (Sec. III-A.3).
+//!
+//! Boundaries come in two flavours:
+//!
+//! * **Exclusion constraints** — boolean functions `bv : V → {0,1}`,
+//!   `be : E → {0,1}`. A vertex/edge failing any exclusion predicate is mapped
+//!   to the empty word `ε`, i.e. removed from every path the similarity
+//!   language can use. Expressed here as composable [`VertexPred`] /
+//!   [`EdgePred`] values covering the paper's examples (ownership/who, time
+//!   intervals/when, project steps/where, plus custom closures), compiled once
+//!   per query into a dense [`Mask`].
+//! * **Expansion specifications** — `Bx = {bx(Vx, k)}`: include the ancestry
+//!   paths within `k` activities (2k hops over `G⁻¹`/`U⁻¹`) of the given
+//!   entities ([`Expansion`]); evaluated in the adjust step.
+
+use prov_model::{EdgeId, EdgeKind, PropValue, VertexId, VertexKind};
+use prov_store::ProvGraph;
+use std::sync::Arc;
+
+/// Custom vertex predicate function type.
+pub type VertexFn = Arc<dyn Fn(&ProvGraph, VertexId) -> bool + Send + Sync>;
+
+/// Custom edge predicate function type.
+pub type EdgeFn = Arc<dyn Fn(&ProvGraph, EdgeId) -> bool + Send + Sync>;
+
+/// A vertex exclusion predicate (`bv`). Vertices *failing* any predicate are
+/// excluded (label mapped to ε).
+#[derive(Clone)]
+pub enum VertexPred {
+    /// Keep only vertices whose birth lies in `[from, to)` — the "when"
+    /// boundary (time intervals).
+    BirthIn {
+        /// Inclusive lower bound.
+        from: u64,
+        /// Exclusive upper bound.
+        to: u64,
+    },
+    /// Keep only vertices whose property `key` equals `value` — the "where"
+    /// boundary (project steps, versions, file path patterns).
+    PropEq {
+        /// Property key name.
+        key: String,
+        /// Required value.
+        value: PropValue,
+    },
+    /// Keep only vertices whose name starts with the prefix.
+    NamePrefix(String),
+    /// Drop vertices of this kind.
+    ExcludeKind(VertexKind),
+    /// Arbitrary predicate (true = keep).
+    Custom(VertexFn),
+}
+
+impl std::fmt::Debug for VertexPred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VertexPred::BirthIn { from, to } => write!(f, "BirthIn[{from},{to})"),
+            VertexPred::PropEq { key, value } => write!(f, "PropEq({key}={value})"),
+            VertexPred::NamePrefix(p) => write!(f, "NamePrefix({p})"),
+            VertexPred::ExcludeKind(k) => write!(f, "ExcludeKind({k:?})"),
+            VertexPred::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl VertexPred {
+    /// Evaluate: true = keep the vertex.
+    pub fn keep(&self, graph: &ProvGraph, v: VertexId) -> bool {
+        match self {
+            VertexPred::BirthIn { from, to } => {
+                let b = graph.vertex(v).birth;
+                *from <= b && b < *to
+            }
+            VertexPred::PropEq { key, value } => graph.vprop(v, key) == Some(value),
+            VertexPred::NamePrefix(p) => {
+                graph.vertex_name(v).is_some_and(|n| n.starts_with(p.as_str()))
+            }
+            VertexPred::ExcludeKind(k) => graph.vertex_kind(v) != *k,
+            VertexPred::Custom(f) => f(graph, v),
+        }
+    }
+}
+
+/// An edge exclusion predicate (`be`).
+#[derive(Clone)]
+pub enum EdgePred {
+    /// Drop edges of this kind (e.g. Q1/Q2 exclude `A` and `D` edges).
+    ExcludeKind(EdgeKind),
+    /// Keep only edges whose property `key` equals `value`.
+    PropEq {
+        /// Property key name.
+        key: String,
+        /// Required value.
+        value: PropValue,
+    },
+    /// Arbitrary predicate (true = keep).
+    Custom(EdgeFn),
+}
+
+impl std::fmt::Debug for EdgePred {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgePred::ExcludeKind(k) => write!(f, "ExcludeKind({k:?})"),
+            EdgePred::PropEq { key, value } => write!(f, "PropEq({key}={value})"),
+            EdgePred::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl EdgePred {
+    /// Evaluate: true = keep the edge.
+    pub fn keep(&self, graph: &ProvGraph, e: EdgeId) -> bool {
+        match self {
+            EdgePred::ExcludeKind(k) => graph.edge(e).kind != *k,
+            EdgePred::PropEq { key, value } => graph.eprop(e, key) == Some(value),
+            EdgePred::Custom(f) => f(graph, e),
+        }
+    }
+}
+
+/// An expansion specification `bx(Vx, k)`: include ancestry within `k`
+/// activities (2k hops) of the entities in `roots`.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// Entities to expand from (must already be in the segment to matter).
+    pub roots: Vec<VertexId>,
+    /// Number of activities away (2k edge hops over ancestry edges).
+    pub k: u32,
+}
+
+/// The boundary criteria `B` of a PgSeg query.
+#[derive(Debug, Clone, Default)]
+pub struct Boundary {
+    /// Vertex exclusion predicates (`Bv`), conjunctive.
+    pub vertex_preds: Vec<VertexPred>,
+    /// Edge exclusion predicates (`Be`), conjunctive.
+    pub edge_preds: Vec<EdgePred>,
+    /// Expansion specifications (`Bx`).
+    pub expansions: Vec<Expansion>,
+}
+
+impl Boundary {
+    /// No boundary: everything included, nothing expanded.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a vertex predicate.
+    pub fn with_vertex_pred(mut self, p: VertexPred) -> Self {
+        self.vertex_preds.push(p);
+        self
+    }
+
+    /// Add an edge predicate.
+    pub fn with_edge_pred(mut self, p: EdgePred) -> Self {
+        self.edge_preds.push(p);
+        self
+    }
+
+    /// Exclude edge kinds (convenience for the common `exclude: A, D` case).
+    pub fn without_edge_kinds(mut self, kinds: &[EdgeKind]) -> Self {
+        for &k in kinds {
+            self.edge_preds.push(EdgePred::ExcludeKind(k));
+        }
+        self
+    }
+
+    /// Add an expansion `bx(Vx, k)`.
+    pub fn expand(mut self, roots: Vec<VertexId>, k: u32) -> Self {
+        self.expansions.push(Expansion { roots, k });
+        self
+    }
+
+    /// True when no exclusion predicate is present (mask compilation can be
+    /// skipped entirely).
+    pub fn has_exclusions(&self) -> bool {
+        !self.vertex_preds.is_empty() || !self.edge_preds.is_empty()
+    }
+
+    /// Compile the exclusion predicates into a dense [`Mask`].
+    pub fn compile(&self, graph: &ProvGraph) -> Mask {
+        let vertex_ok = graph
+            .vertex_ids()
+            .map(|v| self.vertex_preds.iter().all(|p| p.keep(graph, v)))
+            .collect();
+        let edge_ok = graph
+            .edge_ids()
+            .map(|e| self.edge_preds.iter().all(|p| p.keep(graph, e)))
+            .collect();
+        Mask { vertex_ok, edge_ok }
+    }
+}
+
+/// Compiled exclusion boundary: the label functions `Fv`/`Fe` of Sec. III-A.3
+/// in dense boolean form (false = label mapped to ε).
+#[derive(Debug, Clone)]
+pub struct Mask {
+    /// Per-vertex keep flag.
+    pub vertex_ok: Vec<bool>,
+    /// Per-edge keep flag.
+    pub edge_ok: Vec<bool>,
+}
+
+impl Mask {
+    /// A mask keeping everything (identity label function).
+    pub fn keep_all(graph: &ProvGraph) -> Mask {
+        Mask {
+            vertex_ok: vec![true; graph.vertex_count()],
+            edge_ok: vec![true; graph.edge_count()],
+        }
+    }
+
+    /// Is vertex `v` kept?
+    #[inline]
+    pub fn vertex(&self, v: VertexId) -> bool {
+        self.vertex_ok[v.index()]
+    }
+
+    /// Is edge `e` kept?
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> bool {
+        self.edge_ok[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (ProvGraph, VertexId, VertexId, VertexId, EdgeId, EdgeId) {
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("dataset-v1");
+        let t = g.add_activity("train-v1");
+        let w = g.add_entity("weights-v1");
+        let a = g.add_agent("alice");
+        g.set_vprop(t, "command", "train");
+        let e_used = g.add_edge(EdgeKind::Used, t, d).unwrap();
+        let e_attr = g.add_edge(EdgeKind::WasAttributedTo, d, a).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, w, t).unwrap();
+        (g, d, t, w, e_used, e_attr)
+    }
+
+    #[test]
+    fn birth_window_predicate() {
+        let (g, d, t, w, ..) = sample();
+        let p = VertexPred::BirthIn { from: 1, to: 3 };
+        assert!(!p.keep(&g, d)); // birth 0
+        assert!(p.keep(&g, t)); // birth 1
+        assert!(p.keep(&g, w)); // birth 2
+    }
+
+    #[test]
+    fn prop_and_name_predicates() {
+        let (g, d, t, ..) = sample();
+        let p = VertexPred::PropEq { key: "command".into(), value: "train".into() };
+        assert!(p.keep(&g, t));
+        assert!(!p.keep(&g, d));
+        let n = VertexPred::NamePrefix("dataset".into());
+        assert!(n.keep(&g, d));
+        assert!(!n.keep(&g, t));
+    }
+
+    #[test]
+    fn edge_kind_exclusion_compiles_to_mask() {
+        let (g, _, _, _, e_used, e_attr) = sample();
+        let b = Boundary::none().without_edge_kinds(&[EdgeKind::WasAttributedTo]);
+        let mask = b.compile(&g);
+        assert!(mask.edge(e_used));
+        assert!(!mask.edge(e_attr));
+        assert!(mask.vertex_ok.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn custom_predicates_apply() {
+        let (g, d, ..) = sample();
+        let b = Boundary::none().with_vertex_pred(VertexPred::Custom(Arc::new(|g, v| {
+            g.vertex_name(v) != Some("dataset-v1")
+        })));
+        let mask = b.compile(&g);
+        assert!(!mask.vertex(d));
+    }
+
+    #[test]
+    fn conjunction_of_predicates() {
+        let (g, ..) = sample();
+        let b = Boundary::none()
+            .with_vertex_pred(VertexPred::ExcludeKind(VertexKind::Agent))
+            .with_vertex_pred(VertexPred::BirthIn { from: 0, to: 2 });
+        let mask = b.compile(&g);
+        // Only d (birth 0, entity) and t (birth 1, activity) survive.
+        assert_eq!(mask.vertex_ok, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn keep_all_mask_and_expansion_builder() {
+        let (g, d, ..) = sample();
+        let mask = Mask::keep_all(&g);
+        assert!(mask.vertex(d));
+        let b = Boundary::none().expand(vec![d], 2);
+        assert_eq!(b.expansions.len(), 1);
+        assert_eq!(b.expansions[0].k, 2);
+        assert!(!b.has_exclusions());
+        assert!(Boundary::none().without_edge_kinds(&[EdgeKind::Used]).has_exclusions());
+    }
+}

@@ -1,0 +1,158 @@
+//! Tests for the property-constrained SimProv extension (Sec. III-A: "the
+//! induced path should use the same commands as the path from Vsrc to Vdst").
+
+use prov_model::{EdgeKind, VertexId};
+use prov_segment::{
+    similar_alg_bitset, similar_naive_constrained, AlgConfig, MaskedGraph, NaiveBudget,
+    SimilarConstraint,
+};
+use prov_store::{ProvGraph, ProvIndex};
+use proptest::prelude::*;
+
+/// Two rounds feed `w`: round A (`d -> t1"train" -> m1`) and round B
+/// (`d2 -> t2"finetune" -> m2`), merged by `t3` into `w`. With the
+/// same-command constraint, round A's deep side can no longer mirror round
+/// B's (t1 vs t2 disagree), so `d2` stops being similar to `d`.
+fn mixed_commands() -> (ProvGraph, ProvIndex, [VertexId; 8]) {
+    let mut g = ProvGraph::new();
+    let d = g.add_entity("d");
+    let d2 = g.add_entity("d2");
+    let t1 = g.add_activity("t1");
+    g.set_vprop(t1, "command", "train");
+    let m1 = g.add_entity("m1");
+    let t2 = g.add_activity("t2");
+    g.set_vprop(t2, "command", "finetune");
+    let m2 = g.add_entity("m2");
+    let t3 = g.add_activity("t3");
+    g.set_vprop(t3, "command", "train");
+    let w = g.add_entity("w");
+    g.add_edge(EdgeKind::Used, t1, d).unwrap();
+    g.add_edge(EdgeKind::WasGeneratedBy, m1, t1).unwrap();
+    g.add_edge(EdgeKind::Used, t2, d2).unwrap();
+    g.add_edge(EdgeKind::WasGeneratedBy, m2, t2).unwrap();
+    g.add_edge(EdgeKind::Used, t3, m1).unwrap();
+    g.add_edge(EdgeKind::Used, t3, m2).unwrap();
+    g.add_edge(EdgeKind::WasGeneratedBy, w, t3).unwrap();
+    let idx = ProvIndex::build(&g);
+    (g, idx, [d, d2, t1, m1, t2, m2, t3, w])
+}
+
+#[test]
+fn unconstrained_accepts_both_rounds() {
+    let (_, idx, ids) = mixed_commands();
+    let view = MaskedGraph::unmasked(&idx);
+    let [d, d2, _, m1, _, m2, _, w] = ids;
+    // m1's level-2 partners via t3 include m2 (same shape, shared pivot).
+    let out = similar_alg_bitset(&view, &[m1], &[w], &AlgConfig::paper_default());
+    assert_eq!(out.answer, vec![m1, m2], "plain SimProv matches by shape only");
+    // And at depth 4, d pairs with d2 through the (t1, t2) activity pair.
+    let out = similar_alg_bitset(&view, &[d], &[w], &AlgConfig::paper_default());
+    assert_eq!(out.answer, vec![d, d2]);
+}
+
+#[test]
+fn same_command_constraint_prunes_the_finetune_branch() {
+    let (g, idx, ids) = mixed_commands();
+    let view = MaskedGraph::unmasked(&idx);
+    let [d, d2, _, m1, _, m2, _, w] = ids;
+    let table = SimilarConstraint::same_command().compile(&g);
+    let cfg = AlgConfig { constraint: Some(table), ..AlgConfig::paper_default() };
+    // Depth 4 requires pairing t1 ("train") with t2 ("finetune") — rejected:
+    // d2 is no longer similar to d.
+    let out = similar_alg_bitset(&view, &[d], &[w], &cfg);
+    assert_eq!(out.answer, vec![d], "d2 pruned by the same-command rule");
+    // Depth 2 still pairs m1 with m2: both sides pivot through the SAME
+    // activity t3, so the command constraint holds trivially.
+    let out2 = similar_alg_bitset(&view, &[m1], &[w], &cfg);
+    assert_eq!(out2.answer, vec![m1, m2]);
+    let _ = d2;
+}
+
+#[test]
+fn constrained_alg_matches_naive_reference_on_fixture() {
+    let (g, idx, ids) = mixed_commands();
+    let view = MaskedGraph::unmasked(&idx);
+    let table = SimilarConstraint::same_command().compile(&g);
+    let entities: Vec<VertexId> = ids
+        .iter()
+        .copied()
+        .filter(|&v| idx.kind(v) == prov_model::VertexKind::Entity)
+        .collect();
+    for &src in &entities {
+        for &dst in &entities {
+            let cfg = AlgConfig { constraint: Some(table.clone()), ..AlgConfig::paper_default() };
+            let a = similar_alg_bitset(&view, &[src], &[dst], &cfg);
+            let n = similar_naive_constrained(
+                &view,
+                &[src],
+                &[dst],
+                NaiveBudget::default(),
+                Some(&table),
+            );
+            assert_eq!(a.answer, n.answer, "src={src} dst={dst}");
+        }
+    }
+}
+
+/// Random DAGs with a small command vocabulary: constrained SimProvAlg must
+/// match the naive reference everywhere.
+#[derive(Debug, Clone)]
+struct Plan {
+    command: u8,
+    inputs: Vec<prop::sample::Index>,
+    outputs: usize,
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    (0..3u8, proptest::collection::vec(any::<prop::sample::Index>(), 1..3), 1..3usize)
+        .prop_map(|(command, inputs, outputs)| Plan { command, inputs, outputs })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn constrained_differential(
+        seeds in 1..3usize,
+        plans in proptest::collection::vec(plan(), 1..8),
+        src_pick in any::<prop::sample::Index>(),
+        dst_pick in any::<prop::sample::Index>(),
+    ) {
+        let mut g = ProvGraph::new();
+        let mut entities: Vec<VertexId> =
+            (0..seeds).map(|i| g.add_entity(&format!("s{i}"))).collect();
+        for (ai, p) in plans.iter().enumerate() {
+            let a = g.add_activity(&format!("a{ai}"));
+            g.set_vprop(a, "command", format!("cmd{}", p.command));
+            let mut used = std::collections::BTreeSet::new();
+            for idx in &p.inputs {
+                used.insert(*idx.get(&entities));
+            }
+            for e in used {
+                g.add_edge(EdgeKind::Used, a, e).unwrap();
+            }
+            for oi in 0..p.outputs {
+                let e = g.add_entity(&format!("o{ai}_{oi}"));
+                g.add_edge(EdgeKind::WasGeneratedBy, e, a).unwrap();
+                entities.push(e);
+            }
+        }
+        let idx = ProvIndex::build(&g);
+        let view = MaskedGraph::unmasked(&idx);
+        let table = SimilarConstraint::same_command().compile(&g);
+        let vsrc = vec![*src_pick.get(&entities)];
+        let vdst = vec![*dst_pick.get(&entities)];
+
+        let cfg = AlgConfig { constraint: Some(table.clone()), ..AlgConfig::paper_default() };
+        let a = similar_alg_bitset(&view, &vsrc, &vdst, &cfg);
+        let n = similar_naive_constrained(&view, &vsrc, &vdst, NaiveBudget::default(), Some(&table));
+        prop_assert!(!n.stats.dnf);
+        prop_assert_eq!(&a.answer, &n.answer);
+
+        // The constrained answer is a subset of the unconstrained one.
+        let plain = similar_alg_bitset(&view, &vsrc, &vdst, &AlgConfig::paper_default());
+        for v in &a.answer {
+            prop_assert!(plain.answer.contains(v));
+        }
+    }
+}

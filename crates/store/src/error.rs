@@ -1,0 +1,67 @@
+//! Store error types.
+
+use prov_model::{EdgeId, EdgeTypeError, VertexId};
+
+/// Errors produced by the property graph store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An edge violated the PROV domain/range rules.
+    InvalidEdge(EdgeTypeError),
+    /// A vertex id was out of range.
+    UnknownVertex(VertexId),
+    /// An edge id was out of range.
+    UnknownEdge(EdgeId),
+    /// Graph validation found a directed cycle (provenance graphs are DAGs).
+    CycleDetected {
+        /// A vertex participating in the cycle.
+        on: VertexId,
+    },
+    /// JSON import failed.
+    Import(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::InvalidEdge(e) => write!(f, "invalid edge: {e}"),
+            StoreError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            StoreError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            StoreError::CycleDetected { on } => {
+                write!(f, "provenance graph must be acyclic; cycle through {on}")
+            }
+            StoreError::Import(msg) => write!(f, "import error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<EdgeTypeError> for StoreError {
+    fn from(e: EdgeTypeError) -> Self {
+        StoreError::InvalidEdge(e)
+    }
+}
+
+/// Store result alias.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{EdgeKind, VertexKind};
+
+    #[test]
+    fn display_is_informative() {
+        let err: StoreError = EdgeTypeError {
+            kind: EdgeKind::Used,
+            src: VertexKind::Entity,
+            dst: VertexKind::Entity,
+        }
+        .into();
+        assert!(err.to_string().contains("invalid edge"));
+        assert!(StoreError::UnknownVertex(VertexId::new(3)).to_string().contains("v3"));
+        assert!(StoreError::CycleDetected { on: VertexId::new(1) }
+            .to_string()
+            .contains("acyclic"));
+    }
+}

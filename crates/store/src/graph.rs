@@ -1,0 +1,595 @@
+//! The mutable property graph store (`ProvGraph`).
+//!
+//! This is the embedded substitute for the Neo4j backend of the paper's system
+//! (Fig. 1). It satisfies the two assumptions the query evaluation section
+//! makes about the backend (Sec. III-B):
+//!
+//! 1. *constant-time access to arbitrary vertices/edges by primary id* — ids
+//!    are dense `u32` indexes into columnar `Vec`s;
+//! 2. *linear-time access to both incoming and outgoing edges of a vertex* —
+//!    per-vertex adjacency lists are maintained in both directions.
+//!
+//! On top of that it provides the schema-later property layer (interned keys,
+//! dynamic values), a per-kind vertex index, a name index, and PROV validation
+//! (edge domain/range rules at insert time, acyclicity on demand).
+
+use crate::error::{StoreError, StoreResult};
+use crate::hash::FxHashMap;
+use crate::interner::KeyInterner;
+use prov_model::{check_edge_types, EdgeId, EdgeKind, PropMap, PropValue, VertexId, VertexKind};
+use std::sync::Arc;
+
+/// A stored vertex.
+#[derive(Debug, Clone)]
+pub struct VertexRecord {
+    /// `λv(v)` — the vertex type.
+    pub kind: VertexKind,
+    /// Human-readable name (e.g. `model-v1`); also indexed for lookup.
+    pub name: Option<Arc<str>>,
+    /// Logical creation timestamp ("order of being", Sec. III-B). Assigned
+    /// monotonically at insertion; used by the early-stopping rule.
+    pub birth: u64,
+    /// `σ(v, ·)` — schema-later properties.
+    pub props: PropMap,
+}
+
+/// A stored edge.
+#[derive(Debug, Clone)]
+pub struct EdgeRecord {
+    /// `λe(e)` — the relationship type.
+    pub kind: EdgeKind,
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// `ω(e, ·)` — edge properties.
+    pub props: PropMap,
+}
+
+/// The mutable property graph store.
+#[derive(Debug, Default, Clone)]
+pub struct ProvGraph {
+    vertices: Vec<VertexRecord>,
+    edges: Vec<EdgeRecord>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+    keys: KeyInterner,
+    by_kind: [Vec<VertexId>; 3],
+    by_name: FxHashMap<Arc<str>, VertexId>,
+    indexes: crate::index::IndexRegistry,
+    clock: u64,
+}
+
+impl ProvGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Vertices
+    // ------------------------------------------------------------------
+
+    /// Add a vertex of `kind` with an optional name. Returns its dense id.
+    pub fn add_vertex(&mut self, kind: VertexKind, name: Option<&str>) -> VertexId {
+        let id = VertexId::new(self.vertices.len() as u32);
+        let name_arc: Option<Arc<str>> = name.map(Arc::from);
+        if let Some(n) = &name_arc {
+            self.by_name.insert(n.clone(), id);
+        }
+        self.vertices.push(VertexRecord {
+            kind,
+            name: name_arc,
+            birth: self.clock,
+            props: PropMap::new(),
+        });
+        self.clock += 1;
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        self.by_kind[kind.as_index()].push(id);
+        id
+    }
+
+    /// Convenience: add an Entity.
+    pub fn add_entity(&mut self, name: &str) -> VertexId {
+        self.add_vertex(VertexKind::Entity, Some(name))
+    }
+
+    /// Convenience: add an Activity.
+    pub fn add_activity(&mut self, name: &str) -> VertexId {
+        self.add_vertex(VertexKind::Activity, Some(name))
+    }
+
+    /// Convenience: add an Agent.
+    pub fn add_agent(&mut self, name: &str) -> VertexId {
+        self.add_vertex(VertexKind::Agent, Some(name))
+    }
+
+    /// Constant-time vertex access by id.
+    pub fn vertex(&self, id: VertexId) -> &VertexRecord {
+        &self.vertices[id.index()]
+    }
+
+    /// Checked vertex access.
+    pub fn try_vertex(&self, id: VertexId) -> StoreResult<&VertexRecord> {
+        self.vertices.get(id.index()).ok_or(StoreError::UnknownVertex(id))
+    }
+
+    /// `λv(v)`.
+    #[inline]
+    pub fn vertex_kind(&self, id: VertexId) -> VertexKind {
+        self.vertices[id.index()].kind
+    }
+
+    /// Vertex name, if set.
+    pub fn vertex_name(&self, id: VertexId) -> Option<&str> {
+        self.vertices[id.index()].name.as_deref()
+    }
+
+    /// Display label for a vertex: its name, or `kind#id`.
+    pub fn display_name(&self, id: VertexId) -> String {
+        match self.vertex_name(id) {
+            Some(n) => n.to_string(),
+            None => format!("{:?}#{}", self.vertex_kind(id), id.raw()),
+        }
+    }
+
+    /// Find a vertex by exact name.
+    pub fn vertex_by_name(&self, name: &str) -> Option<VertexId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All vertices of a kind, in creation order.
+    pub fn vertices_of_kind(&self, kind: VertexKind) -> &[VertexId] {
+        &self.by_kind[kind.as_index()]
+    }
+
+    /// Total vertex count.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Count of vertices of one kind.
+    pub fn kind_count(&self, kind: VertexKind) -> usize {
+        self.by_kind[kind.as_index()].len()
+    }
+
+    /// Iterate all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertices.len() as u32).map(VertexId::new)
+    }
+
+    // ------------------------------------------------------------------
+    // Edges
+    // ------------------------------------------------------------------
+
+    /// Add an edge after validating the PROV domain/range rule.
+    pub fn add_edge(&mut self, kind: EdgeKind, src: VertexId, dst: VertexId) -> StoreResult<EdgeId> {
+        let src_kind = self.try_vertex(src)?.kind;
+        let dst_kind = self.try_vertex(dst)?.kind;
+        check_edge_types(kind, src_kind, dst_kind)?;
+        let id = EdgeId::new(self.edges.len() as u32);
+        self.edges.push(EdgeRecord { kind, src, dst, props: PropMap::new() });
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        Ok(id)
+    }
+
+    /// Constant-time edge access by id.
+    pub fn edge(&self, id: EdgeId) -> &EdgeRecord {
+        &self.edges[id.index()]
+    }
+
+    /// Checked edge access.
+    pub fn try_edge(&self, id: EdgeId) -> StoreResult<&EdgeRecord> {
+        self.edges.get(id.index()).ok_or(StoreError::UnknownEdge(id))
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Count of edges of one kind.
+    pub fn edge_kind_count(&self, kind: EdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Iterate all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId::new)
+    }
+
+    /// Outgoing edges of `v` as `(edge id, record)` pairs.
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, &EdgeRecord)> {
+        self.out_adj[v.index()].iter().map(|&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Incoming edges of `v` as `(edge id, record)` pairs.
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (EdgeId, &EdgeRecord)> {
+        self.in_adj[v.index()].iter().map(|&e| (e, &self.edges[e.index()]))
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Out-neighbors reached via edges of `kind`.
+    pub fn out_neighbors(&self, v: VertexId, kind: EdgeKind) -> impl Iterator<Item = VertexId> + '_ {
+        self.out_edges(v).filter(move |(_, e)| e.kind == kind).map(|(_, e)| e.dst)
+    }
+
+    /// In-neighbors that reach `v` via edges of `kind`.
+    pub fn in_neighbors(&self, v: VertexId, kind: EdgeKind) -> impl Iterator<Item = VertexId> + '_ {
+        self.in_edges(v).filter(move |(_, e)| e.kind == kind).map(|(_, e)| e.src)
+    }
+
+    // ------------------------------------------------------------------
+    // Properties
+    // ------------------------------------------------------------------
+
+    /// Intern a property key name.
+    pub fn key(&mut self, name: &str) -> prov_model::PropKeyId {
+        self.keys.intern(name)
+    }
+
+    /// Look up an interned key without creating it.
+    pub fn key_id(&self, name: &str) -> Option<prov_model::PropKeyId> {
+        self.keys.get(name)
+    }
+
+    /// Resolve a key id back to its name.
+    pub fn key_name(&self, id: prov_model::PropKeyId) -> Option<&str> {
+        self.keys.resolve(id)
+    }
+
+    /// Set a vertex property (`σ(v, p) := o`), maintaining any declared index.
+    pub fn set_vprop(&mut self, v: VertexId, key: &str, value: impl Into<PropValue>) {
+        let k = self.keys.intern(key);
+        let value = value.into();
+        let kind = self.vertices[v.index()].kind;
+        let old = self.vertices[v.index()].props.set(k, value.clone());
+        if let Some(index) = self.indexes.get_mut(kind, k) {
+            if let Some(old) = old {
+                index.remove(&old, v);
+            }
+            index.insert(value, v);
+        }
+    }
+
+    /// Get a vertex property by key name (`σ(v, p)`).
+    pub fn vprop(&self, v: VertexId, key: &str) -> Option<&PropValue> {
+        let k = self.keys.get(key)?;
+        self.vertices[v.index()].props.get(k)
+    }
+
+    /// Set an edge property (`ω(e, p) := o`).
+    pub fn set_eprop(&mut self, e: EdgeId, key: &str, value: impl Into<PropValue>) {
+        let k = self.keys.intern(key);
+        self.edges[e.index()].props.set(k, value.into());
+    }
+
+    /// Get an edge property by key name (`ω(e, p)`).
+    pub fn eprop(&self, e: EdgeId, key: &str) -> Option<&PropValue> {
+        let k = self.keys.get(key)?;
+        self.edges[e.index()].props.get(k)
+    }
+
+    /// Access the key interner (read-only).
+    pub fn interner(&self) -> &KeyInterner {
+        &self.keys
+    }
+
+    /// Vertices of `kind` whose property `key` equals `value`. Uses a
+    /// declared secondary index when available ([`ProvGraph::create_vprop_index`]),
+    /// otherwise scans the kind's vertices.
+    pub fn find_by_prop(
+        &self,
+        kind: VertexKind,
+        key: &str,
+        value: &PropValue,
+    ) -> Vec<VertexId> {
+        let Some(k) = self.keys.get(key) else { return Vec::new() };
+        if let Some(index) = self.indexes.get(kind, k) {
+            return index.get(value).to_vec();
+        }
+        self.vertices_of_kind(kind)
+            .iter()
+            .copied()
+            .filter(|&v| self.vertices[v.index()].props.get(k) == Some(value))
+            .collect()
+    }
+
+    /// Declare (and backfill) a secondary index on `(kind, key)` — the
+    /// Neo4j-style schema index. Subsequent `set_vprop` calls keep it fresh.
+    pub fn create_vprop_index(&mut self, kind: VertexKind, key: &str) {
+        let k = self.keys.intern(key);
+        if self.indexes.has(kind, k) {
+            return;
+        }
+        // Collect existing values first (borrow discipline), then fill.
+        let existing: Vec<(VertexId, PropValue)> = self.by_kind[kind.as_index()]
+            .iter()
+            .filter_map(|&v| self.vertices[v.index()].props.get(k).cloned().map(|p| (v, p)))
+            .collect();
+        let index = self.indexes.declare(kind, k);
+        for (v, value) in existing {
+            index.insert(value, v);
+        }
+    }
+
+    /// Is `(kind, key)` covered by a secondary index?
+    pub fn has_vprop_index(&self, kind: VertexKind, key: &str) -> bool {
+        self.keys.get(key).is_some_and(|k| self.indexes.has(kind, k))
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Check acyclicity (Definition 1 requires a DAG) via Kahn's algorithm.
+    pub fn validate_acyclic(&self) -> StoreResult<()> {
+        let n = self.vertices.len();
+        let mut indeg: Vec<u32> = vec![0; n];
+        for e in &self.edges {
+            indeg[e.dst.index()] += 1;
+        }
+        let mut queue: Vec<VertexId> =
+            self.vertex_ids().filter(|v| indeg[v.index()] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &eid in &self.out_adj[v.index()] {
+                let d = self.edges[eid.index()].dst;
+                indeg[d.index()] -= 1;
+                if indeg[d.index()] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        if seen == n {
+            Ok(())
+        } else {
+            let on = self
+                .vertex_ids()
+                .find(|v| indeg[v.index()] > 0)
+                .expect("cycle vertex exists when seen < n");
+            Err(StoreError::CycleDetected { on })
+        }
+    }
+
+    /// A topological order of the vertices (ancestors last, since PROV edges
+    /// point from later things to earlier things). Errors on cycles.
+    pub fn topological_order(&self) -> StoreResult<Vec<VertexId>> {
+        self.validate_acyclic()?;
+        let n = self.vertices.len();
+        let mut indeg: Vec<u32> = vec![0; n];
+        for e in &self.edges {
+            indeg[e.dst.index()] += 1;
+        }
+        let mut queue: std::collections::VecDeque<VertexId> =
+            self.vertex_ids().filter(|v| indeg[v.index()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &eid in &self.out_adj[v.index()] {
+                let d = self.edges[eid.index()].dst;
+                indeg[d.index()] -= 1;
+                if indeg[d.index()] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Summary statistics used by benchmarks and examples.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            vertices: self.vertex_count(),
+            entities: self.kind_count(VertexKind::Entity),
+            activities: self.kind_count(VertexKind::Activity),
+            agents: self.kind_count(VertexKind::Agent),
+            edges: self.edge_count(),
+            used: self.edge_kind_count(EdgeKind::Used),
+            generated: self.edge_kind_count(EdgeKind::WasGeneratedBy),
+        }
+    }
+}
+
+/// Coarse statistics of a provenance graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Total vertices.
+    pub vertices: usize,
+    /// `|E|` — entities.
+    pub entities: usize,
+    /// `|A|` — activities.
+    pub activities: usize,
+    /// `|U|` — agents.
+    pub agents: usize,
+    /// Total edges.
+    pub edges: usize,
+    /// `|U|`-edges — used.
+    pub used: usize,
+    /// `|G|`-edges — wasGeneratedBy.
+    pub generated: usize,
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} (E={}, A={}, Ag={})  |edges|={} (U={}, G={})",
+            self.vertices, self.entities, self.activities, self.agents, self.edges, self.used,
+            self.generated
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (ProvGraph, VertexId, VertexId, VertexId) {
+        // alice --S<-- train --U--> data ; weights --G--> train
+        let mut g = ProvGraph::new();
+        let data = g.add_entity("data-v1");
+        let alice = g.add_agent("alice");
+        let train = g.add_activity("train-v1");
+        let weights = g.add_entity("weights-v1");
+        g.add_edge(EdgeKind::Used, train, data).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, weights, train).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, train, alice).unwrap();
+        (g, data, train, weights)
+    }
+
+    #[test]
+    fn add_and_access_vertices() {
+        let (g, data, train, _) = tiny();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.vertex_kind(data), VertexKind::Entity);
+        assert_eq!(g.vertex_kind(train), VertexKind::Activity);
+        assert_eq!(g.vertex_name(train), Some("train-v1"));
+        assert_eq!(g.vertex_by_name("alice").map(|v| g.vertex_kind(v)), Some(VertexKind::Agent));
+        assert_eq!(g.kind_count(VertexKind::Entity), 2);
+        assert!(g.try_vertex(VertexId::new(99)).is_err());
+    }
+
+    #[test]
+    fn birth_is_monotonic() {
+        let (g, ..) = tiny();
+        let births: Vec<u64> = g.vertex_ids().map(|v| g.vertex(v).birth).collect();
+        assert_eq!(births, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edges_validate_prov_types() {
+        let mut g = ProvGraph::new();
+        let e = g.add_entity("e");
+        let a = g.add_activity("a");
+        // used must be Activity -> Entity
+        assert!(g.add_edge(EdgeKind::Used, a, e).is_ok());
+        assert!(matches!(g.add_edge(EdgeKind::Used, e, a), Err(StoreError::InvalidEdge(_))));
+        // generated must be Entity -> Activity
+        assert!(g.add_edge(EdgeKind::WasGeneratedBy, e, a).is_ok());
+        assert!(matches!(
+            g.add_edge(EdgeKind::WasGeneratedBy, a, e),
+            Err(StoreError::InvalidEdge(_))
+        ));
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let (g, data, train, weights) = tiny();
+        let out: Vec<VertexId> = g.out_neighbors(train, EdgeKind::Used).collect();
+        assert_eq!(out, vec![data]);
+        let gen_in: Vec<VertexId> = g.in_neighbors(train, EdgeKind::WasGeneratedBy).collect();
+        assert_eq!(gen_in, vec![weights]);
+        assert_eq!(g.out_degree(train), 2); // used + associated
+        assert_eq!(g.in_degree(train), 1); // generated-by
+    }
+
+    #[test]
+    fn properties_round_trip() {
+        let (mut g, data, train, _) = tiny();
+        g.set_vprop(train, "command", "train -gpu");
+        g.set_vprop(data, "url", "http://example.org/ds");
+        g.set_vprop(data, "size", 12345i64);
+        assert_eq!(g.vprop(train, "command").and_then(|v| v.as_str()), Some("train -gpu"));
+        assert_eq!(g.vprop(data, "size").and_then(|v| v.as_int()), Some(12345));
+        assert_eq!(g.vprop(data, "missing"), None);
+
+        let eid = EdgeId::new(0);
+        g.set_eprop(eid, "role", "input");
+        assert_eq!(g.eprop(eid, "role").and_then(|v| v.as_str()), Some("input"));
+    }
+
+    #[test]
+    fn find_by_prop_scans_kind() {
+        let (mut g, data, _, weights) = tiny();
+        g.set_vprop(data, "tag", "raw");
+        g.set_vprop(weights, "tag", "model");
+        let hits = g.find_by_prop(VertexKind::Entity, "tag", &PropValue::from("raw"));
+        assert_eq!(hits, vec![data]);
+        assert!(g.find_by_prop(VertexKind::Entity, "nope", &PropValue::from("raw")).is_empty());
+    }
+
+    #[test]
+    fn secondary_index_matches_scan_and_tracks_updates() {
+        let (mut g, data, _, weights) = tiny();
+        g.set_vprop(data, "tag", "raw");
+        g.set_vprop(weights, "tag", "model");
+        // Scan result before the index exists.
+        let scan = g.find_by_prop(VertexKind::Entity, "tag", &PropValue::from("raw"));
+        g.create_vprop_index(VertexKind::Entity, "tag");
+        assert!(g.has_vprop_index(VertexKind::Entity, "tag"));
+        assert!(!g.has_vprop_index(VertexKind::Activity, "tag"));
+        // Backfilled index agrees with the scan.
+        assert_eq!(g.find_by_prop(VertexKind::Entity, "tag", &PropValue::from("raw")), scan);
+        // Updates move entries between values.
+        g.set_vprop(data, "tag", "clean");
+        assert!(g.find_by_prop(VertexKind::Entity, "tag", &PropValue::from("raw")).is_empty());
+        assert_eq!(
+            g.find_by_prop(VertexKind::Entity, "tag", &PropValue::from("clean")),
+            vec![data]
+        );
+        // New vertices added after declaration are indexed too.
+        let extra = g.add_entity("extra");
+        g.set_vprop(extra, "tag", "clean");
+        assert_eq!(
+            g.find_by_prop(VertexKind::Entity, "tag", &PropValue::from("clean")),
+            vec![data, extra]
+        );
+        // Re-declaring is a no-op.
+        g.create_vprop_index(VertexKind::Entity, "tag");
+        assert_eq!(
+            g.find_by_prop(VertexKind::Entity, "tag", &PropValue::from("clean")),
+            vec![data, extra]
+        );
+    }
+
+    #[test]
+    fn acyclicity_detects_cycles() {
+        let (g, ..) = tiny();
+        assert!(g.validate_acyclic().is_ok());
+
+        let mut g2 = ProvGraph::new();
+        let e1 = g2.add_entity("e1");
+        let e2 = g2.add_entity("e2");
+        g2.add_edge(EdgeKind::WasDerivedFrom, e1, e2).unwrap();
+        g2.add_edge(EdgeKind::WasDerivedFrom, e2, e1).unwrap();
+        assert!(matches!(g2.validate_acyclic(), Err(StoreError::CycleDetected { .. })));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let (g, ..) = tiny();
+        let order = g.topological_order().unwrap();
+        let pos: FxHashMap<VertexId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for eid in g.edge_ids() {
+            let e = g.edge(eid);
+            assert!(pos[&e.src] < pos[&e.dst], "edge {eid} out of order");
+        }
+    }
+
+    #[test]
+    fn stats_and_display() {
+        let (g, ..) = tiny();
+        let s = g.stats();
+        assert_eq!(s.entities, 2);
+        assert_eq!(s.activities, 1);
+        assert_eq!(s.agents, 1);
+        assert_eq!(s.used, 1);
+        assert_eq!(s.generated, 1);
+        assert!(s.to_string().contains("|V|=4"));
+        assert_eq!(g.display_name(VertexId::new(0)), "data-v1");
+    }
+}

@@ -1,0 +1,113 @@
+//! Secondary property indexes (the Neo4j "schema index" analogue).
+//!
+//! `find_by_prop` on [`crate::ProvGraph`] scans a kind's vertices; for
+//! interactive lookups ("all entities with filename = model") a maintained
+//! index turns that into a hash probe. Indexes are declared per
+//! `(vertex kind, property key)` and kept in sync by `set_vprop`.
+
+use crate::hash::FxHashMap;
+use prov_model::{PropKeyId, PropValue, VertexId, VertexKind};
+
+/// One secondary index: property value → sorted vertex ids.
+#[derive(Debug, Clone, Default)]
+pub struct PropIndex {
+    entries: FxHashMap<PropValue, Vec<VertexId>>,
+}
+
+impl PropIndex {
+    /// Vertices whose indexed property equals `value`.
+    pub fn get(&self, value: &PropValue) -> &[VertexId] {
+        self.entries.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed values.
+    pub fn value_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn insert(&mut self, value: PropValue, v: VertexId) {
+        let slot = self.entries.entry(value).or_default();
+        if let Err(pos) = slot.binary_search(&v) {
+            slot.insert(pos, v);
+        }
+    }
+
+    pub(crate) fn remove(&mut self, value: &PropValue, v: VertexId) {
+        if let Some(slot) = self.entries.get_mut(value) {
+            if let Ok(pos) = slot.binary_search(&v) {
+                slot.remove(pos);
+            }
+            if slot.is_empty() {
+                self.entries.remove(value);
+            }
+        }
+    }
+}
+
+/// The index registry carried by the store.
+#[derive(Debug, Clone, Default)]
+pub struct IndexRegistry {
+    by_key: FxHashMap<(VertexKind, PropKeyId), PropIndex>,
+}
+
+impl IndexRegistry {
+    /// Is `(kind, key)` indexed?
+    pub fn has(&self, kind: VertexKind, key: PropKeyId) -> bool {
+        self.by_key.contains_key(&(kind, key))
+    }
+
+    /// The index for `(kind, key)`, if declared.
+    pub fn get(&self, kind: VertexKind, key: PropKeyId) -> Option<&PropIndex> {
+        self.by_key.get(&(kind, key))
+    }
+
+    pub(crate) fn get_mut(&mut self, kind: VertexKind, key: PropKeyId) -> Option<&mut PropIndex> {
+        self.by_key.get_mut(&(kind, key))
+    }
+
+    pub(crate) fn declare(&mut self, kind: VertexKind, key: PropKeyId) -> &mut PropIndex {
+        self.by_key.entry((kind, key)).or_default()
+    }
+
+    /// Number of declared indexes.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when no index is declared.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_index_insert_remove() {
+        let mut idx = PropIndex::default();
+        let v1 = VertexId::new(1);
+        let v2 = VertexId::new(2);
+        idx.insert("model".into(), v2);
+        idx.insert("model".into(), v1);
+        idx.insert("model".into(), v1); // idempotent
+        assert_eq!(idx.get(&"model".into()), &[v1, v2]);
+        assert_eq!(idx.value_count(), 1);
+        idx.remove(&"model".into(), v1);
+        assert_eq!(idx.get(&"model".into()), &[v2]);
+        idx.remove(&"model".into(), v2);
+        assert_eq!(idx.value_count(), 0);
+        assert!(idx.get(&"model".into()).is_empty());
+    }
+
+    #[test]
+    fn registry_declares_per_kind_and_key() {
+        let mut reg = IndexRegistry::default();
+        assert!(reg.is_empty());
+        reg.declare(VertexKind::Entity, PropKeyId::new(0));
+        assert!(reg.has(VertexKind::Entity, PropKeyId::new(0)));
+        assert!(!reg.has(VertexKind::Activity, PropKeyId::new(0)));
+        assert_eq!(reg.len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Embedded property graph store for provenance graphs.
+//!
+//! This crate is the Neo4j substitute of the reproduction (see `DESIGN.md` §1):
+//! an in-memory, id-addressed property graph satisfying the backend assumptions
+//! of the paper's query evaluation (Sec. III-B): constant-time vertex/edge
+//! access by id and linear-time adjacency in both directions.
+//!
+//! * [`graph::ProvGraph`] — the mutable store (vertices, edges, schema-later
+//!   properties, kind/name indexes, PROV validation).
+//! * [`snapshot::ProvIndex`] — frozen CSR snapshot with per-relationship typed
+//!   adjacency used by the query operators.
+//! * [`pattern`] — Cypher-flavoured pattern/path matching with materialized
+//!   path variables (the "standard graph query model" baseline).
+//! * [`json`] — PROV-JSON-style import/export.
+//! * [`hash`], [`interner`] — supporting infrastructure.
+
+pub mod error;
+pub mod graph;
+pub mod hash;
+pub mod index;
+pub mod interner;
+pub mod json;
+pub mod pattern;
+pub mod snapshot;
+
+pub use error::{StoreError, StoreResult};
+pub use graph::{EdgeRecord, GraphStats, ProvGraph, VertexRecord};
+pub use pattern::{
+    Budget, MatchOutcome, MaterializedPath, NodeSpec, PathPattern, PatternDir, RelSpec,
+};
+pub use snapshot::{Csr, Direction, ProvIndex};

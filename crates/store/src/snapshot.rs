@@ -1,0 +1,397 @@
+//! Frozen CSR snapshot ([`ProvIndex`]) for traversal-heavy query algorithms.
+//!
+//! The segmentation/summarization algorithms traverse `used`/`wasGeneratedBy`
+//! adjacency millions of times. Rather than filtering the store's generic
+//! adjacency lists on every hop, queries freeze the graph into a compressed
+//! sparse row (CSR) snapshot with one array pair per (relationship, direction)
+//! that the paper's grammars touch:
+//!
+//! * `inputs_of(a)`      — `U` out-edges: entities the activity used;
+//! * `users_of(e)`       — `U` in-edges: activities that used the entity;
+//! * `generators_of(e)`  — `G` out-edges: activities that generated the entity;
+//! * `outputs_of(a)`     — `G` in-edges: entities the activity generated;
+//! * agent edges (`S`, `A`) and derivations (`D`) for VC4 / boundary support.
+//!
+//! Each adjacency entry carries its [`EdgeId`] so boundary criteria can exclude
+//! individual edges.
+
+use crate::graph::ProvGraph;
+use prov_model::{EdgeId, EdgeKind, VertexId, VertexKind};
+
+/// One CSR direction of one relationship type.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    edge_ids: Vec<EdgeId>,
+}
+
+impl Csr {
+    fn build(n: usize, pairs: &mut [(VertexId, VertexId, EdgeId)]) -> Csr {
+        pairs.sort_unstable_by_key(|(from, ..)| *from);
+        let mut offsets = vec![0u32; n + 1];
+        for (from, ..) in pairs.iter() {
+            offsets[from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = pairs.iter().map(|(_, to, _)| *to).collect();
+        let edge_ids = pairs.iter().map(|(.., e)| *e).collect();
+        Csr { offsets, targets, edge_ids }
+    }
+
+    /// Neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (lo, hi) = self.range(v);
+        &self.targets[lo..hi]
+    }
+
+    /// Edge ids parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn edge_ids(&self, v: VertexId) -> &[EdgeId] {
+        let (lo, hi) = self.range(v);
+        &self.edge_ids[lo..hi]
+    }
+
+    /// `(neighbor, edge id)` pairs for `v`.
+    #[inline]
+    pub fn entries(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let (lo, hi) = self.range(v);
+        self.targets[lo..hi].iter().copied().zip(self.edge_ids[lo..hi].iter().copied())
+    }
+
+    /// Degree of `v` in this relation/direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let (lo, hi) = self.range(v);
+        hi - lo
+    }
+
+    /// Total number of adjacency entries.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    #[inline]
+    fn range(&self, v: VertexId) -> (usize, usize) {
+        if v.index() + 1 >= self.offsets.len() {
+            return (0, 0); // default-constructed (empty) CSR
+        }
+        (self.offsets[v.index()] as usize, self.offsets[v.index() + 1] as usize)
+    }
+}
+
+/// Immutable CSR snapshot of a [`ProvGraph`], specialized by relationship type.
+#[derive(Debug, Clone)]
+pub struct ProvIndex {
+    n: usize,
+    kinds: Vec<VertexKind>,
+    birth: Vec<u64>,
+    /// Rank of each vertex within its kind (dense per-kind id).
+    kind_rank: Vec<u32>,
+    /// Members of each kind in creation order (inverse of `kind_rank`).
+    kind_members: [Vec<VertexId>; 3],
+    used_out: Csr,  // activity -> entities it used
+    used_in: Csr,   // entity   -> activities that used it
+    gen_out: Csr,   // entity   -> activities that generated it
+    gen_in: Csr,    // activity -> entities it generated
+    assoc_out: Csr, // activity -> agents
+    attr_out: Csr,  // entity   -> agents
+    deriv_out: Csr, // entity   -> entities it was derived from
+    deriv_in: Csr,  // entity   -> entities derived from it
+    counts: [usize; 3],
+    edge_counts: [usize; 5],
+}
+
+impl ProvIndex {
+    /// Freeze `graph` into a snapshot.
+    pub fn build(graph: &ProvGraph) -> ProvIndex {
+        let n = graph.vertex_count();
+        let mut used: Vec<(VertexId, VertexId, EdgeId)> = Vec::new();
+        let mut used_rev = Vec::new();
+        let mut gen = Vec::new();
+        let mut gen_rev = Vec::new();
+        let mut assoc = Vec::new();
+        let mut attr = Vec::new();
+        let mut deriv = Vec::new();
+        let mut deriv_rev = Vec::new();
+        let mut edge_counts = [0usize; 5];
+        for eid in graph.edge_ids() {
+            let e = graph.edge(eid);
+            edge_counts[e.kind.as_index()] += 1;
+            match e.kind {
+                EdgeKind::Used => {
+                    used.push((e.src, e.dst, eid));
+                    used_rev.push((e.dst, e.src, eid));
+                }
+                EdgeKind::WasGeneratedBy => {
+                    gen.push((e.src, e.dst, eid));
+                    gen_rev.push((e.dst, e.src, eid));
+                }
+                EdgeKind::WasAssociatedWith => assoc.push((e.src, e.dst, eid)),
+                EdgeKind::WasAttributedTo => attr.push((e.src, e.dst, eid)),
+                EdgeKind::WasDerivedFrom => {
+                    deriv.push((e.src, e.dst, eid));
+                    deriv_rev.push((e.dst, e.src, eid));
+                }
+            }
+        }
+        let kinds: Vec<VertexKind> = graph.vertex_ids().map(|v| graph.vertex_kind(v)).collect();
+        let mut kind_rank = vec![0u32; n];
+        let mut kind_members: [Vec<VertexId>; 3] = Default::default();
+        for (i, &k) in kinds.iter().enumerate() {
+            let members = &mut kind_members[k.as_index()];
+            kind_rank[i] = members.len() as u32;
+            members.push(VertexId::new(i as u32));
+        }
+        ProvIndex {
+            n,
+            kinds,
+            birth: graph.vertex_ids().map(|v| graph.vertex(v).birth).collect(),
+            kind_rank,
+            kind_members,
+            used_out: Csr::build(n, &mut used),
+            used_in: Csr::build(n, &mut used_rev),
+            gen_out: Csr::build(n, &mut gen),
+            gen_in: Csr::build(n, &mut gen_rev),
+            assoc_out: Csr::build(n, &mut assoc),
+            attr_out: Csr::build(n, &mut attr),
+            deriv_out: Csr::build(n, &mut deriv),
+            deriv_in: Csr::build(n, &mut deriv_rev),
+            counts: [
+                graph.kind_count(VertexKind::Entity),
+                graph.kind_count(VertexKind::Activity),
+                graph.kind_count(VertexKind::Agent),
+            ],
+            edge_counts,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// `λv(v)`.
+    #[inline]
+    pub fn kind(&self, v: VertexId) -> VertexKind {
+        self.kinds[v.index()]
+    }
+
+    /// Logical creation time ("order of being").
+    #[inline]
+    pub fn birth(&self, v: VertexId) -> u64 {
+        self.birth[v.index()]
+    }
+
+    /// Count of vertices of `kind`.
+    pub fn kind_count(&self, kind: VertexKind) -> usize {
+        self.counts[kind.as_index()]
+    }
+
+    /// Dense rank of `v` within its kind (0-based, creation order). Used as the
+    /// universe for per-kind fact bitmaps in SimProvAlg.
+    #[inline]
+    pub fn kind_rank(&self, v: VertexId) -> u32 {
+        self.kind_rank[v.index()]
+    }
+
+    /// Members of `kind` in creation order; `kind_members(k)[kind_rank(v)] == v`.
+    pub fn kind_members(&self, kind: VertexKind) -> &[VertexId] {
+        &self.kind_members[kind.as_index()]
+    }
+
+    /// Count of edges of `kind`.
+    pub fn edge_kind_count(&self, kind: EdgeKind) -> usize {
+        self.edge_counts[kind.as_index()]
+    }
+
+    /// Entities used by activity `a` (`U` out-edges).
+    #[inline]
+    pub fn inputs_of(&self, a: VertexId) -> &[VertexId] {
+        self.used_out.neighbors(a)
+    }
+
+    /// Activities that used entity `e` (`U` in-edges).
+    #[inline]
+    pub fn users_of(&self, e: VertexId) -> &[VertexId] {
+        self.used_in.neighbors(e)
+    }
+
+    /// Activities that generated entity `e` (`G` out-edges).
+    #[inline]
+    pub fn generators_of(&self, e: VertexId) -> &[VertexId] {
+        self.gen_out.neighbors(e)
+    }
+
+    /// Entities generated by activity `a` (`G` in-edges).
+    #[inline]
+    pub fn outputs_of(&self, a: VertexId) -> &[VertexId] {
+        self.gen_in.neighbors(a)
+    }
+
+    /// Agents associated with activity `a` (`S` edges).
+    #[inline]
+    pub fn agents_of_activity(&self, a: VertexId) -> &[VertexId] {
+        self.assoc_out.neighbors(a)
+    }
+
+    /// Agents an entity is attributed to (`A` edges).
+    #[inline]
+    pub fn agents_of_entity(&self, e: VertexId) -> &[VertexId] {
+        self.attr_out.neighbors(e)
+    }
+
+    /// Entities `e` was derived from (`D` out-edges).
+    #[inline]
+    pub fn derived_from(&self, e: VertexId) -> &[VertexId] {
+        self.deriv_out.neighbors(e)
+    }
+
+    /// Entities derived from `e` (`D` in-edges).
+    #[inline]
+    pub fn derivations_of(&self, e: VertexId) -> &[VertexId] {
+        self.deriv_in.neighbors(e)
+    }
+
+    /// Raw CSR accessors (with edge ids) for boundary-aware traversal.
+    pub fn csr(&self, kind: EdgeKind, direction: Direction) -> &Csr {
+        match (kind, direction) {
+            (EdgeKind::Used, Direction::Out) => &self.used_out,
+            (EdgeKind::Used, Direction::In) => &self.used_in,
+            (EdgeKind::WasGeneratedBy, Direction::Out) => &self.gen_out,
+            (EdgeKind::WasGeneratedBy, Direction::In) => &self.gen_in,
+            (EdgeKind::WasAssociatedWith, Direction::Out) => &self.assoc_out,
+            (EdgeKind::WasAttributedTo, Direction::Out) => &self.attr_out,
+            (EdgeKind::WasDerivedFrom, Direction::Out) => &self.deriv_out,
+            (EdgeKind::WasDerivedFrom, Direction::In) => &self.deriv_in,
+            // S/A edges are only stored forward: agents have no outgoing edges.
+            (EdgeKind::WasAssociatedWith | EdgeKind::WasAttributedTo, Direction::In) => {
+                static EMPTY: std::sync::OnceLock<Csr> = std::sync::OnceLock::new();
+                EMPTY.get_or_init(Csr::default)
+            }
+        }
+    }
+}
+
+/// Traversal direction relative to stored edge orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow edges as stored (src → dst).
+    Out,
+    /// Follow edges reversed (dst → src).
+    In,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProvGraph;
+
+    /// Two chained training steps sharing a dataset.
+    fn chain() -> (ProvGraph, Vec<VertexId>) {
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("d");
+        let t1 = g.add_activity("t1");
+        let w1 = g.add_entity("w1");
+        let t2 = g.add_activity("t2");
+        let w2 = g.add_entity("w2");
+        let alice = g.add_agent("alice");
+        g.add_edge(EdgeKind::Used, t1, d).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, w1, t1).unwrap();
+        g.add_edge(EdgeKind::Used, t2, d).unwrap();
+        g.add_edge(EdgeKind::Used, t2, w1).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, w2, t2).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, t1, alice).unwrap();
+        g.add_edge(EdgeKind::WasAttributedTo, d, alice).unwrap();
+        g.add_edge(EdgeKind::WasDerivedFrom, w2, w1).unwrap();
+        (g, vec![d, t1, w1, t2, w2, alice])
+    }
+
+    #[test]
+    fn typed_adjacency_matches_graph() {
+        let (g, ids) = chain();
+        let idx = ProvIndex::build(&g);
+        let (d, t1, w1, t2, w2, alice) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+
+        assert_eq!(idx.inputs_of(t1), &[d]);
+        let mut t2_in = idx.inputs_of(t2).to_vec();
+        t2_in.sort();
+        assert_eq!(t2_in, vec![d, w1]);
+        let mut d_users = idx.users_of(d).to_vec();
+        d_users.sort();
+        assert_eq!(d_users, vec![t1, t2]);
+        assert_eq!(idx.generators_of(w2), &[t2]);
+        assert_eq!(idx.outputs_of(t1), &[w1]);
+        assert_eq!(idx.agents_of_activity(t1), &[alice]);
+        assert_eq!(idx.agents_of_entity(d), &[alice]);
+        assert_eq!(idx.derived_from(w2), &[w1]);
+        assert_eq!(idx.derivations_of(w1), &[w2]);
+        assert!(idx.inputs_of(d).is_empty()); // entities use nothing
+    }
+
+    #[test]
+    fn kinds_births_counts_survive_freeze() {
+        let (g, ids) = chain();
+        let idx = ProvIndex::build(&g);
+        assert_eq!(idx.vertex_count(), 6);
+        assert_eq!(idx.kind(ids[0]), VertexKind::Entity);
+        assert_eq!(idx.kind(ids[1]), VertexKind::Activity);
+        assert_eq!(idx.kind(ids[5]), VertexKind::Agent);
+        assert_eq!(idx.kind_count(VertexKind::Entity), 3);
+        assert_eq!(idx.kind_count(VertexKind::Activity), 2);
+        assert_eq!(idx.edge_kind_count(EdgeKind::Used), 3);
+        assert_eq!(idx.edge_kind_count(EdgeKind::WasGeneratedBy), 2);
+        assert!(idx.birth(ids[0]) < idx.birth(ids[5]));
+    }
+
+    #[test]
+    fn csr_edge_ids_align_with_neighbors() {
+        let (g, ids) = chain();
+        let idx = ProvIndex::build(&g);
+        let t2 = ids[3];
+        let csr = idx.csr(EdgeKind::Used, Direction::Out);
+        for (nbr, eid) in csr.entries(t2) {
+            let e = g.edge(eid);
+            assert_eq!(e.kind, EdgeKind::Used);
+            assert_eq!(e.src, t2);
+            assert_eq!(e.dst, nbr);
+        }
+        assert_eq!(csr.degree(t2), 2);
+    }
+
+    #[test]
+    fn kind_ranks_are_dense_per_kind() {
+        let (g, ids) = chain();
+        let idx = ProvIndex::build(&g);
+        // Entities d, w1, w2 were created in that order.
+        assert_eq!(idx.kind_rank(ids[0]), 0); // d
+        assert_eq!(idx.kind_rank(ids[2]), 1); // w1
+        assert_eq!(idx.kind_rank(ids[4]), 2); // w2
+        assert_eq!(idx.kind_rank(ids[1]), 0); // t1 first activity
+        assert_eq!(idx.kind_rank(ids[3]), 1); // t2
+        assert_eq!(idx.kind_members(VertexKind::Entity), &[ids[0], ids[2], ids[4]]);
+        for kind in VertexKind::ALL {
+            for (r, &v) in idx.kind_members(kind).iter().enumerate() {
+                assert_eq!(idx.kind_rank(v) as usize, r);
+                assert_eq!(idx.kind(v), kind);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_agent_csr_is_empty() {
+        let (g, _) = chain();
+        let idx = ProvIndex::build(&g);
+        assert!(idx.csr(EdgeKind::WasAssociatedWith, Direction::In).is_empty());
+        assert!(idx.csr(EdgeKind::WasAttributedTo, Direction::In).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! `PgSum` — the provenance graph summarization operator (Sec. IV).
+//!
+//! Given a set of PgSeg segments, PgSum produces a *provenance summary graph*
+//! (`Psg`) that is precise (no path labels added or lost) and concise (as few
+//! vertices as possible). Optimal summarization is PSPACE-complete
+//! (Theorem 4); the implemented algorithm follows the paper: approximate trace
+//! equivalence with simulation preorders and merge greedily under the Lemma-5
+//! conditions.
+//!
+//! Pipeline: [`segment_ref`] (input) → [`aggregation`] (`K`) + [`provtype`]
+//! (`Rk`) → [`union`] (`g0` with `≡kκ` classes) → [`simulation`] (`≤s_in`,
+//! `≤s_out`) → [`merge`] (Lemma 5) → [`psg`] (output with `γ` frequencies).
+//! [`psum`] is the comparison baseline; [`paths`] checks the bounded
+//! path-preservation invariant in tests.
+
+pub mod aggregation;
+pub mod merge;
+pub mod paths;
+pub mod pgsum;
+pub mod provtype;
+pub mod psg;
+pub mod psum;
+pub mod segment_ref;
+pub mod simulation;
+pub mod union;
+
+pub use aggregation::{AggLabel, PropertyAggregation};
+pub use merge::{merge, quotient, MergeResult};
+pub use pgsum::{pgsum, pgsum_with_internals, psum_baseline, PgSumQuery};
+pub use provtype::{provenance_types, ProvTypes};
+pub use psg::{Psg, PsgEdge, PsgVertex};
+pub use psum::{psum, PsumResult};
+pub use segment_ref::SegmentRef;
+pub use simulation::{simulation, SimDirection, SimRelation};
+pub use union::{build_g0, ClassId, G0};

@@ -1,0 +1,302 @@
+//! Lemma-5 merging: collapse `g0` under simulation while preserving paths.
+//!
+//! Merging `u` into `v` preserves the Psg path invariant when
+//!
+//! 1. `u ≃s_in v`, or
+//! 2. `u ≃s_out v`, or
+//! 3. `u ≤s_in v ∧ u ≤s_out v`,
+//!
+//! because simulation implies trace containment and any in-path of a vertex
+//! concatenates with any of its out-paths (Lemma 3 / Lemma 5).
+//!
+//! **Round discipline.** Merges justified by *different* conditions do not
+//! commute in general (an `≃in` merge grows the group's out-language, which
+//! can invalidate a pending `≃out` justification against a member). Merges of
+//! the *same* condition are jointly sound: condition-1 groups share their
+//! in-language exactly; condition-3 unions only ever point languages at a
+//! dominating target. The algorithm therefore alternates rounds — all `≃in`
+//! classes, then all `≃out` classes, then all `≤in∧≤out` dominations —
+//! *recomputing the simulation preorders on the current quotient before each
+//! round*, until a full cycle performs no merge. Each round shrinks the node
+//! count, so at most `O(n)` recomputations happen (far fewer in practice).
+
+use crate::simulation::{simulation, SimDirection, SimRelation};
+use crate::union::{G0, G0Node};
+use prov_store::hash::FxHashSet;
+
+/// Union-find over g0 node ids.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        let mut c = x;
+        while self.parent[c as usize] != r {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, from: u32, into: u32) -> bool {
+        let (a, b) = (self.find(from), self.find(into));
+        if a == b {
+            return false;
+        }
+        self.parent[a as usize] = b;
+        true
+    }
+}
+
+/// Result of the merge phase: a mapping from original `g0` nodes to quotient
+/// groups, plus the quotient graph itself (as a new `G0` whose `segment` /
+/// `vertex` fields hold a representative member).
+#[derive(Debug, Clone)]
+pub struct MergeResult {
+    /// Quotient group of each original node.
+    pub group_of: Vec<u32>,
+    /// Members of each group (original node ids).
+    pub members: Vec<Vec<u32>>,
+    /// How many rounds ran (diagnostics).
+    pub rounds: usize,
+}
+
+/// Build the quotient `G0` induced by `group_of` (dedup multi-edges).
+/// `group_of` values must be dense in `0..group_count`.
+pub fn quotient(g0: &G0, group_of: &[u32], group_count: usize) -> G0 {
+    let mut nodes: Vec<Option<G0Node>> = vec![None; group_count];
+    for (i, node) in g0.nodes.iter().enumerate() {
+        let slot = group_of[i] as usize;
+        if nodes[slot].is_none() {
+            nodes[slot] =
+                Some(G0Node { segment: node.segment, vertex: node.vertex, class: node.class });
+        }
+    }
+    let nodes: Vec<G0Node> = nodes.into_iter().map(|n| n.expect("group non-empty")).collect();
+    let n = nodes.len();
+    let mut out_adj: Vec<Vec<(u8, u32)>> = vec![Vec::new(); n];
+    let mut in_adj: Vec<Vec<(u8, u32)>> = vec![Vec::new(); n];
+    let mut seen: FxHashSet<(u32, u8, u32)> = FxHashSet::default();
+    for (i, adj) in g0.out_adj.iter().enumerate() {
+        let s = group_of[i];
+        for &(k, d) in adj {
+            let d2 = group_of[d as usize];
+            if seen.insert((s, k, d2)) {
+                out_adj[s as usize].push((k, d2));
+                in_adj[d2 as usize].push((k, s));
+            }
+        }
+    }
+    G0 {
+        nodes,
+        out_adj,
+        in_adj,
+        segment_count: g0.segment_count,
+        class_labels: g0.class_labels.clone(),
+        class_names: g0.class_names.clone(),
+    }
+}
+
+/// Remap group ids to a dense `0..count` range (first-appearance order);
+/// returns the group count.
+fn densify(group_of: &mut [u32]) -> usize {
+    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for g in group_of.iter_mut() {
+        let next = remap.len() as u32;
+        *g = *remap.entry(*g).or_insert(next);
+    }
+    remap.len()
+}
+
+/// Collect all ≃-equivalence groups of a simulation relation and union them.
+fn merge_equiv_classes(g: &G0, rel: &SimRelation, dsu: &mut Dsu) -> bool {
+    let mut merged = false;
+    for v in 0..g.len() as u32 {
+        for u in rel.above(v) {
+            if u > v && rel.equiv(u, v) {
+                merged |= dsu.union(u, v);
+            }
+        }
+    }
+    merged
+}
+
+/// Union condition-3 pairs: `u ≤in v ∧ u ≤out v` (u strictly dominated).
+fn merge_dominated(
+    g: &G0,
+    le_in: &SimRelation,
+    le_out: &SimRelation,
+    dsu: &mut Dsu,
+) -> bool {
+    let mut merged = false;
+    for u in 0..g.len() as u32 {
+        for v in le_in.above(u) {
+            if v != u && le_out.le(u, v) {
+                merged |= dsu.union(u, v);
+                break; // one dominating target suffices for u
+            }
+        }
+    }
+    merged
+}
+
+/// Run the full merge phase on `g0`.
+pub fn merge(g0: &G0) -> MergeResult {
+    let n0 = g0.len();
+    // group_of maps ORIGINAL node -> current quotient node id (kept dense).
+    let mut group_of: Vec<u32> = (0..n0 as u32).collect();
+    let mut gcount = n0;
+    let mut current = quotient(g0, &group_of, gcount);
+    let mut rounds = 0usize;
+
+    // One merge round; returns true when anything merged.
+    enum Round {
+        InEquiv,
+        OutEquiv,
+        Dominated,
+    }
+
+    loop {
+        rounds += 1;
+        let mut any = false;
+        for round in [Round::InEquiv, Round::OutEquiv, Round::Dominated] {
+            let mut dsu = Dsu::new(current.len());
+            let merged = match round {
+                Round::InEquiv => {
+                    let le_in = simulation(&current, SimDirection::In);
+                    merge_equiv_classes(&current, &le_in, &mut dsu)
+                }
+                Round::OutEquiv => {
+                    let le_out = simulation(&current, SimDirection::Out);
+                    merge_equiv_classes(&current, &le_out, &mut dsu)
+                }
+                Round::Dominated => {
+                    let le_in = simulation(&current, SimDirection::In);
+                    let le_out = simulation(&current, SimDirection::Out);
+                    merge_dominated(&current, &le_in, &le_out, &mut dsu)
+                }
+            };
+            if merged {
+                any = true;
+                for g in group_of.iter_mut() {
+                    *g = dsu.find(*g);
+                }
+                gcount = densify(&mut group_of);
+                current = quotient(g0, &group_of, gcount);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); gcount];
+    for (i, &g) in group_of.iter().enumerate() {
+        members[g as usize].push(i as u32);
+    }
+    MergeResult { group_of, members, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::PropertyAggregation;
+    use crate::segment_ref::SegmentRef;
+    use crate::union::build_g0;
+    use prov_model::EdgeKind;
+    use prov_store::ProvGraph;
+
+    /// Two identical segments: d <-U- t <-G- w.
+    fn twins() -> G0 {
+        let mut g = ProvGraph::new();
+        let mut segs = Vec::new();
+        for i in 0..2 {
+            let d = g.add_entity(&format!("d{i}"));
+            let t = g.add_activity("t");
+            let w = g.add_entity(&format!("w{i}"));
+            let e1 = g.add_edge(EdgeKind::Used, t, d).unwrap();
+            let e2 = g.add_edge(EdgeKind::WasGeneratedBy, w, t).unwrap();
+            segs.push(SegmentRef::new(vec![d, t, w], vec![e1, e2]));
+        }
+        build_g0(&g, &segs, &PropertyAggregation::ignore_all(), 1)
+    }
+
+    #[test]
+    fn identical_segments_collapse_completely() {
+        let g0 = twins();
+        let res = merge(&g0);
+        // 6 instances -> 3 groups (d, t, w).
+        assert_eq!(res.members.len(), 3);
+        assert_eq!(res.group_of[0], res.group_of[3]);
+        assert_eq!(res.group_of[1], res.group_of[4]);
+        assert_eq!(res.group_of[2], res.group_of[5]);
+        assert!(res.rounds >= 1);
+    }
+
+    #[test]
+    fn quotient_dedups_edges() {
+        let g0 = twins();
+        let res = merge(&g0);
+        let q = quotient(&g0, &res.group_of, res.members.len());
+        assert_eq!(q.len(), 3);
+        let total: usize = q.out_adj.iter().map(|a| a.len()).sum();
+        assert_eq!(total, 2, "U and G edges once each");
+    }
+
+    #[test]
+    fn divergent_suffixes_do_not_merge_sources() {
+        // Segment 1: d <-U- t <-G- w ; segment 2: d' <-U- t' (no output).
+        // k=0 so classes allow merging; but the trace structures differ:
+        // t and t' are NOT out-equivalent... they are: out(t)=out(t')={(U,d)}.
+        // They differ in IN: t has a generated child w... in(t) = {(G,w)}.
+        // Merging t' into t is allowed by condition 3 (t' ≤in t vacuously,
+        // t' ≤out t), which preserves paths. The two d's merge as ≃.
+        let mut g = ProvGraph::new();
+        let d1 = g.add_entity("d");
+        let t1 = g.add_activity("t");
+        let w1 = g.add_entity("w");
+        let e1 = g.add_edge(EdgeKind::Used, t1, d1).unwrap();
+        let e2 = g.add_edge(EdgeKind::WasGeneratedBy, w1, t1).unwrap();
+        let d2 = g.add_entity("d");
+        let t2 = g.add_activity("t");
+        let e3 = g.add_edge(EdgeKind::Used, t2, d2).unwrap();
+        let s1 = SegmentRef::new(vec![d1, t1, w1], vec![e1, e2]);
+        let s2 = SegmentRef::new(vec![d2, t2], vec![e3]);
+        let g0 = build_g0(&g, &[s1, s2], &PropertyAggregation::ignore_all(), 0);
+        let res = merge(&g0);
+        // Everything class-compatible merges here: {d1,d2}, {t1,t2}, {w1}.
+        assert_eq!(res.members.len(), 3);
+    }
+
+    #[test]
+    fn different_classes_never_merge() {
+        let g0 = twins();
+        let res = merge(&g0);
+        for group in &res.members {
+            let class = g0.class(group[0]);
+            for &m in group {
+                assert_eq!(g0.class(m), class);
+            }
+        }
+    }
+
+    #[test]
+    fn dsu_behaves() {
+        let mut d = Dsu::new(4);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(2, 3));
+        assert!(d.union(0, 3));
+        assert_eq!(d.find(1), d.find(2));
+    }
+}

@@ -1,0 +1,184 @@
+//! Provenance types `Rk` (Sec. IV-A.1).
+//!
+//! `Rk(v)` maps a vertex to its k-hop neighborhood *within its own segment*;
+//! two vertices are only combinable when those neighborhoods are isomorphic
+//! w.r.t. the aggregate labels. We compute the type as `k` rounds of
+//! Weisfeiler–Leman-style refinement — Moreau's recursive edge-label
+//! concatenation [25], extended (as the paper demands) to be degree-aware by
+//! hashing the *sorted multiset* of (edge kind, direction, neighbor type)
+//! triples rather than the concatenation alone.
+//!
+//! Soundness: differing fingerprints imply non-isomorphic neighborhoods, so
+//! refinement never merges what isomorphism would keep apart... up to 64-bit
+//! hash collisions, which the equivalence key mitigates by also carrying the
+//! aggregate label (see `DESIGN.md` §1, substitution notes). The standard WL
+//! incompleteness (rare non-isomorphic but WL-equal neighborhoods) is
+//! accepted; on the tree-like neighborhoods of provenance segments the
+//! refinement is exact.
+
+use crate::aggregation::PropertyAggregation;
+use crate::segment_ref::SegmentRef;
+use prov_model::VertexId;
+use prov_store::hash::{fx_hash64, FxHashMap};
+use prov_store::ProvGraph;
+
+/// Per-vertex provenance-type fingerprints for one segment.
+#[derive(Debug, Clone)]
+pub struct ProvTypes {
+    /// `type_k` fingerprint per segment vertex.
+    pub fingerprint: FxHashMap<VertexId, u64>,
+}
+
+/// Compute `Rk` fingerprints for the vertices of `segment`.
+///
+/// `k = 0` means vertices compare by aggregate label alone; `k = 1` is the
+/// Fig. 2(e) setting (1-hop neighborhood).
+pub fn provenance_types(
+    graph: &ProvGraph,
+    segment: &SegmentRef,
+    aggregation: &PropertyAggregation,
+    k: usize,
+) -> ProvTypes {
+    // Local adjacency restricted to the segment's edges.
+    let mut out_adj: FxHashMap<VertexId, Vec<(u8, VertexId)>> = FxHashMap::default();
+    let mut in_adj: FxHashMap<VertexId, Vec<(u8, VertexId)>> = FxHashMap::default();
+    for &v in &segment.vertices {
+        out_adj.entry(v).or_default();
+        in_adj.entry(v).or_default();
+    }
+    for &e in &segment.edges {
+        let rec = graph.edge(e);
+        out_adj.entry(rec.src).or_default().push((rec.kind.as_index() as u8, rec.dst));
+        in_adj.entry(rec.dst).or_default().push((rec.kind.as_index() as u8, rec.src));
+    }
+
+    // Round 0: aggregate labels.
+    let mut current: FxHashMap<VertexId, u64> = segment
+        .vertices
+        .iter()
+        .map(|&v| (v, fx_hash64(&aggregation.label(graph, v))))
+        .collect();
+
+    // Rounds 1..=k: refine by neighbor multisets.
+    let mut scratch: Vec<(u8, u8, u64)> = Vec::new();
+    for _ in 0..k {
+        let mut next: FxHashMap<VertexId, u64> = FxHashMap::default();
+        for &v in &segment.vertices {
+            scratch.clear();
+            for &(kind, n) in &out_adj[&v] {
+                scratch.push((0, kind, current[&n]));
+            }
+            for &(kind, n) in &in_adj[&v] {
+                scratch.push((1, kind, current[&n]));
+            }
+            scratch.sort_unstable();
+            next.insert(v, fx_hash64(&(current[&v], &scratch)));
+        }
+        current = next;
+    }
+    ProvTypes { fingerprint: current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{EdgeKind, VertexKind};
+
+    /// Two `update` activities with different shapes: u1 uses 1 entity,
+    /// u2 uses 2 (the paper's update-v2 vs update-v3 example).
+    fn shapes() -> (ProvGraph, SegmentRef, VertexId, VertexId) {
+        let mut g = ProvGraph::new();
+        let e1 = g.add_entity("e1");
+        let e2 = g.add_entity("e2");
+        let e3 = g.add_entity("e3");
+        let u1 = g.add_activity("update");
+        let u2 = g.add_activity("update");
+        g.set_vprop(u1, "command", "update");
+        g.set_vprop(u2, "command", "update");
+        let a = g.add_edge(EdgeKind::Used, u1, e1).unwrap();
+        let b = g.add_edge(EdgeKind::Used, u2, e2).unwrap();
+        let c = g.add_edge(EdgeKind::Used, u2, e3).unwrap();
+        let seg = SegmentRef::new(vec![e1, e2, e3, u1, u2], vec![a, b, c]);
+        (g, seg, u1, u2)
+    }
+
+    #[test]
+    fn k0_ignores_structure() {
+        let (g, seg, u1, u2) = shapes();
+        let agg =
+            PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
+        let t = provenance_types(&g, &seg, &agg, 0);
+        assert_eq!(t.fingerprint[&u1], t.fingerprint[&u2]);
+    }
+
+    #[test]
+    fn k1_separates_different_degrees() {
+        let (g, seg, u1, u2) = shapes();
+        let agg =
+            PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
+        let t = provenance_types(&g, &seg, &agg, 1);
+        assert_ne!(
+            t.fingerprint[&u1], t.fingerprint[&u2],
+            "degree-aware types must distinguish 1-input from 2-input updates"
+        );
+    }
+
+    #[test]
+    fn identical_shapes_share_types_across_rounds() {
+        // Two isomorphic train rounds in one segment.
+        let mut g = ProvGraph::new();
+        let d1 = g.add_entity("d");
+        let t1 = g.add_activity("train");
+        let w1 = g.add_entity("w");
+        let d2 = g.add_entity("d");
+        let t2 = g.add_activity("train");
+        let w2 = g.add_entity("w");
+        let e1 = g.add_edge(EdgeKind::Used, t1, d1).unwrap();
+        let e2 = g.add_edge(EdgeKind::WasGeneratedBy, w1, t1).unwrap();
+        let e3 = g.add_edge(EdgeKind::Used, t2, d2).unwrap();
+        let e4 = g.add_edge(EdgeKind::WasGeneratedBy, w2, t2).unwrap();
+        let seg = SegmentRef::new(vec![d1, t1, w1, d2, t2, w2], vec![e1, e2, e3, e4]);
+        let agg = PropertyAggregation::ignore_all();
+        for k in 0..4 {
+            let t = provenance_types(&g, &seg, &agg, k);
+            assert_eq!(t.fingerprint[&t1], t.fingerprint[&t2], "k={k}");
+            assert_eq!(t.fingerprint[&d1], t.fingerprint[&d2], "k={k}");
+            assert_eq!(t.fingerprint[&w1], t.fingerprint[&w2], "k={k}");
+            // Input vs output entities differ structurally for k >= 1.
+            if k >= 1 {
+                assert_ne!(t.fingerprint[&d1], t.fingerprint[&w1], "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_locality_edges_outside_ignored() {
+        // Same vertices, but the segment omits u2's second edge: then u1 and
+        // u2 look identical at k=1.
+        let (g, _, u1, u2) = shapes();
+        let seg = SegmentRef::new(
+            vec![VertexId::new(0), VertexId::new(1), u1, u2],
+            vec![prov_model::EdgeId::new(0), prov_model::EdgeId::new(1)],
+        );
+        let agg =
+            PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
+        let t = provenance_types(&g, &seg, &agg, 1);
+        assert_eq!(t.fingerprint[&u1], t.fingerprint[&u2]);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // a uses e  vs  e' generated-by a': same degree, opposite direction.
+        let mut g = ProvGraph::new();
+        let e1 = g.add_entity("x");
+        let a1 = g.add_activity("f");
+        let e2 = g.add_entity("x");
+        let a2 = g.add_activity("f");
+        let ed1 = g.add_edge(EdgeKind::Used, a1, e1).unwrap();
+        let ed2 = g.add_edge(EdgeKind::WasGeneratedBy, e2, a2).unwrap();
+        let seg = SegmentRef::new(vec![e1, a1, e2, a2], vec![ed1, ed2]);
+        let t = provenance_types(&g, &seg, &PropertyAggregation::ignore_all(), 1);
+        assert_ne!(t.fingerprint[&e1], t.fingerprint[&e2]);
+        assert_ne!(t.fingerprint[&a1], t.fingerprint[&a2]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Lightweight segment references — the input unit of PgSum.
+//!
+//! A [`SegmentRef`] names a subgraph of a backing [`ProvGraph`] by vertex and
+//! edge ids. PgSeg results convert losslessly; workload generators build them
+//! directly.
+
+use prov_model::{EdgeId, VertexId};
+use prov_segment::SegmentGraph;
+use prov_store::ProvGraph;
+
+/// One segment: a subgraph of the backing provenance graph.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentRef {
+    /// Vertices of the segment (sorted, deduplicated).
+    pub vertices: Vec<VertexId>,
+    /// Edges of the segment (each edge's endpoints must be in `vertices`).
+    pub edges: Vec<EdgeId>,
+}
+
+impl SegmentRef {
+    /// Build from explicit vertex/edge lists (sorts and dedups).
+    pub fn new(mut vertices: Vec<VertexId>, mut edges: Vec<EdgeId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        edges.sort_unstable();
+        edges.dedup();
+        SegmentRef { vertices, edges }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Validate that every edge endpoint is a segment vertex.
+    pub fn validate(&self, graph: &ProvGraph) -> Result<(), String> {
+        for &e in &self.edges {
+            let rec = graph.try_edge(e).map_err(|err| err.to_string())?;
+            if self.vertices.binary_search(&rec.src).is_err()
+                || self.vertices.binary_search(&rec.dst).is_err()
+            {
+                return Err(format!("edge {e} endpoint outside the segment"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&SegmentGraph> for SegmentRef {
+    fn from(seg: &SegmentGraph) -> Self {
+        SegmentRef::new(seg.vertices.clone(), seg.edges.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::EdgeKind;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = SegmentRef::new(
+            vec![VertexId::new(3), VertexId::new(1), VertexId::new(3)],
+            vec![EdgeId::new(2), EdgeId::new(2)],
+        );
+        assert_eq!(s.vertices, vec![VertexId::new(1), VertexId::new(3)]);
+        assert_eq!(s.edges, vec![EdgeId::new(2)]);
+        assert_eq!(s.vertex_count(), 2);
+    }
+
+    #[test]
+    fn validate_checks_endpoints() {
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("d");
+        let t = g.add_activity("t");
+        let e = g.add_edge(EdgeKind::Used, t, d).unwrap();
+        let ok = SegmentRef::new(vec![d, t], vec![e]);
+        assert!(ok.validate(&g).is_ok());
+        let bad = SegmentRef::new(vec![t], vec![e]);
+        assert!(bad.validate(&g).is_err());
+    }
+
+    #[test]
+    fn from_segment_graph() {
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("d");
+        let t = g.add_activity("t");
+        g.add_edge(EdgeKind::Used, t, d).unwrap();
+        let idx = prov_store::ProvIndex::build(&g);
+        let seg = prov_segment::pgseg(
+            &g,
+            &idx,
+            prov_segment::PgSegQuery::between(vec![d], vec![d]),
+            &prov_segment::PgSegOptions::default(),
+        )
+        .unwrap();
+        let sref: SegmentRef = (&seg).into();
+        assert!(sref.vertex_count() >= 1);
+        assert!(sref.validate(&g).is_ok());
+    }
+}

@@ -1,0 +1,285 @@
+//! Random samplers used by the workload generators.
+//!
+//! The paper's generators need Zipf (work rates `sw`, input selection `se`),
+//! Poisson (in/out degrees `λi`, `λo`) and Dirichlet (transition-matrix rows
+//! with concentration `α`). `rand` ships none of these, so they are
+//! implemented here:
+//!
+//! * [`ZipfTable`] — exact bounded Zipf via a precomputed cumulative table +
+//!   binary search. One table serves every prefix size `1..=n`, which is what
+//!   the `Pd` generator needs (the candidate pool grows with every step).
+//! * [`poisson`] — Knuth's multiplication method (fine for the small `λ`s of
+//!   the paper, 1–5).
+//! * [`gamma`] — Marsaglia–Tsang squeeze for `α ≥ 1`, boosted for `α < 1`.
+//! * [`dirichlet`] — normalized Gamma draws.
+
+use rand::Rng;
+
+/// Precomputed Zipf cumulative weights `C[i] = Σ_{j≤i} j^{-s}` for ranks
+/// `1..=n`; sampling over any prefix `1..=k` (k ≤ n) is a binary search.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cum: Vec<f64>,
+    s: f64,
+}
+
+impl ZipfTable {
+    /// Build a table for ranks up to `n` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "ZipfTable needs n >= 1");
+        let mut cum = Vec::with_capacity(n + 1);
+        cum.push(0.0);
+        let mut acc = 0.0;
+        for j in 1..=n {
+            acc += (j as f64).powf(-s);
+            cum.push(acc);
+        }
+        ZipfTable { cum, s }
+    }
+
+    /// Maximum supported rank.
+    pub fn capacity(&self) -> usize {
+        self.cum.len() - 1
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Sample a 1-based rank from `Zipf(s)` truncated to `1..=k`.
+    pub fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> usize {
+        let k = k.min(self.capacity()).max(1);
+        let u: f64 = rng.gen::<f64>() * self.cum[k];
+        // Smallest i with cum[i] > u.
+        let mut lo = 1usize;
+        let mut hi = k;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cum[mid] > u {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Probability of rank `i` within prefix `k` (test helper).
+    pub fn pmf(&self, i: usize, k: usize) -> f64 {
+        (i as f64).powf(-self.s) / self.cum[k.min(self.capacity())]
+    }
+}
+
+/// Sample `Poisson(lambda)` by Knuth's method — `O(λ)` per draw.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k: u64 = 0;
+    let mut p: f64 = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Numerical guard for pathological lambda.
+        if k > 1_000_000 {
+            return k;
+        }
+    }
+}
+
+/// Standard normal via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Sample `Gamma(alpha, 1)` (Marsaglia–Tsang; boost for `alpha < 1`).
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    assert!(alpha > 0.0, "gamma needs alpha > 0");
+    if alpha < 1.0 {
+        // Gamma(a) = Gamma(a + 1) · U^(1/a)
+        let boost: f64 = rng.gen::<f64>().powf(1.0 / alpha);
+        return gamma(rng, alpha + 1.0) * boost;
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Sample a `Dirichlet(alpha · 1_k)` probability vector of length `k`.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(k >= 1);
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= f64::MIN_POSITIVE {
+        // Extremely concentrated draw degenerated to zeros: put all mass on a
+        // uniformly random coordinate (the α → 0 limit).
+        let winner = rng.gen_range(0..k);
+        draws.fill(0.0);
+        draws[winner] = 1.0;
+        return draws;
+    }
+    for d in draws.iter_mut() {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Sample an index from a categorical distribution given by `probs`.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> usize {
+    let total: f64 = probs.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn zipf_ranks_in_range_and_skewed() {
+        let table = ZipfTable::new(1000, 1.5);
+        let mut r = rng();
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            let rank = table.sample_rank(&mut r, 1000);
+            assert!((1..=1000).contains(&rank));
+            if rank <= 5 {
+                counts[rank - 1] += 1;
+            }
+        }
+        // Monotone decreasing head.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[2]);
+        // Rank-1 mass close to pmf.
+        let p1 = table.pmf(1, 1000);
+        let observed = counts[0] as f64 / 20_000.0;
+        assert!((observed - p1).abs() < 0.02, "observed {observed}, pmf {p1}");
+    }
+
+    #[test]
+    fn zipf_prefix_sampling_respects_k() {
+        let table = ZipfTable::new(100, 1.2);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(table.sample_rank(&mut r, 7) <= 7);
+        }
+        assert_eq!(table.capacity(), 100);
+        assert_eq!(table.exponent(), 1.2);
+    }
+
+    #[test]
+    fn poisson_mean_approximates_lambda() {
+        let mut r = rng();
+        for &lambda in &[0.5, 2.0, 5.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut r, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!((mean - lambda).abs() < 0.1, "lambda={lambda} mean={mean}");
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn gamma_mean_and_positivity() {
+        let mut r = rng();
+        for &alpha in &[0.3, 1.0, 2.5, 8.0] {
+            let n = 20_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let x = gamma(&mut r, alpha);
+                assert!(x > 0.0);
+                sum += x;
+            }
+            let mean = sum / n as f64;
+            assert!((mean - alpha).abs() < 0.15 * alpha.max(1.0), "alpha={alpha} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_concentration_matters() {
+        let mut r = rng();
+        for &alpha in &[0.025, 0.25, 1.0, 10.0] {
+            let v = dirichlet(&mut r, alpha, 6);
+            assert_eq!(v.len(), 6);
+            let sum: f64 = v.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "alpha={alpha} sum={sum}");
+        }
+        // Small alpha concentrates mass; large alpha flattens. Compare the
+        // average maximum coordinate.
+        let avg_max = |alpha: f64, r: &mut StdRng| {
+            let mut acc = 0.0;
+            for _ in 0..300 {
+                let v = dirichlet(r, alpha, 6);
+                acc += v.iter().cloned().fold(0.0, f64::max);
+            }
+            acc / 300.0
+        };
+        let concentrated = avg_max(0.05, &mut r);
+        let flat = avg_max(10.0, &mut r);
+        assert!(concentrated > flat + 0.2, "{concentrated} vs {flat}");
+    }
+
+    #[test]
+    fn categorical_follows_weights() {
+        let mut r = rng();
+        let probs = [0.7, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[categorical(&mut r, &probs)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        assert!((counts[0] as f64 / 10_000.0 - 0.7).abs() < 0.03);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let table = ZipfTable::new(50, 1.5);
+        for _ in 0..100 {
+            assert_eq!(table.sample_rank(&mut a, 50), table.sample_rank(&mut b, 50));
+        }
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(poisson(&mut a, 2.0), poisson(&mut b, 2.0));
+        assert_eq!(gamma(&mut a, 1.5), gamma(&mut b, 1.5));
+    }
+}

@@ -1,0 +1,232 @@
+//! The `Sd` segment-set generator (Sec. V, "Similar Segments & PgSum
+//! Queries").
+//!
+//! Models a stage of a project as a Markov chain over `k` activity types with
+//! transition matrix rows drawn from `Dirichlet(α)`:
+//!
+//! * small `α` → concentrated rows → stable pipelines (an activity type is
+//!   almost always followed by the same next type) → easy to summarize;
+//! * large `α` → near-uniform rows → exploratory chaos → hard to summarize.
+//!
+//! Each of the `|S|` segments is a walk of `n` activities through the chain;
+//! input/output entities attach with the `Pd` mechanics (`λi`, `λo`, `se`) and
+//! all entities carry the same aggregate label (the paper: "all introduced
+//! entities have the same equivalent class label").
+//!
+//! Paper defaults: `α = 0.1, k = 5, n = 20, |S| = 10`.
+
+use crate::dist::{categorical, dirichlet, poisson, ZipfTable};
+use prov_model::{EdgeId, EdgeKind, VertexId};
+use prov_store::ProvGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the `Sd` generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SdParams {
+    /// Dirichlet concentration `α` of the transition rows.
+    pub alpha: f64,
+    /// Number of activity types `k` (Markov states).
+    pub k: usize,
+    /// Activities per segment `n`.
+    pub n: usize,
+    /// Number of segments `|S|`.
+    pub num_segments: usize,
+    /// Mean extra inputs `λi`.
+    pub lambda_in: f64,
+    /// Mean extra outputs `λo`.
+    pub lambda_out: f64,
+    /// Input selection skew `se`.
+    pub se: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SdParams {
+    fn default() -> Self {
+        // The paper's defaults (Sec. V: α=0.1, k=5, n=20, |S|=10; λ/se as Pd).
+        SdParams {
+            alpha: 0.1,
+            k: 5,
+            n: 20,
+            num_segments: 10,
+            lambda_in: 2.0,
+            lambda_out: 2.0,
+            se: 1.5,
+            seed: 42,
+        }
+    }
+}
+
+/// One generated segment: a subgraph of the backing graph.
+#[derive(Debug, Clone)]
+pub struct SdSegment {
+    /// Segment vertices.
+    pub vertices: Vec<VertexId>,
+    /// Segment edges.
+    pub edges: Vec<EdgeId>,
+}
+
+/// Generator output: the backing graph, the segments, and the transition
+/// matrix that produced them.
+#[derive(Debug, Clone)]
+pub struct SdOutput {
+    /// Backing provenance graph holding all segments.
+    pub graph: ProvGraph,
+    /// The `|S|` segments.
+    pub segments: Vec<SdSegment>,
+    /// The sampled `k × k` transition matrix.
+    pub transition: Vec<Vec<f64>>,
+}
+
+/// Generate an `Sd` segment set.
+pub fn generate_sd(params: &SdParams) -> SdOutput {
+    assert!(params.k >= 1 && params.n >= 1 && params.num_segments >= 1);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let transition: Vec<Vec<f64>> =
+        (0..params.k).map(|_| dirichlet(&mut rng, params.alpha, params.k)).collect();
+
+    let mut graph = ProvGraph::new();
+    let mut segments = Vec::with_capacity(params.num_segments);
+    let pick = ZipfTable::new(params.n * 8 + 8, params.se);
+
+    for si in 0..params.num_segments {
+        let mut vertices: Vec<VertexId> = Vec::new();
+        let mut edges: Vec<EdgeId> = Vec::new();
+        // Seed entity for the segment.
+        let seed_e = graph.add_entity(&format!("s{si}-seed"));
+        graph.set_vprop(seed_e, "filename", "artifact");
+        vertices.push(seed_e);
+        let mut entities = vec![seed_e];
+
+        let mut state = rng.gen_range(0..params.k);
+        for step in 0..params.n {
+            if step > 0 {
+                state = categorical(&mut rng, &transition[state]);
+            }
+            let a = graph.add_activity(&format!("s{si}-op{state}-{step}"));
+            graph.set_vprop(a, "command", format!("op{state}"));
+            vertices.push(a);
+
+            let m = 1 + poisson(&mut rng, params.lambda_in) as usize;
+            let mut chosen: Vec<VertexId> = Vec::new();
+            let mut attempts = 0;
+            while chosen.len() < m.min(entities.len()) && attempts < 8 * m {
+                attempts += 1;
+                let rank = pick.sample_rank(&mut rng, entities.len());
+                let e = entities[entities.len() - rank];
+                if !chosen.contains(&e) {
+                    chosen.push(e);
+                }
+            }
+            for e in chosen {
+                edges.push(graph.add_edge(EdgeKind::Used, a, e).expect("valid used"));
+            }
+
+            let n_out = 1 + poisson(&mut rng, params.lambda_out) as usize;
+            for _ in 0..n_out {
+                let e = graph.add_entity(&format!("s{si}-e{}", entities.len()));
+                // Identical aggregate label for all entities.
+                graph.set_vprop(e, "filename", "artifact");
+                edges.push(
+                    graph.add_edge(EdgeKind::WasGeneratedBy, e, a).expect("valid generation"),
+                );
+                entities.push(e);
+                vertices.push(e);
+            }
+        }
+        segments.push(SdSegment { vertices, edges });
+    }
+    SdOutput { graph, segments, transition }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::VertexKind;
+
+    #[test]
+    fn produces_requested_shape() {
+        let params = SdParams::default();
+        let out = generate_sd(&params);
+        assert_eq!(out.segments.len(), 10);
+        assert_eq!(out.transition.len(), 5);
+        for seg in &out.segments {
+            let acts = seg
+                .vertices
+                .iter()
+                .filter(|&&v| out.graph.vertex_kind(v) == VertexKind::Activity)
+                .count();
+            assert_eq!(acts, 20);
+            assert!(!seg.edges.is_empty());
+        }
+        out.graph.validate_acyclic().expect("Sd output is a DAG");
+    }
+
+    #[test]
+    fn transition_rows_are_distributions() {
+        let out = generate_sd(&SdParams::default());
+        for row in &out.transition {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn segments_are_disjoint_subgraphs() {
+        let out = generate_sd(&SdParams { num_segments: 4, ..SdParams::default() });
+        let mut seen = std::collections::HashSet::new();
+        for seg in &out.segments {
+            for &v in &seg.vertices {
+                assert!(seen.insert(v), "segments must not share vertices");
+            }
+            // Every edge endpoint is inside the segment.
+            let vset: std::collections::HashSet<_> = seg.vertices.iter().collect();
+            for &e in &seg.edges {
+                let rec = out.graph.edge(e);
+                assert!(vset.contains(&rec.src) && vset.contains(&rec.dst));
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_controls_type_diversity() {
+        // With tiny alpha each row is near-deterministic: long runs repeat few
+        // types. With big alpha many types appear.
+        let distinct_cmds = |alpha: f64| {
+            let out = generate_sd(&SdParams { alpha, n: 40, num_segments: 3, seed: 7, ..SdParams::default() });
+            let mut cmds = std::collections::HashSet::new();
+            for seg in &out.segments {
+                for &v in &seg.vertices {
+                    if out.graph.vertex_kind(v) == VertexKind::Activity {
+                        cmds.insert(
+                            out.graph.vprop(v, "command").unwrap().as_str().unwrap().to_string(),
+                        );
+                    }
+                }
+            }
+            cmds.len()
+        };
+        assert!(distinct_cmds(0.025) <= distinct_cmds(5.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_sd(&SdParams::default());
+        let b = generate_sd(&SdParams::default());
+        assert_eq!(a.graph.vertex_count(), b.graph.vertex_count());
+        assert_eq!(a.transition, b.transition);
+    }
+
+    #[test]
+    fn entities_share_aggregate_label() {
+        let out = generate_sd(&SdParams { num_segments: 2, ..SdParams::default() });
+        for &v in out.graph.vertices_of_kind(VertexKind::Entity) {
+            assert_eq!(
+                out.graph.vprop(v, "filename").and_then(|p| p.as_str()),
+                Some("artifact")
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Reproduction of Miao & Deshpande, *Understanding Data Science Lifecycle
+//! Provenance via Graph Segmentation and Summarization* (ICDE 2019).
+//!
+//! This is the workspace-root crate: it re-exports the member crates and
+//! hosts the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). See `README.md` for the tour and `DESIGN.md` for the
+//! system inventory and per-experiment index.
+
+pub use prov_bitset as bitset;
+pub use prov_cfl as cfl;
+pub use prov_core as core_api;
+pub use prov_model as model;
+pub use prov_segment as segment;
+pub use prov_store as store;
+pub use prov_summary as summary;
+pub use prov_workload as workload;

@@ -1,0 +1,128 @@
+//! End-to-end reproduction of the paper's running example (Fig. 2(d)/(e)):
+//! the three queries of Examples 3 and 4 must produce the interpretations the
+//! paper describes.
+
+use prov_core::fig2;
+use prov_model::{EdgeKind, VertexKind};
+use prov_segment::{Boundary, Categories, PgSegOptions, PgSegQuery};
+use prov_store::ProvIndex;
+use prov_summary::{PgSumQuery, SegmentRef};
+
+fn q_boundary(expand_from: prov_model::VertexId) -> Boundary {
+    Boundary::none()
+        .without_edge_kinds(&[EdgeKind::WasAttributedTo, EdgeKind::WasDerivedFrom])
+        .expand(vec![expand_from], 2)
+}
+
+#[test]
+fn query1_explains_alices_v2_round() {
+    let ex = fig2::build();
+    let index = ProvIndex::build(&ex.graph);
+    let q1 = PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("weight-v2")])
+        .with_boundary(q_boundary(ex.v("weight-v2")));
+    let seg = prov_segment::pgseg(&ex.graph, &index, q1, &PgSegOptions::default()).unwrap();
+
+    // Direct path: weight-v2 -> train-v2 -> dataset-v1.
+    assert!(seg.category(ex.v("train-v2")).unwrap().contains(Categories::DIRECT));
+    // Similar path induces the other inputs Alice used (model-v2, solver-v1).
+    assert!(seg.category(ex.v("model-v2")).unwrap().contains(Categories::SIMILAR));
+    assert!(seg.category(ex.v("solver-v1")).unwrap().contains(Categories::SIMILAR));
+    // Sibling output of the same train run.
+    assert!(seg.category(ex.v("log-v2")).unwrap().contains(Categories::SIBLING));
+    // The expansion (2 activities from weight-v2) reaches Alice's update and
+    // the original model — "Bob knew Alice updated the model definitions".
+    assert!(seg.contains(ex.v("update-v2")));
+    assert!(seg.contains(ex.v("model-v1")));
+    // Agents come along via VC4.
+    assert!(seg.category(ex.v("Alice")).unwrap().contains(Categories::AGENT));
+    // Attribution and derivation edges were excluded by the boundary.
+    for &e in &seg.edges {
+        let kind = ex.graph.edge(e).kind;
+        assert!(kind != EdgeKind::WasAttributedTo && kind != EdgeKind::WasDerivedFrom);
+    }
+}
+
+#[test]
+fn query2_shows_bob_did_not_use_alices_model() {
+    let ex = fig2::build();
+    let index = ProvIndex::build(&ex.graph);
+    let q2 = PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("log-v3")])
+        .with_boundary(q_boundary(ex.v("log-v3")));
+    let seg = prov_segment::pgseg(&ex.graph, &index, q2, &PgSegOptions::default()).unwrap();
+
+    // Bob's round appears: solver update + retrain.
+    assert!(seg.contains(ex.v("update-v3")));
+    assert!(seg.contains(ex.v("solver-v3")));
+    assert!(seg.contains(ex.v("train-v3")));
+    assert!(seg.contains(ex.v("model-v1")), "Bob reused the ORIGINAL model");
+    // "The result showed Bob … did not use her new model committed in v2."
+    assert!(!seg.contains(ex.v("model-v2")));
+    assert!(!seg.contains(ex.v("weight-v2")));
+    // And not Alice's v2 training either.
+    assert!(!seg.contains(ex.v("train-v2")));
+}
+
+#[test]
+fn query3_summary_merges_trains_and_keeps_update_alternatives() {
+    let ex = fig2::build();
+    let index = ProvIndex::build(&ex.graph);
+    let opts = PgSegOptions::default();
+    let seg1 = prov_segment::pgseg(
+        &ex.graph,
+        &index,
+        PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("weight-v2")])
+            .with_boundary(q_boundary(ex.v("weight-v2"))),
+        &opts,
+    )
+    .unwrap();
+    let seg2 = prov_segment::pgseg(
+        &ex.graph,
+        &index,
+        PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("log-v3")])
+            .with_boundary(q_boundary(ex.v("log-v3"))),
+        &opts,
+    )
+    .unwrap();
+
+    let psg = prov_summary::pgsum(
+        &ex.graph,
+        &[SegmentRef::from(&seg1), SegmentRef::from(&seg2)],
+        &PgSumQuery::fig2e(),
+    );
+
+    // The summary is smaller than the union of the segments.
+    assert!(psg.vertex_count() < psg.input_vertex_count);
+    // Edge frequencies are halves or wholes (|S| = 2).
+    for e in &psg.edges {
+        let scaled = e.frequency * 2.0;
+        assert!((scaled - scaled.round()).abs() < 1e-9);
+        assert!(e.frequency >= 0.5 - 1e-9 && e.frequency <= 1.0 + 1e-9);
+    }
+    // Agents were aggregated into a single abstract team member per type.
+    let agent_groups =
+        psg.vertices.iter().filter(|v| v.kind == VertexKind::Agent).count();
+    assert!(agent_groups <= 2, "Alice and Bob collapse (got {agent_groups})");
+    // Some edge appears in both segments (the dataset-usage backbone).
+    assert!(psg.edges.iter().any(|e| e.frequency >= 1.0 - 1e-9));
+    // And some edge is segment-specific (the alternative update routines).
+    assert!(psg.edges.iter().any(|e| e.frequency <= 0.5 + 1e-9));
+}
+
+#[test]
+fn query1_and_query2_via_provdb_facade() {
+    let ex = fig2::build();
+    let mut db = prov_core::ProvDb::from_graph(ex.graph.clone());
+    let seg = db
+        .segment(
+            PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("weight-v2")])
+                .with_boundary(q_boundary(ex.v("weight-v2"))),
+            &PgSegOptions::default(),
+        )
+        .unwrap();
+    assert!(seg.contains(ex.v("train-v2")));
+    // Lineage sanity through the facade.
+    let ancestors = db.ancestors_of(ex.v("weight-v3"));
+    assert!(ancestors.contains(&ex.v("solver-v3")));
+    assert!(ancestors.contains(&ex.v("dataset-v1")));
+    assert!(!ancestors.contains(&ex.v("model-v2")));
+}
