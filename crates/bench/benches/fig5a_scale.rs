@@ -42,10 +42,8 @@ fn bench_scale(c: &mut Criterion) {
         }
         // The Cypher baseline only at the paper's feasible size.
         if n == 100 {
-            let opts = PgSegOptions {
-                evaluator: SimilarEvaluator::Naive,
-                ..PgSegOptions::default()
-            };
+            let opts =
+                PgSegOptions { evaluator: SimilarEvaluator::Naive, ..PgSegOptions::default() };
             group.bench_with_input(BenchmarkId::new("cypher_naive", n), &n, |b, _| {
                 b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts))
             });

@@ -28,11 +28,9 @@ fn bench_earlystop(c: &mut Criterion) {
             ("tst_noprune", SimilarEvaluator::SimProvTst, false),
         ] {
             let opts = PgSegOptions { evaluator, early_stop, ..PgSegOptions::default() };
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("src@{pct}%")),
-                &pct,
-                |b, _| b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("src@{pct}%")), &pct, |b, _| {
+                b.iter(|| evaluate_similarity(&view, &vsrc, &vdst, &opts))
+            });
         }
     }
     group.finish();

@@ -19,11 +19,8 @@ fn query() -> PgSumQuery {
 
 fn prepared(params: &SdParams) -> (prov_store::ProvGraph, Vec<SegmentRef>) {
     let out = generate_sd(params);
-    let segments = out
-        .segments
-        .iter()
-        .map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone()))
-        .collect();
+    let segments =
+        out.segments.iter().map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone())).collect();
     (out.graph, segments)
 }
 

@@ -159,11 +159,7 @@ pub fn fig5a(scale: Scale) -> FigureResult {
         ("CflrB".into(), SimilarEvaluator::CflrB(SetBackend::Bit), cflr_cap),
         ("CflrB wCBM".into(), SimilarEvaluator::CflrB(SetBackend::Compressed), cflr_cap),
         ("SimProvAlg".into(), SimilarEvaluator::SimProvAlg(SetBackend::Bit), alg_bit_cap),
-        (
-            "Alg wCBM".into(),
-            SimilarEvaluator::SimProvAlg(SetBackend::Compressed),
-            usize::MAX,
-        ),
+        ("Alg wCBM".into(), SimilarEvaluator::SimProvAlg(SetBackend::Compressed), usize::MAX),
         ("SimProvTst".into(), SimilarEvaluator::SimProvTst, usize::MAX),
     ];
 
@@ -175,11 +171,8 @@ pub fn fig5a(scale: Scale) -> FigureResult {
         let inst = pd_instance(&PdParams::with_size(n));
         let view = MaskedGraph::unmasked(&inst.index);
         for ((name, evaluator, cap), serie) in methods.iter().zip(series.iter_mut()) {
-            let y = if n <= *cap {
-                time_eval(&view, &inst.vsrc, &inst.vdst, *evaluator)
-            } else {
-                None
-            };
+            let y =
+                if n <= *cap { time_eval(&view, &inst.vsrc, &inst.vdst, *evaluator) } else { None };
             let _ = name;
             serie.points.push((n as f64, y));
         }
@@ -210,10 +203,8 @@ fn sweep_pd<F: Fn(f64) -> PdParams>(
     make_params: F,
     methods: &[(&str, SimilarEvaluator)],
 ) -> Vec<Series> {
-    let mut series: Vec<Series> = methods
-        .iter()
-        .map(|(n, _)| Series { name: n.to_string(), points: Vec::new() })
-        .collect();
+    let mut series: Vec<Series> =
+        methods.iter().map(|(n, _)| Series { name: n.to_string(), points: Vec::new() }).collect();
     for &x in xs {
         let inst = pd_instance(&make_params(x));
         let view = MaskedGraph::unmasked(&inst.index);
@@ -259,8 +250,7 @@ pub fn fig5c(scale: Scale) -> FigureResult {
         ("SimProvAlg", SimilarEvaluator::SimProvAlg(SetBackend::Bit)),
         ("SimProvTst", SimilarEvaluator::SimProvTst),
     ];
-    let series =
-        sweep_pd(&xs, |li| PdParams { lambda_in: li, ..PdParams::with_size(n) }, &methods);
+    let series = sweep_pd(&xs, |li| PdParams { lambda_in: li, ..PdParams::with_size(n) }, &methods);
     FigureResult {
         id: "5c",
         title: format!("Varying activity input mean λi (Pd{n})"),
@@ -366,11 +356,8 @@ pub fn fig5e(scale: Scale) -> FigureResult {
 /// Fig. 5(f): compaction ratio vs number of activity types `k`.
 pub fn fig5f(scale: Scale) -> FigureResult {
     let xs = [3.0, 5.0, 10.0, 15.0, 20.0, 25.0];
-    let series = sweep_sd(
-        &xs,
-        |k| SdParams { k: k as usize, ..SdParams::default() },
-        &sd_seeds(scale),
-    );
+    let series =
+        sweep_sd(&xs, |k| SdParams { k: k as usize, ..SdParams::default() }, &sd_seeds(scale));
     FigureResult {
         id: "5f",
         title: "Varying activity types k (Sd: α=0.1, n=20, |S|=10)".into(),
@@ -383,11 +370,8 @@ pub fn fig5f(scale: Scale) -> FigureResult {
 /// Fig. 5(g): compaction ratio vs segment size `n`.
 pub fn fig5g(scale: Scale) -> FigureResult {
     let xs = [5.0, 10.0, 20.0, 30.0, 40.0, 50.0];
-    let series = sweep_sd(
-        &xs,
-        |n| SdParams { n: n as usize, ..SdParams::default() },
-        &sd_seeds(scale),
-    );
+    let series =
+        sweep_sd(&xs, |n| SdParams { n: n as usize, ..SdParams::default() }, &sd_seeds(scale));
     FigureResult {
         id: "5g",
         title: "Varying number of activities n (Sd: α=0.1, k=5, |S|=10)".into(),

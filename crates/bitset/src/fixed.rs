@@ -36,11 +36,7 @@ impl FixedBitSet {
 
     #[inline]
     fn check_bounds(&self, x: u32) {
-        assert!(
-            (x as usize) < self.nbits,
-            "FixedBitSet: id {x} out of universe 0..{}",
-            self.nbits
-        );
+        assert!((x as usize) < self.nbits, "FixedBitSet: id {x} out of universe 0..{}", self.nbits);
     }
 
     /// Iterate set bits in ascending order using word scans.

@@ -1,8 +1,8 @@
 //! Differential property tests: every `FastSet` implementation must behave like
 //! a reference `BTreeSet<u32>` under arbitrary operation sequences.
 
-use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
 use proptest::prelude::*;
+use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
 use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]

@@ -135,10 +135,7 @@ mod tests {
         let (g, ids) = sample();
         let idx = ProvIndex::build(&g);
         let tg = IndexedProvGraph::new(&idx);
-        assert_eq!(
-            collect(&tg, Terminal::VertexIs(ids[2])),
-            vec![(ids[2].raw(), ids[2].raw())]
-        );
+        assert_eq!(collect(&tg, Terminal::VertexIs(ids[2])), vec![(ids[2].raw(), ids[2].raw())]);
         assert!(collect(&tg, Terminal::VertexIs(VertexId::new(99))).is_empty());
     }
 }

@@ -26,10 +26,10 @@ pub mod simprov;
 pub mod solver;
 pub mod symbol;
 
+pub use derivation::{Derivation, DerivationTable, FactKey, NoTrace, Tracer};
 pub use grammar::{Grammar, Production};
 pub use graphs::IndexedProvGraph;
 pub use normal::{normalize, NormalGrammar};
-pub use derivation::{Derivation, DerivationTable, FactKey, NoTrace, Tracer};
 pub use solver::{
     solve, solve_bitset, solve_cbm, solve_hash, solve_traced, solve_with_tracer, CflrResult,
     SolveStats, TerminalEdges,

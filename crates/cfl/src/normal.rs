@@ -125,8 +125,9 @@ impl NormalGrammar {
 
 /// Convert `grammar` to binary normal form.
 pub fn normalize(grammar: &Grammar) -> NormalGrammar {
-    let mut names: Vec<String> =
-        (0..grammar.nonterminal_count()).map(|i| grammar.name(NonTerminal(i as u16)).to_string()).collect();
+    let mut names: Vec<String> = (0..grammar.nonterminal_count())
+        .map(|i| grammar.name(NonTerminal(i as u16)).to_string())
+        .collect();
     let original_count = names.len();
     let mut term_rules = Vec::new();
     let mut unit_rules = Vec::new();
@@ -163,8 +164,10 @@ pub fn normalize(grammar: &Grammar) -> NormalGrammar {
                 let mut rest = nts.pop().expect("rhs non-empty");
                 while nts.len() > 1 {
                     let left = nts.pop().expect("len > 1");
-                    let chain =
-                        fresh(&mut names, format!("C{}[{}]", binary_rules.len(), grammar.name(prod.lhs)));
+                    let chain = fresh(
+                        &mut names,
+                        format!("C{}[{}]", binary_rules.len(), grammar.name(prod.lhs)),
+                    );
                     binary_rules.push((chain, left, rest));
                     rest = chain;
                 }
@@ -227,8 +230,9 @@ mod tests {
         g.rule(a, [Symbol::T(u), Symbol::T(u)]);
         g.set_start(s);
         let n = normalize(&g);
-        let lifted_count =
-            (0..n.nonterminal_count()).filter(|&i| n.name(NonTerminal(i as u16)).starts_with("T[")).count();
+        let lifted_count = (0..n.nonterminal_count())
+            .filter(|&i| n.name(NonTerminal(i as u16)).starts_with("T["))
+            .count();
         assert_eq!(lifted_count, 1);
     }
 

@@ -156,15 +156,7 @@ mod tests {
         // One U-wrap: U⁻¹ A G⁻¹ v7 G A U (the Fig. 2(d) Q1 shape).
         assert!(g.accepts(
             h.start,
-            &[
-                u_inv(),
-                a_label(),
-                g_inv(),
-                Terminal::VertexIs(v(7)),
-                g_fwd(),
-                a_label(),
-                u_fwd()
-            ]
+            &[u_inv(), a_label(), g_inv(), Terminal::VertexIs(v(7)), g_fwd(), a_label(), u_fwd()]
         ));
         // Two wraps: U⁻¹ A G⁻¹ E U⁻¹ A G⁻¹ v7 G A U E G A U — mixed nesting.
         assert!(g.accepts(
@@ -195,15 +187,7 @@ mod tests {
         // Mismatched wrap types.
         assert!(!g.accepts(
             h.start,
-            &[
-                u_inv(),
-                a_label(),
-                g_inv(),
-                Terminal::VertexIs(v(7)),
-                g_fwd(),
-                e_label(),
-                g_fwd()
-            ]
+            &[u_inv(), a_label(), g_inv(), Terminal::VertexIs(v(7)), g_fwd(), e_label(), g_fwd()]
         ));
         // Wrong anchor.
         assert!(!g.accepts(h.start, &[g_inv(), Terminal::VertexIs(v(8)), g_fwd()]));
@@ -232,15 +216,7 @@ mod tests {
         // Without the E wraps it is not an Re word.
         assert!(!g.accepts(
             h.start,
-            &[
-                u_inv(),
-                a_label(),
-                g_inv(),
-                Terminal::VertexIs(v(3)),
-                g_fwd(),
-                a_label(),
-                u_fwd()
-            ]
+            &[u_inv(), a_label(), g_inv(), Terminal::VertexIs(v(3)), g_fwd(), a_label(), u_fwd()]
         ));
     }
 
@@ -250,22 +226,11 @@ mod tests {
         // Base anchor word.
         assert!(g.accepts(h.start, &[Terminal::VertexIs(v(3))]));
         // One level: U⁻¹ (G⁻¹ v3 G) U
-        assert!(g.accepts(
-            h.start,
-            &[u_inv(), g_inv(), Terminal::VertexIs(v(3)), g_fwd(), u_fwd()]
-        ));
+        assert!(g.accepts(h.start, &[u_inv(), g_inv(), Terminal::VertexIs(v(3)), g_fwd(), u_fwd()]));
         // Optional vertex-label wraps are allowed.
         assert!(g.accepts(
             h.start,
-            &[
-                e_label(),
-                u_inv(),
-                g_inv(),
-                Terminal::VertexIs(v(3)),
-                g_fwd(),
-                u_fwd(),
-                e_label()
-            ]
+            &[e_label(), u_inv(), g_inv(), Terminal::VertexIs(v(3)), g_fwd(), u_fwd(), e_label()]
         ));
         // Aa relation: G⁻¹ v3 G.
         let aa = h.activity_pairs.expect("fig4 exposes Aa");

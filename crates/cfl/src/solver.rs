@@ -13,8 +13,8 @@
 
 use crate::normal::NormalGrammar;
 use crate::symbol::{NonTerminal, Terminal};
-use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
 use prov_bitset::traits::HashFastSet;
+use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
 use std::collections::VecDeque;
 
 /// Provider of labeled edges for CFLR initialization.
@@ -257,7 +257,10 @@ pub fn solve_hash(grammar: &NormalGrammar, graph: &impl TerminalEdges) -> CflrRe
 }
 
 /// Convenience: solve with `FixedBitSet` fact tables (the paper's default).
-pub fn solve_bitset(grammar: &NormalGrammar, graph: &impl TerminalEdges) -> CflrResult<FixedBitSet> {
+pub fn solve_bitset(
+    grammar: &NormalGrammar,
+    graph: &impl TerminalEdges,
+) -> CflrResult<FixedBitSet> {
     solve::<FixedBitSet>(grammar, graph)
 }
 
@@ -357,8 +360,10 @@ mod tests {
         g.rule(s, [Symbol::T(u_inv), Symbol::N(s), Symbol::T(u)]);
         g.rule(s, [Symbol::T(Terminal::VertexIs(VertexId::new(1)))]);
         g.set_start(s);
-        let graph =
-            AdHoc { n: 2, edges: vec![(u_inv, 0, 1), (Terminal::VertexIs(VertexId::new(1)), 1, 1)] };
+        let graph = AdHoc {
+            n: 2,
+            edges: vec![(u_inv, 0, 1), (Terminal::VertexIs(VertexId::new(1)), 1, 1)],
+        };
         let res = solve_bitset(&normalize(&g), &graph);
         assert_eq!(res.pairs(s), vec![(1, 1)]);
     }

@@ -6,8 +6,8 @@
 //! * [`fig3`] — the repetitive model-adjustment loop of Fig. 3, used to
 //!   demonstrate similar-path induction.
 
-use prov_store::hash::FxHashMap;
 use prov_model::{EdgeKind, VertexId};
+use prov_store::hash::FxHashMap;
 use prov_store::ProvGraph;
 
 /// A built example: the graph plus a name → vertex map.
@@ -22,10 +22,7 @@ pub struct Example {
 impl Example {
     /// Resolve a figure name (panics on typos in tests/examples).
     pub fn v(&self, name: &str) -> VertexId {
-        *self
-            .names
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown example vertex {name:?}"))
+        *self.names.get(name).unwrap_or_else(|| panic!("unknown example vertex {name:?}"))
     }
 }
 
@@ -276,8 +273,7 @@ mod tests {
         assert_eq!(g.vprop(ex.v("log-v2"), "acc").and_then(|v| v.as_float()), Some(0.5));
         assert_eq!(g.vprop(ex.v("log-v3"), "acc").and_then(|v| v.as_float()), Some(0.75));
         // Bob's train-v3 uses Alice's ORIGINAL model-v1, not model-v2.
-        let inputs: Vec<VertexId> =
-            g.out_neighbors(ex.v("train-v3"), EdgeKind::Used).collect();
+        let inputs: Vec<VertexId> = g.out_neighbors(ex.v("train-v3"), EdgeKind::Used).collect();
         assert!(inputs.contains(&ex.v("model-v1")));
         assert!(!inputs.contains(&ex.v("model-v2")));
     }
@@ -297,10 +293,7 @@ mod tests {
         for round in ["1", "2"] {
             for op in ["update", "train", "plot"] {
                 let v = ex.v(&format!("{op}-{round}"));
-                assert_eq!(
-                    ex.graph.vprop(v, "command").and_then(|p| p.as_str()),
-                    Some(op)
-                );
+                assert_eq!(ex.graph.vprop(v, "command").and_then(|p| p.as_str()), Some(op));
             }
         }
         assert_eq!(ex.graph.kind_count(prov_model::VertexKind::Activity), 8);

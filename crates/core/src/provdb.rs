@@ -153,7 +153,8 @@ impl ProvDb {
             self.graph.add_edge(prov_model::EdgeKind::WasGeneratedBy, e, a)?;
             // Version lineage: derive from the previous version when present.
             if v > 1 {
-                if let Some(prev) = self.graph.vertex_by_name(&format!("{}-v{}", spec.artifact, v - 1))
+                if let Some(prev) =
+                    self.graph.vertex_by_name(&format!("{}-v{}", spec.artifact, v - 1))
                 {
                     self.graph.add_edge(prov_model::EdgeKind::WasDerivedFrom, e, prev)?;
                 }
@@ -179,11 +180,7 @@ impl ProvDb {
     // ------------------------------------------------------------------
 
     /// Run a one-shot PgSeg query.
-    pub fn segment(
-        &mut self,
-        query: PgSegQuery,
-        opts: &PgSegOptions,
-    ) -> StoreResult<SegmentGraph> {
+    pub fn segment(&mut self, query: PgSegQuery, opts: &PgSegOptions) -> StoreResult<SegmentGraph> {
         self.index();
         let index = self.index.as_ref().expect("built above");
         prov_segment::pgseg(&self.graph, index, query, opts)
@@ -322,10 +319,8 @@ mod tests {
         assert_eq!(db.graph().vertex_name(w2), Some("weights-v2"));
         assert_eq!(db.latest_version("weights"), Some(w2));
         // D edge w2 -> w1 exists.
-        let derived: Vec<VertexId> = db
-            .graph()
-            .out_neighbors(w2, prov_model::EdgeKind::WasDerivedFrom)
-            .collect();
+        let derived: Vec<VertexId> =
+            db.graph().out_neighbors(w2, prov_model::EdgeKind::WasDerivedFrom).collect();
         assert_eq!(derived, vec![w1]);
     }
 

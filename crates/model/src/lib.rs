@@ -72,8 +72,8 @@ mod tests {
     #[test]
     fn used_edge_must_be_activity_to_entity() {
         assert!(check_edge_types(EdgeKind::Used, VertexKind::Activity, VertexKind::Entity).is_ok());
-        let err = check_edge_types(EdgeKind::Used, VertexKind::Entity, VertexKind::Activity)
-            .unwrap_err();
+        let err =
+            check_edge_types(EdgeKind::Used, VertexKind::Entity, VertexKind::Activity).unwrap_err();
         assert_eq!(err.kind, EdgeKind::Used);
         assert!(err.to_string().contains("Used"));
     }
@@ -88,12 +88,8 @@ mod tests {
 
     #[test]
     fn derivation_is_entity_to_entity() {
-        assert!(check_edge_types(
-            EdgeKind::WasDerivedFrom,
-            VertexKind::Entity,
-            VertexKind::Entity
-        )
-        .is_ok());
+        assert!(check_edge_types(EdgeKind::WasDerivedFrom, VertexKind::Entity, VertexKind::Entity)
+            .is_ok());
         assert!(check_edge_types(
             EdgeKind::WasDerivedFrom,
             VertexKind::Activity,

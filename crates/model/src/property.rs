@@ -176,10 +176,7 @@ impl PropMap {
 
     /// Look up a property (`σ(v, p)` / `ω(e, p)`; `None` encodes partiality).
     pub fn get(&self, key: PropKeyId) -> Option<&PropValue> {
-        self.entries
-            .binary_search_by_key(&key, |(k, _)| *k)
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by_key(&key, |(k, _)| *k).ok().map(|i| &self.entries[i].1)
     }
 
     /// Remove a property, returning it if present.

@@ -427,8 +427,12 @@ mod tests {
         let t1 = ids[1]; // activity: invalid as src/dst
         let out = similar_alg_bitset(&view, &[t1], &[ids[6]], &AlgConfig::paper_default());
         assert!(out.answer.is_empty());
-        let out =
-            similar_alg_bitset(&view, &[VertexId::new(999)], &[ids[6]], &AlgConfig::paper_default());
+        let out = similar_alg_bitset(
+            &view,
+            &[VertexId::new(999)],
+            &[ids[6]],
+            &AlgConfig::paper_default(),
+        );
         assert!(out.answer.is_empty());
     }
 }

@@ -183,10 +183,8 @@ impl Boundary {
             .vertex_ids()
             .map(|v| self.vertex_preds.iter().all(|p| p.keep(graph, v)))
             .collect();
-        let edge_ok = graph
-            .edge_ids()
-            .map(|e| self.edge_preds.iter().all(|p| p.keep(graph, e)))
-            .collect();
+        let edge_ok =
+            graph.edge_ids().map(|e| self.edge_preds.iter().all(|p| p.keep(graph, e))).collect();
         Mask { vertex_ok, edge_ok }
     }
 }

@@ -14,8 +14,8 @@
 
 use crate::outcome::{EvalStats, SimilarOutcome};
 use crate::view::MaskedGraph;
-use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet, SetBackend};
 use prov_bitset::traits::HashFastSet;
+use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet, SetBackend};
 use prov_cfl::simprov;
 use prov_cfl::{normalize, solve, CflrResult};
 use prov_model::{VertexId, VertexKind};
@@ -94,9 +94,7 @@ pub fn similar_cflr(
         .iter()
         .copied()
         .filter(|&v| {
-            v.index() < idx.vertex_count()
-                && view.vertex_ok(v)
-                && idx.kind(v) == VertexKind::Entity
+            v.index() < idx.vertex_count() && view.vertex_ok(v) && idx.kind(v) == VertexKind::Entity
         })
         .collect();
     let (grammar, handles) = match form {
@@ -163,13 +161,8 @@ mod tests {
             ids.iter().copied().filter(|&v| idx.kind(v) == VertexKind::Entity).collect();
         for &src in &entities {
             for &dst in &entities {
-                let c = similar_cflr(
-                    &view,
-                    &[src],
-                    &[dst],
-                    GrammarForm::NormalFig6,
-                    SetBackend::Bit,
-                );
+                let c =
+                    similar_cflr(&view, &[src], &[dst], GrammarForm::NormalFig6, SetBackend::Bit);
                 let a = similar_alg_bitset(&view, &[src], &[dst], &AlgConfig::paper_default());
                 let t = similar_tst(&view, &[src], &[dst], &TstConfig::default());
                 assert_eq!(c.answer, t.answer, "cflr vs tst src={src} dst={dst}");
@@ -195,8 +188,7 @@ mod tests {
         let (d, w2) = (ids[0], ids[8]);
         let mut answers = Vec::new();
         for backend in SetBackend::ALL {
-            answers
-                .push(similar_cflr(&view, &[d], &[w2], GrammarForm::NormalFig6, backend).answer);
+            answers.push(similar_cflr(&view, &[d], &[w2], GrammarForm::NormalFig6, backend).answer);
         }
         assert_eq!(answers[0], answers[1]);
         assert_eq!(answers[1], answers[2]);

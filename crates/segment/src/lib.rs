@@ -33,7 +33,9 @@ pub mod segment_graph;
 pub mod tst;
 pub mod view;
 
-pub use alg::{similar_alg, similar_alg_bitset, similar_alg_cbm, AlgConfig, ConstraintTable, SimilarConstraint};
+pub use alg::{
+    similar_alg, similar_alg_bitset, similar_alg_cbm, AlgConfig, ConstraintTable, SimilarConstraint,
+};
 pub use boundary::{Boundary, EdgePred, Expansion, Mask, VertexPred};
 pub use cflr_baseline::{similar_cflr, GrammarForm};
 pub use direct::{direct_path_exists, direct_path_vertices};

@@ -163,12 +163,7 @@ pub fn similar_naive_constrained(
     SimilarOutcome {
         answer: crate::outcome::marks_to_vec(&marks),
         vc2: Some(crate::outcome::marks_to_vec(&vc2)),
-        stats: EvalStats {
-            elapsed: t0.elapsed(),
-            work: total_paths,
-            memory_bytes: 0,
-            dnf,
-        },
+        stats: EvalStats { elapsed: t0.elapsed(), work: total_paths, memory_bytes: 0, dnf },
     }
 }
 
@@ -206,11 +201,8 @@ mod tests {
     fn naive_agrees_with_tst_answers_and_vc2() {
         let (_, idx, ids) = fan();
         let view = MaskedGraph::unmasked(&idx);
-        let entities: Vec<_> = ids
-            .iter()
-            .copied()
-            .filter(|&v| idx.kind(v) == VertexKind::Entity)
-            .collect();
+        let entities: Vec<_> =
+            ids.iter().copied().filter(|&v| idx.kind(v) == VertexKind::Entity).collect();
         for &src in &entities {
             for &dst in &entities {
                 let nv = similar_naive(&view, &[src], &[dst], NaiveBudget::default());

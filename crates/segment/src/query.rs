@@ -128,9 +128,12 @@ pub fn evaluate_similarity(
                 _ => similar_alg_bitset(view, vsrc, vdst, &cfg),
             }
         }
-        SimilarEvaluator::SimProvTst => {
-            similar_tst(view, vsrc, vdst, &TstConfig { early_stop: opts.early_stop, max_levels: None, compressed_sets: false })
-        }
+        SimilarEvaluator::SimProvTst => similar_tst(
+            view,
+            vsrc,
+            vdst,
+            &TstConfig { early_stop: opts.early_stop, max_levels: None, compressed_sets: false },
+        ),
     }
 }
 
@@ -153,10 +156,14 @@ impl<'a> PgSegSession<'a> {
         opts: &PgSegOptions,
     ) -> StoreResult<Self> {
         query.validate(graph)?;
-        let mask =
-            if query.boundary.has_exclusions() { Some(query.boundary.compile(graph)) } else { None };
+        let mask = if query.boundary.has_exclusions() {
+            Some(query.boundary.compile(graph))
+        } else {
+            None
+        };
         let view = MaskedGraph::new(index, mask.as_ref());
-        let tst_cfg = TstConfig { early_stop: opts.early_stop, max_levels: None, compressed_sets: false };
+        let tst_cfg =
+            TstConfig { early_stop: opts.early_stop, max_levels: None, compressed_sets: false };
         let mut cached = induce(graph, &view, &query.vsrc, &query.vdst, mask.as_ref(), &tst_cfg);
         // Apply the query's own expansion boundaries immediately.
         for exp in &query.boundary.expansions {
@@ -220,12 +227,8 @@ fn apply_expansion(
 ) {
     let added = expansion_vertices(view, roots, k);
     let seg = &cached.segment;
-    let mut cat_map: FxHashMap<VertexId, Categories> = seg
-        .vertices
-        .iter()
-        .zip(seg.categories.iter())
-        .map(|(&v, &c)| (v, c))
-        .collect();
+    let mut cat_map: FxHashMap<VertexId, Categories> =
+        seg.vertices.iter().zip(seg.categories.iter()).map(|(&v, &c)| (v, c)).collect();
     for v in added {
         let entry = cat_map.entry(v).or_insert_with(Categories::none);
         *entry = entry.union(Categories::EXPANDED);
@@ -330,11 +333,7 @@ mod tests {
         assert!(!session.segment().contains(ids[0]), "d beyond the segment");
         session.expand(&[ids[2]], 1);
         assert!(session.segment().contains(ids[0]), "expansion pulls d in");
-        assert!(session
-            .segment()
-            .category(ids[0])
-            .unwrap()
-            .contains(Categories::EXPANDED));
+        assert!(session.segment().category(ids[0]).unwrap().contains(Categories::EXPANDED));
     }
 
     #[test]

@@ -414,9 +414,18 @@ mod tests {
         let (_, idx, ids) = two_round();
         let view = MaskedGraph::unmasked(&idx);
         let (m1, w) = (ids[2], ids[6]);
-        let with = similar_tst(&view, &[m1], &[w], &TstConfig { early_stop: true, max_levels: None, compressed_sets: false });
-        let without =
-            similar_tst(&view, &[m1], &[w], &TstConfig { early_stop: false, max_levels: None, compressed_sets: false });
+        let with = similar_tst(
+            &view,
+            &[m1],
+            &[w],
+            &TstConfig { early_stop: true, max_levels: None, compressed_sets: false },
+        );
+        let without = similar_tst(
+            &view,
+            &[m1],
+            &[w],
+            &TstConfig { early_stop: false, max_levels: None, compressed_sets: false },
+        );
         assert_eq!(with.answer, without.answer);
         assert_eq!(with.vc2, without.vc2);
         // Early stop must do no more work than the full run.

@@ -1,13 +1,13 @@
 //! Tests for the property-constrained SimProv extension (Sec. III-A: "the
 //! induced path should use the same commands as the path from Vsrc to Vdst").
 
+use proptest::prelude::*;
 use prov_model::{EdgeKind, VertexId};
 use prov_segment::{
     similar_alg_bitset, similar_naive_constrained, AlgConfig, MaskedGraph, NaiveBudget,
     SimilarConstraint,
 };
 use prov_store::{ProvGraph, ProvIndex};
-use proptest::prelude::*;
 
 /// Two rounds feed `w`: round A (`d -> t1"train" -> m1`) and round B
 /// (`d2 -> t2"finetune" -> m2`), merged by `t3` into `w`. With the
@@ -73,11 +73,8 @@ fn constrained_alg_matches_naive_reference_on_fixture() {
     let (g, idx, ids) = mixed_commands();
     let view = MaskedGraph::unmasked(&idx);
     let table = SimilarConstraint::same_command().compile(&g);
-    let entities: Vec<VertexId> = ids
-        .iter()
-        .copied()
-        .filter(|&v| idx.kind(v) == prov_model::VertexKind::Entity)
-        .collect();
+    let entities: Vec<VertexId> =
+        ids.iter().copied().filter(|&v| idx.kind(v) == prov_model::VertexKind::Entity).collect();
     for &src in &entities {
         for &dst in &entities {
             let cfg = AlgConfig { constraint: Some(table.clone()), ..AlgConfig::paper_default() };

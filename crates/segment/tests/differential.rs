@@ -3,6 +3,7 @@
 //! the two exact inducers (SimProvTst, naive enumeration) must agree on the
 //! full `VC2` vertex set.
 
+use proptest::prelude::*;
 use prov_bitset::SetBackend;
 use prov_model::{EdgeKind, VertexId, VertexKind};
 use prov_segment::{
@@ -10,7 +11,6 @@ use prov_segment::{
     SimilarEvaluator, TstConfig,
 };
 use prov_store::{ProvGraph, ProvIndex};
-use proptest::prelude::*;
 
 /// Plan for one activity: which existing entities it uses (by index into the
 /// entity pool) and how many entities it generates.
@@ -30,9 +30,8 @@ fn activity_plan() -> impl Strategy<Value = ActivityPlan> {
 /// early-stopping rule relies on).
 fn build_graph(seed_entities: usize, plans: &[ActivityPlan]) -> (ProvGraph, Vec<VertexId>) {
     let mut g = ProvGraph::new();
-    let mut entities: Vec<VertexId> = (0..seed_entities)
-        .map(|i| g.add_entity(&format!("seed{i}")))
-        .collect();
+    let mut entities: Vec<VertexId> =
+        (0..seed_entities).map(|i| g.add_entity(&format!("seed{i}"))).collect();
     for (ai, plan) in plans.iter().enumerate() {
         let a = g.add_activity(&format!("act{ai}"));
         let mut used = std::collections::BTreeSet::new();

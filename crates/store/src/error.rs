@@ -60,8 +60,6 @@ mod tests {
         .into();
         assert!(err.to_string().contains("invalid edge"));
         assert!(StoreError::UnknownVertex(VertexId::new(3)).to_string().contains("v3"));
-        assert!(StoreError::CycleDetected { on: VertexId::new(1) }
-            .to_string()
-            .contains("acyclic"));
+        assert!(StoreError::CycleDetected { on: VertexId::new(1) }.to_string().contains("acyclic"));
     }
 }

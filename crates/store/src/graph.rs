@@ -164,7 +164,12 @@ impl ProvGraph {
     // ------------------------------------------------------------------
 
     /// Add an edge after validating the PROV domain/range rule.
-    pub fn add_edge(&mut self, kind: EdgeKind, src: VertexId, dst: VertexId) -> StoreResult<EdgeId> {
+    pub fn add_edge(
+        &mut self,
+        kind: EdgeKind,
+        src: VertexId,
+        dst: VertexId,
+    ) -> StoreResult<EdgeId> {
         let src_kind = self.try_vertex(src)?.kind;
         let dst_kind = self.try_vertex(dst)?.kind;
         check_edge_types(kind, src_kind, dst_kind)?;
@@ -221,7 +226,11 @@ impl ProvGraph {
     }
 
     /// Out-neighbors reached via edges of `kind`.
-    pub fn out_neighbors(&self, v: VertexId, kind: EdgeKind) -> impl Iterator<Item = VertexId> + '_ {
+    pub fn out_neighbors(
+        &self,
+        v: VertexId,
+        kind: EdgeKind,
+    ) -> impl Iterator<Item = VertexId> + '_ {
         self.out_edges(v).filter(move |(_, e)| e.kind == kind).map(|(_, e)| e.dst)
     }
 
@@ -289,12 +298,7 @@ impl ProvGraph {
     /// Vertices of `kind` whose property `key` equals `value`. Uses a
     /// declared secondary index when available ([`ProvGraph::create_vprop_index`]),
     /// otherwise scans the kind's vertices.
-    pub fn find_by_prop(
-        &self,
-        kind: VertexKind,
-        key: &str,
-        value: &PropValue,
-    ) -> Vec<VertexId> {
+    pub fn find_by_prop(&self, kind: VertexKind, key: &str, value: &PropValue) -> Vec<VertexId> {
         let Some(k) = self.keys.get(key) else { return Vec::new() };
         if let Some(index) = self.indexes.get(kind, k) {
             return index.get(value).to_vec();
@@ -427,7 +431,12 @@ impl std::fmt::Display for GraphStats {
         write!(
             f,
             "|V|={} (E={}, A={}, Ag={})  |edges|={} (U={}, G={})",
-            self.vertices, self.entities, self.activities, self.agents, self.edges, self.used,
+            self.vertices,
+            self.entities,
+            self.activities,
+            self.agents,
+            self.edges,
+            self.used,
             self.generated
         )
     }

@@ -76,9 +76,7 @@ pub fn to_json(graph: &ProvGraph) -> JsonGraph {
             let props = rec
                 .props
                 .iter()
-                .map(|(k, val)| {
-                    (graph.key_name(k).expect("interned key").to_string(), val.clone())
-                })
+                .map(|(k, val)| (graph.key_name(k).expect("interned key").to_string(), val.clone()))
                 .collect();
             JsonVertex {
                 id: v.raw(),
@@ -95,9 +93,7 @@ pub fn to_json(graph: &ProvGraph) -> JsonGraph {
             let props = e
                 .props
                 .iter()
-                .map(|(k, val)| {
-                    (graph.key_name(k).expect("interned key").to_string(), val.clone())
-                })
+                .map(|(k, val)| (graph.key_name(k).expect("interned key").to_string(), val.clone()))
                 .collect();
             JsonEdge {
                 kind: e.kind.prov_term().to_string(),
@@ -143,8 +139,7 @@ pub fn from_json(doc: &JsonGraph) -> StoreResult<ProvGraph> {
 
 /// Parse a graph from a JSON string.
 pub fn from_json_string(s: &str) -> StoreResult<ProvGraph> {
-    let doc: JsonGraph =
-        serde_json::from_str(s).map_err(|e| StoreError::Import(e.to_string()))?;
+    let doc: JsonGraph = serde_json::from_str(s).map_err(|e| StoreError::Import(e.to_string()))?;
     from_json(&doc)
 }
 

@@ -305,7 +305,15 @@ fn expand_rel(
                 path.vertices.push(e.dst);
                 path.edges.push(eid);
                 let ok = expand_rel(
-                    graph, pattern, step_idx, rel, node, hops_done + 1, path, out, expansions,
+                    graph,
+                    pattern,
+                    step_idx,
+                    rel,
+                    node,
+                    hops_done + 1,
+                    path,
+                    out,
+                    expansions,
                     budget,
                 );
                 path.vertices.pop();
@@ -323,7 +331,15 @@ fn expand_rel(
                 path.vertices.push(e.src);
                 path.edges.push(eid);
                 let ok = expand_rel(
-                    graph, pattern, step_idx, rel, node, hops_done + 1, path, out, expansions,
+                    graph,
+                    pattern,
+                    step_idx,
+                    rel,
+                    node,
+                    hops_done + 1,
+                    path,
+                    out,
+                    expansions,
                     budget,
                 );
                 path.vertices.pop();
@@ -438,10 +454,8 @@ mod tests {
     #[test]
     fn budget_exhaustion_is_reported() {
         let (g, ..) = mini();
-        let pat = PathPattern::node(NodeSpec::any()).then(
-            RelSpec::star(&[], PatternDir::Either, 0, RelSpec::UNBOUNDED),
-            NodeSpec::any(),
-        );
+        let pat = PathPattern::node(NodeSpec::any())
+            .then(RelSpec::star(&[], PatternDir::Either, 0, RelSpec::UNBOUNDED), NodeSpec::any());
         let res = match_paths(&g, &pat, Budget { max_expansions: 3, max_paths: 10 });
         assert!(!res.is_complete());
     }

@@ -61,8 +61,7 @@ impl PropertyAggregation {
     /// visible keys (missing properties stay `None`, preserving partiality).
     pub fn label(&self, graph: &ProvGraph, v: VertexId) -> AggLabel {
         let kind = graph.vertex_kind(v);
-        let values =
-            self.keys_for(kind).iter().map(|k| graph.vprop(v, k).cloned()).collect();
+        let values = self.keys_for(kind).iter().map(|k| graph.vprop(v, k).cloned()).collect();
         AggLabel { kind, values }
     }
 }
@@ -123,8 +122,8 @@ mod tests {
         // Different lr, same command: equal labels.
         assert_eq!(k.label(&g, t1), k.label(&g, t2));
         // Making lr visible separates them.
-        let k2 = PropertyAggregation::ignore_all()
-            .with_keys(VertexKind::Activity, &["command", "lr"]);
+        let k2 =
+            PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command", "lr"]);
         assert_ne!(k2.label(&g, t1), k2.label(&g, t2));
     }
 

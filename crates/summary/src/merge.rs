@@ -21,7 +21,7 @@
 //! count, so at most `O(n)` recomputations happen (far fewer in practice).
 
 use crate::simulation::{simulation, SimDirection, SimRelation};
-use crate::union::{G0, G0Node};
+use crate::union::{G0Node, G0};
 use prov_store::hash::FxHashSet;
 
 /// Union-find over g0 node ids.
@@ -132,12 +132,7 @@ fn merge_equiv_classes(g: &G0, rel: &SimRelation, dsu: &mut Dsu) -> bool {
 }
 
 /// Union condition-3 pairs: `u ≤in v ∧ u ≤out v` (u strictly dominated).
-fn merge_dominated(
-    g: &G0,
-    le_in: &SimRelation,
-    le_out: &SimRelation,
-    dsu: &mut Dsu,
-) -> bool {
+fn merge_dominated(g: &G0, le_in: &SimRelation, le_out: &SimRelation, dsu: &mut Dsu) -> bool {
     let mut merged = false;
     for u in 0..g.len() as u32 {
         for v in le_in.above(u) {

@@ -51,11 +51,7 @@ pub fn pgsum_with_internals(
 }
 
 /// Evaluate the pSum baseline under the same `(K, Rk)` labeling.
-pub fn psum_baseline(
-    graph: &ProvGraph,
-    segments: &[SegmentRef],
-    query: &PgSumQuery,
-) -> PsumResult {
+pub fn psum_baseline(graph: &ProvGraph, segments: &[SegmentRef], query: &PgSumQuery) -> PsumResult {
     let g0 = build_g0(graph, segments, &query.aggregation, query.k);
     psum(&g0)
 }
@@ -199,8 +195,7 @@ mod tests {
                 indeg[d as usize] += 1;
             }
         }
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
         let mut seen = 0;
         while let Some(v) = queue.pop() {
             seen += 1;

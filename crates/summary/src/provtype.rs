@@ -53,11 +53,8 @@ pub fn provenance_types(
     }
 
     // Round 0: aggregate labels.
-    let mut current: FxHashMap<VertexId, u64> = segment
-        .vertices
-        .iter()
-        .map(|&v| (v, fx_hash64(&aggregation.label(graph, v))))
-        .collect();
+    let mut current: FxHashMap<VertexId, u64> =
+        segment.vertices.iter().map(|&v| (v, fx_hash64(&aggregation.label(graph, v)))).collect();
 
     // Rounds 1..=k: refine by neighbor multisets.
     let mut scratch: Vec<(u8, u8, u64)> = Vec::new();
@@ -105,8 +102,7 @@ mod tests {
     #[test]
     fn k0_ignores_structure() {
         let (g, seg, u1, u2) = shapes();
-        let agg =
-            PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
+        let agg = PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
         let t = provenance_types(&g, &seg, &agg, 0);
         assert_eq!(t.fingerprint[&u1], t.fingerprint[&u2]);
     }
@@ -114,8 +110,7 @@ mod tests {
     #[test]
     fn k1_separates_different_degrees() {
         let (g, seg, u1, u2) = shapes();
-        let agg =
-            PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
+        let agg = PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
         let t = provenance_types(&g, &seg, &agg, 1);
         assert_ne!(
             t.fingerprint[&u1], t.fingerprint[&u2],
@@ -160,8 +155,7 @@ mod tests {
             vec![VertexId::new(0), VertexId::new(1), u1, u2],
             vec![prov_model::EdgeId::new(0), prov_model::EdgeId::new(1)],
         );
-        let agg =
-            PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
+        let agg = PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
         let t = provenance_types(&g, &seg, &agg, 1);
         assert_eq!(t.fingerprint[&u1], t.fingerprint[&u2]);
     }

@@ -124,12 +124,7 @@ impl Psg {
             .collect();
         edges.sort_by_key(|e| (e.src, e.dst, e.kind.as_index()));
 
-        Psg {
-            vertices,
-            edges,
-            segment_count: g0.segment_count,
-            input_vertex_count: g0.len(),
-        }
+        Psg { vertices, edges, segment_count: g0.segment_count, input_vertex_count: g0.len() }
     }
 
     /// Render as Graphviz DOT with frequency-annotated edges.
@@ -198,12 +193,8 @@ mod tests {
         // The U edge appears in all 3 segments... but k=1 gives the lone
         // `train` (no output) a different provenance type, so two activity
         // groups exist with their own U edges.
-        let u_freqs: Vec<f64> = psg
-            .edges
-            .iter()
-            .filter(|e| e.kind == EK::Used)
-            .map(|e| e.frequency)
-            .collect();
+        let u_freqs: Vec<f64> =
+            psg.edges.iter().filter(|e| e.kind == EK::Used).map(|e| e.frequency).collect();
         let g_freqs: Vec<f64> = psg
             .edges
             .iter()

@@ -34,7 +34,12 @@ type BlockSignature = (u32, Vec<(u8, u32)>, Vec<(u8, u32)>);
 pub fn psum(g0: &G0) -> PsumResult {
     let n = g0.len();
     if n == 0 {
-        return PsumResult { block_of: Vec::new(), block_count: 0, compaction_ratio: 1.0, iterations: 0 };
+        return PsumResult {
+            block_of: Vec::new(),
+            block_count: 0,
+            compaction_ratio: 1.0,
+            iterations: 0,
+        };
     }
     // Virtual anchors: start = n, end = n + 1.
     let start = n;

@@ -64,9 +64,7 @@ pub fn simulation(g0: &G0, direction: SimDirection) -> SimRelation {
     for v in 0..n {
         let mut per: [Option<Box<FixedBitSet>>; KINDS] = Default::default();
         for &(k, c) in &adj[v] {
-            per[k as usize]
-                .get_or_insert_with(|| Box::new(FixedBitSet::new(n)))
-                .insert(c);
+            per[k as usize].get_or_insert_with(|| Box::new(FixedBitSet::new(n))).insert(c);
         }
         children_by_kind.push(per);
     }
@@ -75,10 +73,7 @@ pub fn simulation(g0: &G0, direction: SimDirection) -> SimRelation {
     let mut by_class: std::collections::HashMap<crate::union::ClassId, FixedBitSet> =
         std::collections::HashMap::new();
     for v in 0..n as u32 {
-        by_class
-            .entry(g0.class(v))
-            .or_insert_with(|| FixedBitSet::new(n))
-            .insert(v);
+        by_class.entry(g0.class(v)).or_insert_with(|| FixedBitSet::new(n)).insert(v);
     }
     let mut sim: Vec<FixedBitSet> = (0..n as u32).map(|v| by_class[&g0.class(v)].clone()).collect();
 

@@ -110,14 +110,7 @@ pub fn build_g0(
         }
     }
 
-    G0 {
-        nodes,
-        out_adj,
-        in_adj,
-        segment_count: segments.len(),
-        class_labels,
-        class_names,
-    }
+    G0 { nodes, out_adj, in_adj, segment_count: segments.len(), class_labels, class_names }
 }
 
 #[cfg(test)]

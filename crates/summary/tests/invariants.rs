@@ -5,6 +5,7 @@
 //! * merging is idempotent (summarizing a summary changes nothing);
 //! * the fast simulation equals the naive fixpoint.
 
+use proptest::prelude::*;
 use prov_model::{EdgeKind, VertexId};
 use prov_store::ProvGraph;
 use prov_summary::paths::check_invariant;
@@ -12,7 +13,6 @@ use prov_summary::simulation::{simulation, simulation_naive, SimDirection};
 use prov_summary::{
     build_g0, merge, pgsum_with_internals, psum, PgSumQuery, PropertyAggregation, SegmentRef,
 };
-use proptest::prelude::*;
 
 /// Plan for one segment: a chain/DAG of `steps` activities over `k` activity
 /// type labels, each consuming 1–2 previous entities and producing 1–2.
@@ -23,11 +23,7 @@ struct SegmentPlan {
 
 fn segment_plan(max_types: u8) -> impl Strategy<Value = SegmentPlan> {
     proptest::collection::vec(
-        (
-            0..max_types,
-            proptest::collection::vec(any::<prop::sample::Index>(), 1..3),
-            1..3usize,
-        ),
+        (0..max_types, proptest::collection::vec(any::<prop::sample::Index>(), 1..3), 1..3usize),
         1..6,
     )
     .prop_map(|steps| SegmentPlan { steps })

@@ -81,23 +81,21 @@ pub fn generate_pd(params: &PdParams) -> ProvGraph {
 
     // Artifact versioning bookkeeping (properties only).
     let mut artifact_versions: Vec<u32> = Vec::new();
-    let new_entity = |g: &mut ProvGraph,
-                          rng: &mut StdRng,
-                          artifact_versions: &mut Vec<u32>|
-     -> VertexId {
-        let artifact = if !artifact_versions.is_empty() && rng.gen::<f64>() < 0.7 {
-            rng.gen_range(0..artifact_versions.len())
-        } else {
-            artifact_versions.push(0);
-            artifact_versions.len() - 1
+    let new_entity =
+        |g: &mut ProvGraph, rng: &mut StdRng, artifact_versions: &mut Vec<u32>| -> VertexId {
+            let artifact = if !artifact_versions.is_empty() && rng.gen::<f64>() < 0.7 {
+                rng.gen_range(0..artifact_versions.len())
+            } else {
+                artifact_versions.push(0);
+                artifact_versions.len() - 1
+            };
+            artifact_versions[artifact] += 1;
+            let version = artifact_versions[artifact];
+            let v = g.add_entity(&format!("artifact{artifact}-v{version}"));
+            g.set_vprop(v, "filename", format!("artifact{artifact}"));
+            g.set_vprop(v, "version", version as i64);
+            v
         };
-        artifact_versions[artifact] += 1;
-        let version = artifact_versions[artifact];
-        let v = g.add_entity(&format!("artifact{artifact}-v{version}"));
-        g.set_vprop(v, "filename", format!("artifact{artifact}"));
-        g.set_vprop(v, "version", version as i64);
-        v
-    };
 
     // Seed entities, attributed to their creators.
     let mut entities: Vec<VertexId> = Vec::new();

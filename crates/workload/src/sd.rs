@@ -195,7 +195,13 @@ mod tests {
         // With tiny alpha each row is near-deterministic: long runs repeat few
         // types. With big alpha many types appear.
         let distinct_cmds = |alpha: f64| {
-            let out = generate_sd(&SdParams { alpha, n: 40, num_segments: 3, seed: 7, ..SdParams::default() });
+            let out = generate_sd(&SdParams {
+                alpha,
+                n: 40,
+                num_segments: 3,
+                seed: 7,
+                ..SdParams::default()
+            });
             let mut cmds = std::collections::HashSet::new();
             for seg in &out.segments {
                 for &v in &seg.vertices {
@@ -223,10 +229,7 @@ mod tests {
     fn entities_share_aggregate_label() {
         let out = generate_sd(&SdParams { num_segments: 2, ..SdParams::default() });
         for &v in out.graph.vertices_of_kind(VertexKind::Entity) {
-            assert_eq!(
-                out.graph.vprop(v, "filename").and_then(|p| p.as_str()),
-                Some("artifact")
-            );
+            assert_eq!(out.graph.vprop(v, "filename").and_then(|p| p.as_str()), Some("artifact"));
         }
     }
 }

@@ -34,12 +34,11 @@ fn main() {
     // entities, excludes attribution/derivation edges and extends two
     // activities away from the weights.
     // ------------------------------------------------------------------
-    let q1 = PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("weight-v2")])
-        .with_boundary(
-            Boundary::none()
-                .without_edge_kinds(&[EdgeKind::WasAttributedTo, EdgeKind::WasDerivedFrom])
-                .expand(vec![ex.v("weight-v2")], 2),
-        );
+    let q1 = PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("weight-v2")]).with_boundary(
+        Boundary::none()
+            .without_edge_kinds(&[EdgeKind::WasAttributedTo, EdgeKind::WasDerivedFrom])
+            .expand(vec![ex.v("weight-v2")], 2),
+    );
     let seg1 = prov_segment::pgseg(&graph, &index, q1, &PgSegOptions::default()).unwrap();
     print_segment("Query 1: {dataset-v1} -> {weight-v2}", &graph, &seg1);
     println!(
@@ -51,12 +50,11 @@ fn main() {
     // Query 2 (Fig. 2(d)): how did Bob get accuracy 0.75? Alice queries from
     // the dataset to Bob's log-v3.
     // ------------------------------------------------------------------
-    let q2 = PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("log-v3")])
-        .with_boundary(
-            Boundary::none()
-                .without_edge_kinds(&[EdgeKind::WasAttributedTo, EdgeKind::WasDerivedFrom])
-                .expand(vec![ex.v("log-v3")], 2),
-        );
+    let q2 = PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("log-v3")]).with_boundary(
+        Boundary::none()
+            .without_edge_kinds(&[EdgeKind::WasAttributedTo, EdgeKind::WasDerivedFrom])
+            .expand(vec![ex.v("log-v3")], 2),
+    );
     let seg2 = prov_segment::pgseg(&graph, &index, q2, &PgSegOptions::default()).unwrap();
     print_segment("Query 2: {dataset-v1} -> {log-v3}", &graph, &seg2);
     println!(
@@ -85,13 +83,7 @@ fn main() {
     }
     println!("edges (with appearance frequency):");
     for e in &psg.edges {
-        println!(
-            "  m{} -{}-> m{}   {:>3.0}%",
-            e.src,
-            e.kind.letter(),
-            e.dst,
-            e.frequency * 100.0
-        );
+        println!("  m{} -{}-> m{}   {:>3.0}%", e.src, e.kind.letter(), e.dst, e.frequency * 100.0);
     }
     println!("\nGraphviz DOT of the summary:\n{}", psg.to_dot());
 

@@ -29,11 +29,8 @@ fn main() {
         println!("  op{i}: [{}]", cells.join(", "));
     }
 
-    let segments: Vec<SegmentRef> = out
-        .segments
-        .iter()
-        .map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone()))
-        .collect();
+    let segments: Vec<SegmentRef> =
+        out.segments.iter().map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone())).collect();
 
     let query = PgSumQuery::new(
         PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]),
@@ -43,10 +40,7 @@ fn main() {
     let baseline = prov_summary::psum_baseline(&out.graph, &segments, &query);
 
     println!("\nPgSum: |M| = {:<4} cr = {:.3}", psg.vertex_count(), psg.compaction_ratio());
-    println!(
-        "pSum : |M| = {:<4} cr = {:.3}",
-        baseline.block_count, baseline.compaction_ratio
-    );
+    println!("pSum : |M| = {:<4} cr = {:.3}", baseline.block_count, baseline.compaction_ratio);
     assert!(psg.compaction_ratio() <= baseline.compaction_ratio + 1e-12);
 
     // The most common pipeline steps: activity-to-activity flows through

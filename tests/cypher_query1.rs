@@ -18,24 +18,20 @@ fn cypher_query1(graph: &ProvGraph, vsrc: &[VertexId], vdst: &[VertexId]) -> Vec
     let ancestry = [EdgeKind::Used, EdgeKind::WasGeneratedBy];
 
     // match p1 = (b:E)<-[:U|G*]-(e1:E) where id(b) in Vsrc, id(e1) in Vdst
-    let p1_pattern = PathPattern::node(
-        NodeSpec::of_kind(VertexKind::Entity).with_ids(vsrc.to_vec()),
-    )
-    .then(
-        RelSpec::star(&ancestry, PatternDir::Backward, 0, RelSpec::UNBOUNDED),
-        NodeSpec::of_kind(VertexKind::Entity).with_ids(vdst.to_vec()),
-    );
+    let p1_pattern =
+        PathPattern::node(NodeSpec::of_kind(VertexKind::Entity).with_ids(vsrc.to_vec())).then(
+            RelSpec::star(&ancestry, PatternDir::Backward, 0, RelSpec::UNBOUNDED),
+            NodeSpec::of_kind(VertexKind::Entity).with_ids(vdst.to_vec()),
+        );
     let p1 = prov_store::pattern::match_paths(graph, &p1_pattern, Budget::default());
     assert!(p1.is_complete());
 
     // match p2 = (c:E)<-[:U|G*]-(e2:E) where id(e2) in Vdst
-    let p2_pattern = PathPattern::node(
-        NodeSpec::of_kind(VertexKind::Entity).with_ids(vdst.to_vec()),
-    )
-    .then(
-        RelSpec::star(&ancestry, PatternDir::Forward, 0, RelSpec::UNBOUNDED),
-        NodeSpec::of_kind(VertexKind::Entity),
-    );
+    let p2_pattern =
+        PathPattern::node(NodeSpec::of_kind(VertexKind::Entity).with_ids(vdst.to_vec())).then(
+            RelSpec::star(&ancestry, PatternDir::Forward, 0, RelSpec::UNBOUNDED),
+            NodeSpec::of_kind(VertexKind::Entity),
+        );
     let p2 = prov_store::pattern::match_paths(graph, &p2_pattern, Budget::default());
     assert!(p2.is_complete());
 

@@ -99,8 +99,7 @@ fn query3_summary_merges_trains_and_keeps_update_alternatives() {
         assert!(e.frequency >= 0.5 - 1e-9 && e.frequency <= 1.0 + 1e-9);
     }
     // Agents were aggregated into a single abstract team member per type.
-    let agent_groups =
-        psg.vertices.iter().filter(|v| v.kind == VertexKind::Agent).count();
+    let agent_groups = psg.vertices.iter().filter(|v| v.kind == VertexKind::Agent).count();
     assert!(agent_groups <= 2, "Alice and Bob collapse (got {agent_groups})");
     // Some edge appears in both segments (the dataset-usage backbone).
     assert!(psg.edges.iter().any(|e| e.frequency >= 1.0 - 1e-9));

@@ -3,9 +3,7 @@
 //! JSON interchange.
 
 use prov_bitset::SetBackend;
-use prov_segment::{
-    evaluate_similarity, MaskedGraph, PgSegOptions, PgSegQuery, SimilarEvaluator,
-};
+use prov_segment::{evaluate_similarity, MaskedGraph, PgSegOptions, PgSegQuery, SimilarEvaluator};
 use prov_store::{ProvGraph, ProvIndex};
 use prov_summary::{PgSumQuery, PropertyAggregation, SegmentRef};
 use prov_workload::{generate_pd, generate_sd, standard_query, PdParams, SdParams};
@@ -60,11 +58,8 @@ fn pd_end_to_end_segment_then_summarize() {
 #[test]
 fn sd_segments_summarize_with_correct_frequencies() {
     let out = generate_sd(&SdParams { num_segments: 6, n: 8, ..SdParams::default() });
-    let segments: Vec<SegmentRef> = out
-        .segments
-        .iter()
-        .map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone()))
-        .collect();
+    let segments: Vec<SegmentRef> =
+        out.segments.iter().map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone())).collect();
     for seg in &segments {
         seg.validate(&out.graph).unwrap();
     }

@@ -1,0 +1,67 @@
+//! Workspace smoke test: the root crate's re-export surface must resolve, so
+//! downstream users can reach every subsystem through `prov::…` without
+//! depending on the member crates directly.
+
+use prov::bitset::{FastSet, FixedBitSet, SetBackend};
+use prov::cfl::{Grammar, Symbol, Terminal};
+use prov::core_api::{ActivityRecord, OutputSpec, ProvDb};
+use prov::model::{EdgeKind, PropValue, VertexId, VertexKind};
+use prov::segment::{PgSegOptions, PgSegQuery};
+use prov::store::graph::ProvGraph;
+use prov::summary::PgSumQuery;
+use prov::workload::dist::ZipfTable;
+
+#[test]
+fn reexport_surface_resolves_and_is_usable() {
+    // prov::model — the vocabulary.
+    assert_eq!(VertexKind::ALL.len(), 3);
+    assert_eq!(EdgeKind::ALL.len(), 5);
+    assert_eq!(VertexId::new(3).to_string(), "v3");
+    assert_eq!(PropValue::from(0.75).as_float(), Some(0.75));
+
+    // prov::bitset — fast sets.
+    let mut set = FixedBitSet::with_universe(64);
+    assert!(set.insert(7));
+    assert!(set.contains(7));
+    let _ = SetBackend::Bit;
+
+    // prov::store — the graph store.
+    let mut g = ProvGraph::new();
+    let d = g.add_entity("dataset");
+    let t = g.add_activity("train");
+    g.add_edge(EdgeKind::Used, t, d).unwrap();
+    assert_eq!(g.vertex_count(), 2);
+
+    // prov::cfl — grammar machinery.
+    let mut grammar = Grammar::new();
+    let s = grammar.nonterminal("S");
+    grammar.rule(s, vec![Symbol::T(Terminal::fwd(EdgeKind::Used))]);
+    grammar.set_start(s);
+    assert_eq!(grammar.name(grammar.start()), "S");
+
+    // prov::workload — samplers.
+    assert_eq!(ZipfTable::new(10, 1.5).capacity(), 10);
+
+    // prov::core_api — end-to-end ProvDb tour exercising segment + summary
+    // through the re-exports.
+    let mut db = ProvDb::new();
+    let alice = db.add_agent("alice");
+    let data = db.add_artifact_version("dataset", Some(alice)).unwrap();
+    let run = db
+        .record_activity(ActivityRecord {
+            command: "train".into(),
+            agent: Some(alice),
+            inputs: vec![data],
+            outputs: vec![OutputSpec::named("weights").with("acc", 0.7)],
+            props: vec![],
+        })
+        .unwrap();
+
+    let seg = db
+        .segment(PgSegQuery::between(vec![data], vec![run.outputs[0]]), &PgSegOptions::default())
+        .unwrap();
+    assert!(seg.contains(run.activity));
+
+    // prov::segment / prov::summary types are nameable and constructible.
+    let _q: PgSumQuery = PgSumQuery::default();
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the Fig. 5 benches use — `Criterion`,
+//! `benchmark_group` with `sample_size`/`measurement_time`,
+//! `bench_with_input`/`bench_function`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! plain wall-clock harness printing mean/min/max per benchmark. No
+//! statistics, no HTML reports, no `target/criterion` output.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported like `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Timing loop handle passed to the measurement closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Run the routine repeatedly, recording one wall-clock sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup call outside the measurement.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.run_one(id.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmark a routine parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark an input-free routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.into(), f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let label =
+            if self.name.is_empty() { id } else { format!("{}/{}", self.name, id) };
+        if bencher.samples.is_empty() {
+            println!("{label:<60} (no samples)");
+            return;
+        }
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        let min = bencher.samples.iter().min().expect("non-empty");
+        let max = bencher.samples.iter().max().expect("non-empty");
+        println!(
+            "{label:<60} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+            bencher.samples.len()
+        );
+    }
+
+    /// End the group (prints nothing extra; parity with the real API).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

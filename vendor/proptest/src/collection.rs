@@ -1,0 +1,64 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Generate a `Vec` whose length is drawn from `len` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Output of [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generate a `BTreeSet` with a target size drawn from `len`. If the element
+/// strategy cannot produce enough distinct values, the set is smaller (same
+/// best-effort semantics as real proptest).
+pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, len }
+}
+
+/// Output of [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord + Debug,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.len.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target.saturating_mul(10) + 16 {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

@@ -1,0 +1,26 @@
+//! `prop::sample` — indirect indexing into runtime-sized collections.
+
+/// A random index usable against any slice length (`prop::sample::Index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Build from raw entropy (used by `any::<Index>()`).
+    pub(crate) fn from_raw(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Map to a concrete index in `0..len`. Panics if `len == 0`, like the
+    /// real crate.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index called with an empty collection");
+        self.raw % len
+    }
+
+    /// Select an element of the slice.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}

@@ -1,0 +1,64 @@
+//! Test configuration and the deterministic RNG driving case generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Run each property `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic RNG: seeded from the test's module path + name (FNV-1a), so
+/// every run and every CI machine explores the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from a stable name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Debiased multiply-free rejection.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let raw = self.next_u64();
+            if raw <= zone {
+                return raw % bound;
+            }
+        }
+    }
+}

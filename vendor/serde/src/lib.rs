@@ -1,0 +1,298 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The workspace vendors this shim because the build environment has no
+//! access to a crates.io registry. It is **not** the visitor-based serde data
+//! model: `Serialize`/`Deserialize` go through an owned [`Content`] tree
+//! (a JSON-shaped value), which is all `serde_json`-style round-tripping
+//! needs. The derive macros in `serde_derive` understand the attribute
+//! subset used by this workspace: `transparent`, `untagged`, `default`,
+//! `skip_serializing_if = "path"`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped value tree used as the serialization protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integral number (JSON numbers without a fraction or exponent).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object; insertion-ordered so struct fields serialize in declaration
+    /// order (matching `serde_json`'s struct serializer).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up an object key.
+    pub fn get_field(&self, key: &str) -> Option<&Content> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Human-readable name of the JSON type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything printable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Content`] tree.
+pub trait Serialize {
+    /// Convert to the value tree.
+    fn ser(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the value tree.
+    fn de(content: &Content) -> Result<Self, Error>;
+}
+
+fn int_from(content: &Content, what: &str, min: i64, max: i64) -> Result<i64, Error> {
+    match content {
+        Content::I64(i) if (min..=max).contains(i) => Ok(*i),
+        _ => Err(Error::msg(format!("expected {what}, found {}", content.type_name()))),
+    }
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn ser(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn de(content: &Content) -> Result<Self, Error> {
+                int_from(content, stringify!($ty), <$ty>::MIN as i64, <$ty>::MAX as i64)
+                    .map(|i| i as $ty)
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn ser(&self) -> Content {
+        Content::I64(i64::try_from(*self).expect("u64 too large for the shim's i64 numbers"))
+    }
+}
+
+impl Deserialize for u64 {
+    fn de(content: &Content) -> Result<Self, Error> {
+        int_from(content, "u64", 0, i64::MAX).map(|i| i as u64)
+    }
+}
+
+impl Serialize for usize {
+    fn ser(&self) -> Content {
+        (*self as u64).ser()
+    }
+}
+
+impl Deserialize for usize {
+    fn de(content: &Content) -> Result<Self, Error> {
+        u64::de(content).map(|i| i as usize)
+    }
+}
+
+impl Serialize for f64 {
+    fn ser(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn de(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(f) => Ok(*f),
+            Content::I64(i) => Ok(*i as f64),
+            _ => Err(Error::msg(format!("expected f64, found {}", content.type_name()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn de(content: &Content) -> Result<Self, Error> {
+        f64::de(content).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::msg(format!("expected bool, found {}", content.type_name()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg(format!("expected string, found {}", content.type_name()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn de(content: &Content) -> Result<Self, Error> {
+        String::de(content).map(|s| Arc::from(s.as_str()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Content {
+        match self {
+            Some(v) => v.ser(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::de).collect(),
+            _ => Err(Error::msg(format!("expected array, found {}", content.type_name()))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn ser(&self) -> Content {
+        Content::Seq(vec![self.0.ser(), self.1.ser()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn de(content: &Content) -> Result<Self, Error> {
+        match content.as_seq() {
+            Some([a, b]) => Ok((A::de(a)?, B::de(b)?)),
+            _ => Err(Error::msg("expected a 2-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.ser())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn de(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::de(v)?)))
+                .collect(),
+            _ => Err(Error::msg(format!("expected object, found {}", content.type_name()))),
+        }
+    }
+}

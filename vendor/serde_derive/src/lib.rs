@@ -1,0 +1,359 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim.
+//!
+//! Understands exactly the item shapes this workspace derives on (no
+//! generics): named-field structs, newtype (single-field tuple) structs,
+//! all-unit enums, and all-newtype enums; and the attribute subset
+//! `#[serde(transparent)]`, `#[serde(untagged)]`, `#[serde(default)]`,
+//! `#[serde(skip_serializing_if = "path")]`. Anything else is a compile
+//! error with a pointed message rather than silently wrong codegen.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// Inner type tokens for a newtype variant, `None` for a unit variant.
+    newtype: Option<String>,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+    NewtypeEnum { name: String, variants: Vec<Variant> },
+}
+
+/// Serde attribute words attached to one attr target (container or field).
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip_if: Option<String>,
+    // `transparent` and `untagged` only change behaviour we already infer
+    // from the item shape, so they are accepted and ignored.
+}
+
+fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
+    let mut tokens = group.stream().into_iter().peekable();
+    // Attr content looks like `serde ( meta , meta , ... )`.
+    let Some(TokenTree::Ident(first)) = tokens.next() else { return };
+    if first.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = tokens.next() else { return };
+    let mut inner = inner.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        let TokenTree::Ident(word) = tt else { continue };
+        match word.to_string().as_str() {
+            "default" => out.default = true,
+            "skip_serializing_if" => {
+                // `= "Some::path"`
+                let _eq = inner.next();
+                if let Some(TokenTree::Literal(lit)) = inner.next() {
+                    out.skip_if = Some(lit.to_string().trim_matches('"').to_string());
+                }
+            }
+            "transparent" | "untagged" => {}
+            other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Consume leading `#[...]` attributes, collecting serde metas.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        if let Some(TokenTree::Group(g)) = tokens.next() {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_serde_attr(&g, &mut attrs);
+            }
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parse the fields of a `{ ... }` struct body.
+fn parse_named_fields(body: proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        let attrs = skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else { break };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type, tracking angle-bracket depth so commas inside
+        // generics (e.g. `BTreeMap<String, PropValue>`) don't end the field.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
+    }
+    fields
+}
+
+/// Parse the variants of an `enum { ... }` body.
+fn parse_variants(body: proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.stream().into_iter().peekable();
+    loop {
+        let _attrs = skip_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else { break };
+        let mut newtype = None;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                newtype = Some(g.stream().to_string());
+                tokens.next();
+            } else {
+                panic!("serde shim derive: struct-like enum variants are unsupported");
+            }
+        }
+        // Skip everything up to the variant separator (covers discriminants).
+        for tt in tokens.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name: name.to_string(), newtype });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let _container_attrs = skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are unsupported (deriving `{name}`)");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde shim derive: expected item body for `{name}`, got {other:?}"),
+    };
+    match (keyword.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            Item::NamedStruct { name, fields: parse_named_fields(body) }
+        }
+        ("struct", Delimiter::Parenthesis) => {
+            let inner = body.stream().to_string();
+            let depth_zero_commas = count_top_level_commas(&inner);
+            if depth_zero_commas > 0 {
+                panic!("serde shim derive: multi-field tuple structs are unsupported (`{name}`)");
+            }
+            Item::NewtypeStruct { name }
+        }
+        ("enum", Delimiter::Brace) => {
+            let variants = parse_variants(body);
+            if variants.iter().all(|v| v.newtype.is_none()) {
+                Item::UnitEnum { name, variants: variants.into_iter().map(|v| v.name).collect() }
+            } else if variants.iter().all(|v| v.newtype.is_some()) {
+                Item::NewtypeEnum { name, variants }
+            } else {
+                panic!("serde shim derive: enums must be all-unit or all-newtype (`{name}`)");
+            }
+        }
+        _ => panic!("serde shim derive: unsupported item shape for `{name}`"),
+    }
+}
+
+/// Count commas outside any `< >` / `( )` nesting in a flat type string.
+fn count_top_level_commas(s: &str) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0;
+    for c in s.chars() {
+        match c {
+            '<' | '(' => depth += 1,
+            '>' | ')' => depth -= 1,
+            ',' if depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                let fname = &f.name;
+                let push = format!(
+                    "__m.push((\"{fname}\".to_string(), ::serde::Serialize::ser(&self.{fname})));"
+                );
+                if let Some(skip) = &f.skip_if {
+                    pushes.push_str(&format!("if !{skip}(&self.{fname}) {{ {push} }}\n"));
+                } else {
+                    pushes.push_str(&push);
+                    pushes.push('\n');
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Content {{\n\
+                         let mut __m: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Content::Map(__m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Content {{ ::serde::Serialize::ser(&self.0) }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{} (__x) => ::serde::Serialize::ser(__x),\n", v.name)
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Content {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let fname = &f.name;
+                let missing = if f.default || f.skip_if.is_some() {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(::serde::Error::msg(\"missing field `{fname}` in {name}\"))"
+                    )
+                };
+                inits.push_str(&format!(
+                    "{fname}: match __content.get_field(\"{fname}\") {{\n\
+                         Some(__v) => ::serde::Deserialize::de(__v)?,\n\
+                         None => {missing},\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         if __content.as_map().is_none() {{\n\
+                             return Err(::serde::Error::msg(\
+                                 format!(\"expected object for {name}, found {{}}\", __content.type_name())));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn de(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::de(__content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {arms}\
+                                 __other => Err(::serde::Error::msg(\
+                                     format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                             }},\n\
+                             __other => Err(::serde::Error::msg(\
+                                 format!(\"expected string for {name}, found {{}}\", __other.type_name()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeEnum { name, variants } => {
+            // Untagged: try variants in declaration order, first success wins.
+            let tries: String = variants
+                .iter()
+                .map(|v| {
+                    let ty = v.newtype.as_ref().expect("newtype variant has a type");
+                    format!(
+                        "if let Ok(__x) = <{ty} as ::serde::Deserialize>::de(__content) {{\n\
+                             return Ok({name}::{}(__x));\n\
+                         }}\n",
+                        v.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         {tries}\
+                         Err(::serde::Error::msg(\
+                             format!(\"no {name} variant matched a {{}}\", __content.type_name())))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated Deserialize impl failed to parse")
+}
