@@ -1,0 +1,90 @@
+//! Injectable time source for the per-response [`crate::Stats`] envelope.
+//!
+//! The service never calls `Instant::now()` directly: it asks a [`Clock`].
+//! Production uses the monotonic [`SystemClock`]; tests inject a
+//! [`ManualClock`] so latency fields are deterministic and assertable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic microsecond counter.
+pub trait Clock: Send + Sync {
+    /// Microseconds elapsed since an arbitrary (but fixed) origin.
+    fn now_micros(&self) -> u64;
+}
+
+/// Wall-clock backed [`Clock`]: microseconds since service construction.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock { origin: Instant::now() }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Hand-driven [`Clock`] for tests: starts at zero, advances only on
+/// [`ManualClock::advance`] — or by a fixed step per reading when built with
+/// [`ManualClock::ticking`], which makes service latency stamps exactly
+/// predictable. Clones share the same counter, so a test can keep one handle
+/// and hand another to the service.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+    tick: u64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock that advances by `step` microseconds every reading, so the
+    /// interval between two consecutive readings is always exactly `step`.
+    pub fn ticking(step: u64) -> Self {
+        ManualClock { micros: Arc::new(AtomicU64::new(0)), tick: step }
+    }
+
+    /// Advance the shared counter.
+    pub fn advance(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.fetch_add(self.tick, Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_and_deterministic() {
+        let clock = ManualClock::new();
+        let handle = clock.clone();
+        assert_eq!(clock.now_micros(), 0);
+        handle.advance(250);
+        assert_eq!(clock.now_micros(), 250);
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock::default();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+}

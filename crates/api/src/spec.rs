@@ -1,0 +1,205 @@
+//! Serializable boundary criteria.
+//!
+//! [`prov_segment::Boundary`] carries arbitrary closures
+//! (`VertexPred::Custom`), which cannot cross a wire. [`BoundarySpec`] is
+//! the declarative subset — exactly the paper's who/when/where exclusion
+//! examples plus expansion specifications — that lowers onto a `Boundary`
+//! after its [`crate::EntityRef`] roots resolve against a graph.
+
+use crate::envelope::EntityRef;
+use crate::error::ApiResult;
+use prov_model::{EdgeKind, PropValue, VertexKind};
+use prov_segment::{Boundary, EdgePred, VertexPred};
+use prov_store::ProvGraph;
+use serde::{Deserialize, Serialize};
+
+/// A half-open birth interval `[from, to)` — the "when" boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BirthWindow {
+    /// Inclusive lower bound.
+    pub from: u64,
+    /// Exclusive upper bound.
+    pub to: u64,
+}
+
+/// A property equality requirement — the "where" boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropMatch {
+    /// Property key name.
+    pub key: String,
+    /// Required value.
+    pub value: PropValue,
+}
+
+/// Declarative vertex exclusion predicate (`bv`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VertexPredSpec {
+    /// Keep only vertices born inside the window.
+    BirthIn(BirthWindow),
+    /// Keep only vertices whose property matches.
+    PropEq(PropMatch),
+    /// Keep only vertices whose name starts with the prefix.
+    NamePrefix(String),
+    /// Drop vertices of this kind.
+    ExcludeKind(VertexKind),
+}
+
+impl VertexPredSpec {
+    /// Lower onto the library predicate.
+    pub fn to_pred(&self) -> VertexPred {
+        match self {
+            VertexPredSpec::BirthIn(w) => VertexPred::BirthIn { from: w.from, to: w.to },
+            VertexPredSpec::PropEq(m) => {
+                VertexPred::PropEq { key: m.key.clone(), value: m.value.clone() }
+            }
+            VertexPredSpec::NamePrefix(p) => VertexPred::NamePrefix(p.clone()),
+            VertexPredSpec::ExcludeKind(k) => VertexPred::ExcludeKind(*k),
+        }
+    }
+}
+
+/// Declarative edge exclusion predicate (`be`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EdgePredSpec {
+    /// Drop edges of this kind.
+    ExcludeKind(EdgeKind),
+    /// Keep only edges whose property matches.
+    PropEq(PropMatch),
+}
+
+impl EdgePredSpec {
+    /// Lower onto the library predicate.
+    pub fn to_pred(&self) -> EdgePred {
+        match self {
+            EdgePredSpec::ExcludeKind(k) => EdgePred::ExcludeKind(*k),
+            EdgePredSpec::PropEq(m) => {
+                EdgePred::PropEq { key: m.key.clone(), value: m.value.clone() }
+            }
+        }
+    }
+}
+
+/// An expansion specification `bx(Vx, k)` with wire-addressable roots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionSpec {
+    /// Entities to expand from.
+    pub roots: Vec<EntityRef>,
+    /// Number of activities away (2k ancestry hops).
+    pub k: u32,
+}
+
+/// Wire twin of [`prov_segment::Boundary`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BoundarySpec {
+    /// Vertex exclusion predicates, conjunctive.
+    #[serde(default)]
+    pub vertex: Vec<VertexPredSpec>,
+    /// Edge exclusion predicates, conjunctive.
+    #[serde(default)]
+    pub edge: Vec<EdgePredSpec>,
+    /// Expansion specifications.
+    #[serde(default)]
+    pub expand: Vec<ExpansionSpec>,
+}
+
+impl BoundarySpec {
+    /// No boundary.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a vertex predicate (builder style).
+    pub fn with_vertex(mut self, p: VertexPredSpec) -> Self {
+        self.vertex.push(p);
+        self
+    }
+
+    /// Add an edge predicate (builder style).
+    pub fn with_edge(mut self, p: EdgePredSpec) -> Self {
+        self.edge.push(p);
+        self
+    }
+
+    /// Add an expansion (builder style).
+    pub fn with_expansion(mut self, roots: Vec<EntityRef>, k: u32) -> Self {
+        self.expand.push(ExpansionSpec { roots, k });
+        self
+    }
+
+    /// True when no predicate or expansion is present.
+    pub fn is_empty(&self) -> bool {
+        self.vertex.is_empty() && self.edge.is_empty() && self.expand.is_empty()
+    }
+
+    /// True when at least one expansion is present.
+    pub fn has_expansions(&self) -> bool {
+        !self.expand.is_empty()
+    }
+
+    /// Lower onto a library [`Boundary`], resolving expansion roots against
+    /// `graph`.
+    pub fn resolve(&self, graph: &ProvGraph) -> ApiResult<Boundary> {
+        let mut b = Boundary::none();
+        for p in &self.vertex {
+            b = b.with_vertex_pred(p.to_pred());
+        }
+        for p in &self.edge {
+            b = b.with_edge_pred(p.to_pred());
+        }
+        for e in &self.expand {
+            let roots = EntityRef::resolve_all(&e.roots, graph)?;
+            b = b.expand(roots, e.k);
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> ProvGraph {
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("dataset-v1");
+        let t = g.add_activity("train-v1");
+        g.add_edge(EdgeKind::Used, t, d).unwrap();
+        g
+    }
+
+    #[test]
+    fn resolve_lowers_every_spec_kind() {
+        let g = graph();
+        let spec = BoundarySpec::none()
+            .with_vertex(VertexPredSpec::BirthIn(BirthWindow { from: 0, to: 10 }))
+            .with_vertex(VertexPredSpec::PropEq(PropMatch {
+                key: "command".into(),
+                value: "train".into(),
+            }))
+            .with_vertex(VertexPredSpec::NamePrefix("data".into()))
+            .with_vertex(VertexPredSpec::ExcludeKind(VertexKind::Agent))
+            .with_edge(EdgePredSpec::ExcludeKind(EdgeKind::WasDerivedFrom))
+            .with_expansion(vec!["dataset-v1".into()], 2);
+        let b = spec.resolve(&g).unwrap();
+        assert_eq!(b.vertex_preds.len(), 4);
+        assert_eq!(b.edge_preds.len(), 1);
+        assert_eq!(b.expansions.len(), 1);
+        assert_eq!(b.expansions[0].k, 2);
+    }
+
+    #[test]
+    fn unresolvable_expansion_root_is_an_entity_error() {
+        let g = graph();
+        let spec = BoundarySpec::none().with_expansion(vec!["missing-v9".into()], 1);
+        let err = spec.resolve(&g).unwrap_err();
+        assert_eq!(err.code(), crate::error::ErrorCode::UnknownEntity);
+    }
+
+    #[test]
+    fn empty_spec_is_empty_boundary() {
+        let g = graph();
+        assert!(BoundarySpec::none().is_empty());
+        let b = BoundarySpec::none().resolve(&g).unwrap();
+        assert!(!b.has_exclusions());
+        assert!(b.expansions.is_empty());
+    }
+}

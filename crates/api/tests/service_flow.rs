@@ -1,0 +1,346 @@
+//! End-to-end service behaviour: the session registry (the acceptance
+//! criterion — ≥ 2 concurrent sessions adjusted independently), the unified
+//! error surface, the injected clock, and a property test that the
+//! interactive `expand`+`restrict` path through [`ProvService`] matches the
+//! equivalent one-shot `pgseg` with a combined boundary.
+
+use proptest::prelude::*;
+use prov_api::*;
+use prov_model::{EdgeKind, VertexKind};
+use prov_segment::{Boundary, PgSegOptions, PgSegQuery, VertexPred};
+
+/// Ingest a training pipeline through the envelope: `data-v1`, then `steps`
+/// train runs, each using the dataset and the previous weights, producing
+/// `weights-vN` + `log-vN`, with alice/bob alternating.
+fn ingest_pipeline(service: &mut ProvService, steps: usize) {
+    for name in ["alice", "bob"] {
+        let r = service.handle(&Request::AddAgent(AddAgentRequest { name: name.into() }));
+        assert!(!r.is_error(), "{r:?}");
+    }
+    let r = service.handle(&Request::AddArtifact(AddArtifactRequest {
+        artifact: "data".into(),
+        attributed_to: Some("alice".into()),
+    }));
+    assert!(!r.is_error(), "{r:?}");
+    for i in 0..steps {
+        let agent = if i % 2 == 0 { "alice" } else { "bob" };
+        let mut inputs: Vec<EntityRef> = vec!["data-v1".into()];
+        if i > 0 {
+            inputs.push(format!("weights-v{i}").as_str().into());
+        }
+        let r = service.handle(&Request::RecordActivity(RecordActivityRequest {
+            command: format!("train --step {i}"),
+            agent: Some(agent.into()),
+            inputs,
+            outputs: vec![
+                OutputSpecDto {
+                    artifact: "weights".into(),
+                    props: vec![("acc".into(), (0.5 + i as f64 / 100.0).into())],
+                },
+                OutputSpecDto { artifact: "log".into(), props: vec![] },
+            ],
+            props: vec![("step".into(), (i as i64).into())],
+        }));
+        assert!(!r.is_error(), "{r:?}");
+    }
+}
+
+fn open_session(service: &mut ProvService, src: &str, dst: &str) -> (SessionId, SegmentDto) {
+    let r = service.handle(&Request::OpenSession(OpenSessionRequest {
+        src: vec![src.into()],
+        dst: vec![dst.into()],
+        boundary: BoundarySpec::none(),
+        options: SegmentOptions::default(),
+    }));
+    match r {
+        Response::Session(s) => (s.session, s.segment),
+        other => panic!("expected session, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `OpenSession` + `Expand` + `Restrict` through the service equals the
+    /// one-shot `pgseg` whose boundary combines the same expansion and
+    /// exclusions (agent / non-ancestry edge kinds — the adjust-safe subset).
+    #[test]
+    fn session_adjustment_matches_oneshot_with_combined_boundary(
+        steps in 2usize..6,
+        k in 0u32..3,
+        root_step in 1usize..5,
+        exclude_agents in (0..2i32).prop_map(|x| x == 1),
+        edge_mask in 0u8..8,
+    ) {
+        let mut service = ProvService::new();
+        ingest_pipeline(&mut service, steps);
+        let dst = format!("weights-v{steps}");
+        let root = format!("weights-v{}", (root_step % steps).max(1));
+
+        // Interactive path: open plain, expand, then restrict.
+        let (id, _) = open_session(&mut service, "data-v1", &dst);
+        let r = service.handle(&Request::Expand(ExpandRequest {
+            session: id,
+            roots: vec![root.as_str().into()],
+            k,
+        }));
+        prop_assert!(!r.is_error(), "{r:?}");
+        let mut restrict = BoundarySpec::none();
+        if exclude_agents {
+            restrict = restrict.with_vertex(VertexPredSpec::ExcludeKind(VertexKind::Agent));
+        }
+        let excluded_edges: Vec<EdgeKind> = [
+            EdgeKind::WasAssociatedWith,
+            EdgeKind::WasAttributedTo,
+            EdgeKind::WasDerivedFrom,
+        ]
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| edge_mask & (1 << i) != 0)
+        .map(|(_, k)| k)
+        .collect();
+        for &kind in &excluded_edges {
+            restrict = restrict.with_edge(EdgePredSpec::ExcludeKind(kind));
+        }
+        let r = service.handle(&Request::Restrict(RestrictRequest {
+            session: id,
+            boundary: restrict,
+        }));
+        let adjusted = match r {
+            Response::Session(s) => s.segment,
+            other => panic!("expected session, got {other:?}"),
+        };
+
+        // One-shot path with the combined boundary.
+        let graph = service.db().graph();
+        let vsrc = vec![graph.vertex_by_name("data-v1").unwrap()];
+        let vdst = vec![graph.vertex_by_name(&dst).unwrap()];
+        let roots = vec![graph.vertex_by_name(&root).unwrap()];
+        let mut boundary = Boundary::none().expand(roots, k).without_edge_kinds(&excluded_edges);
+        if exclude_agents {
+            boundary = boundary.with_vertex_pred(VertexPred::ExcludeKind(VertexKind::Agent));
+        }
+        let oneshot = service
+            .db()
+            .segment(
+                PgSegQuery::between(vsrc, vdst).with_boundary(boundary),
+                &PgSegOptions::default(),
+            )
+            .unwrap();
+
+        prop_assert_eq!(adjusted.vertex_ids(), oneshot.vertices.clone());
+        let adjusted_edges: Vec<_> = adjusted.edges.iter().map(|e| e.id).collect();
+        prop_assert_eq!(adjusted_edges, oneshot.edges.clone());
+    }
+}
+
+#[test]
+fn two_sessions_adjust_independently() {
+    let mut service = ProvService::new();
+    ingest_pipeline(&mut service, 3);
+
+    // Two concurrent sessions over different query windows.
+    let (s1, seg1) = open_session(&mut service, "data-v1", "weights-v3");
+    let (s2, seg2) = open_session(&mut service, "weights-v1", "weights-v2");
+    assert_ne!(s1, s2);
+    assert_eq!(service.session_count(), 2);
+    let graph = service.db().graph();
+    let alice = graph.vertex_by_name("alice").unwrap();
+    let bob = graph.vertex_by_name("bob").unwrap();
+    assert!(seg1.contains(alice) && seg1.contains(bob));
+    assert!(seg2.contains(alice));
+
+    // Restrict only session 1: session 2 must be untouched.
+    let r = service.handle(&Request::Restrict(RestrictRequest {
+        session: s1,
+        boundary: BoundarySpec::none().with_vertex(VertexPredSpec::ExcludeKind(VertexKind::Agent)),
+    }));
+    let seg1b = match r {
+        Response::Session(s) => s.segment,
+        other => panic!("{other:?}"),
+    };
+    assert!(!seg1b.contains(alice) && !seg1b.contains(bob));
+    let s2_now = SegmentDto::from_segment(
+        service.session(s2).unwrap().graph(),
+        service.session(s2).unwrap().segment(),
+    );
+    assert_eq!(s2_now, seg2, "adjusting s1 leaked into s2");
+
+    // Expand only session 2: session 1 must be untouched.
+    let r = service.handle(&Request::Expand(ExpandRequest {
+        session: s2,
+        roots: vec!["weights-v1".into()],
+        k: 1,
+    }));
+    let seg2b = match r {
+        Response::Session(s) => s.segment,
+        other => panic!("{other:?}"),
+    };
+    let data = service.db().graph().vertex_by_name("data-v1").unwrap();
+    assert!(seg2b.contains(data), "expansion should pull the dataset in");
+    let s1_now = SegmentDto::from_segment(
+        service.session(s1).unwrap().graph(),
+        service.session(s1).unwrap().segment(),
+    );
+    assert_eq!(s1_now, seg1b, "adjusting s2 leaked into s1");
+
+    // Closing one session leaves the other live.
+    let r = service.handle(&Request::CloseSession(CloseSessionRequest { session: s1 }));
+    assert!(matches!(r, Response::Closed(_)));
+    assert_eq!(service.session_count(), 1);
+    assert!(service.session(s2).is_some());
+}
+
+#[test]
+fn sessions_survive_later_ingest() {
+    let mut service = ProvService::new();
+    ingest_pipeline(&mut service, 2);
+    let (id, seg) = open_session(&mut service, "data-v1", "weights-v2");
+    // Mutate the store after the session opened: the session pins its
+    // snapshot, so its segment is unchanged and still adjustable.
+    ingest_pipeline(&mut service, 1);
+    let r = service.handle(&Request::Expand(ExpandRequest {
+        session: id,
+        roots: vec!["weights-v1".into()],
+        k: 0,
+    }));
+    let after = match r {
+        Response::Session(s) => s.segment,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(after, seg);
+}
+
+#[test]
+fn summarize_over_session_segments() {
+    let mut service = ProvService::new();
+    ingest_pipeline(&mut service, 4);
+    let (s1, _) = open_session(&mut service, "data-v1", "weights-v2");
+    let (s2, _) = open_session(&mut service, "data-v1", "weights-v4");
+    let r = service.handle(&Request::Summarize(SummarizeRequest {
+        sessions: vec![s1, s2],
+        k: Some(1),
+        entity_keys: vec![],
+        activity_keys: vec![],
+    }));
+    let summary = match r {
+        Response::Summary(s) => s.summary,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(summary.segment_count, 2);
+    assert!(!summary.vertices.is_empty());
+    assert!(summary.compaction_ratio <= 1.0);
+    assert!(summary.vertices.len() <= summary.input_vertex_count);
+}
+
+#[test]
+fn unified_errors_reach_the_wire_with_codes() {
+    let mut service = ProvService::new();
+    ingest_pipeline(&mut service, 2);
+
+    // Unknown session.
+    let r = service.handle(&Request::Expand(ExpandRequest {
+        session: SessionId::new(99),
+        roots: vec!["data-v1".into()],
+        k: 1,
+    }));
+    let Response::Error(e) = r else { panic!("expected error") };
+    assert_eq!(e.code, ErrorCode::UnknownSession);
+
+    // Unknown entity name.
+    let r = service.handle(&Request::Lineage(LineageRequest {
+        entity: "nothing-v9".into(),
+        direction: LineageDir::Ancestors,
+    }));
+    let Response::Error(e) = r else { panic!("expected error") };
+    assert_eq!(e.code, ErrorCode::UnknownEntity);
+    assert!(e.message.contains("nothing-v9"));
+
+    // Non-entity PgSeg query vertices → the new InvalidQuery store variant.
+    let r = service.handle(&Request::Segment(SegmentRequest {
+        src: vec!["alice".into()],
+        dst: vec!["weights-v2".into()],
+        boundary: BoundarySpec::none(),
+        options: SegmentOptions::default(),
+    }));
+    let Response::Error(e) = r else { panic!("expected error") };
+    assert_eq!(e.code, ErrorCode::InvalidQuery);
+
+    // Expansions are rejected inside Restrict.
+    let (id, _) = open_session(&mut service, "data-v1", "weights-v2");
+    let r = service.handle(&Request::Restrict(RestrictRequest {
+        session: id,
+        boundary: BoundarySpec::none().with_expansion(vec!["data-v1".into()], 1),
+    }));
+    let Response::Error(e) = r else { panic!("expected error") };
+    assert_eq!(e.code, ErrorCode::InvalidQuery);
+
+    // Summarize across different snapshots is refused.
+    let (s1, _) = open_session(&mut service, "data-v1", "weights-v2");
+    ingest_pipeline(&mut service, 1); // new snapshot
+    let (s2, _) = open_session(&mut service, "data-v1", "weights-v2");
+    let r = service.handle(&Request::Summarize(SummarizeRequest {
+        sessions: vec![s1, s2],
+        k: None,
+        entity_keys: vec![],
+        activity_keys: vec![],
+    }));
+    let Response::Error(e) = r else { panic!("expected error") };
+    assert_eq!(e.code, ErrorCode::InvalidQuery);
+
+    // A kind-invalid ingest is rejected atomically: the store is untouched.
+    let before = (service.db().graph().vertex_count(), service.db().graph().edge_count());
+    let r = service.handle(&Request::RecordActivity(RecordActivityRequest {
+        command: "train".into(),
+        agent: Some("data-v1".into()), // an entity, not an agent
+        inputs: vec![],
+        outputs: vec![OutputSpecDto { artifact: "model".into(), props: vec![] }],
+        props: vec![],
+    }));
+    let Response::Error(e) = r else { panic!("expected error") };
+    assert_eq!(e.code, ErrorCode::InvalidEdge);
+    let after = (service.db().graph().vertex_count(), service.db().graph().edge_count());
+    assert_eq!(after, before, "failed ingest must mutate nothing");
+
+    // Malformed JSON on the byte entry.
+    let wire = service.handle_json("{\"Expand\": ");
+    assert!(wire.contains("\"MalformedRequest\""), "got {wire}");
+}
+
+#[test]
+fn injected_clock_stamps_latency() {
+    // A ticking clock advances 1000µs per reading; handle() reads twice, so
+    // every successful response reports exactly one tick of latency.
+    let mut service = ProvService::with_clock(Box::new(ManualClock::ticking(1000)));
+    let r = service.handle(&Request::AddAgent(AddAgentRequest { name: "alice".into() }));
+    match r {
+        Response::Vertex(v) => {
+            assert_eq!(v.stats.elapsed_micros, 1000);
+            assert_eq!(v.stats.vertices, 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn export_import_round_trips_through_the_envelope() {
+    let mut service = ProvService::new();
+    ingest_pipeline(&mut service, 2);
+    let before = service.db().graph().vertex_count();
+    let r = service.handle(&Request::Export(ExportRequest {}));
+    let doc = match r {
+        Response::Document(d) => d,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(doc.stats.vertices, before);
+
+    let mut restored = ProvService::new();
+    let r = restored.handle(&Request::Import(ImportRequest { json: doc.json }));
+    match r {
+        Response::Imported(i) => assert_eq!(i.stats.vertices, before),
+        other => panic!("{other:?}"),
+    }
+    // The restored service answers the same queries.
+    let (_, seg) = open_session(&mut restored, "data-v1", "weights-v2");
+    assert!(seg.vertices.len() >= 4);
+}

@@ -29,7 +29,7 @@ pub mod example_graph;
 pub mod provdb;
 
 pub use example_graph::{fig2, fig3, Example};
-pub use provdb::{ActivityOutcome, ActivityRecord, OutputSpec, ProvDb};
+pub use provdb::{ActivityOutcome, ActivityRecord, LineageDirection, OutputSpec, ProvDb};
 
 // Re-export the operator crates under one roof for downstream convenience.
 pub use prov_bitset as bitset;

@@ -7,8 +7,9 @@
 
 use prov_model::{PropValue, VertexId, VertexKind};
 use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
-use prov_store::{ProvGraph, ProvIndex, StoreResult};
+use prov_store::{ProvGraph, ProvIndex, SharedIndex, StoreResult};
 use prov_summary::{pgsum, PgSumQuery, Psg, SegmentRef};
+use std::sync::{Arc, RwLock};
 
 /// Description of one artifact an activity generates.
 #[derive(Debug, Clone)]
@@ -56,11 +57,26 @@ pub struct ActivityOutcome {
     pub outputs: Vec<VertexId>,
 }
 
+/// Which way a lineage traversal walks the ancestry relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineageDirection {
+    /// Transitive inputs: walk `used`/`wasGeneratedBy` upstream.
+    Ancestors,
+    /// Transitive products: walk the same relations downstream.
+    Descendants,
+}
+
 /// The lifecycle provenance management system facade.
+///
+/// The graph lives behind an [`Arc`] and the frozen [`ProvIndex`] snapshot is
+/// cached behind a lock: queries take `&self`, sessions opened through
+/// [`ProvDb::segment_session`] are `'static` (they pin the snapshot they were
+/// opened against), and mutations copy-on-write only when a live session
+/// still holds the previous graph.
 #[derive(Debug, Default)]
 pub struct ProvDb {
-    graph: ProvGraph,
-    index: Option<ProvIndex>,
+    graph: Arc<ProvGraph>,
+    index: RwLock<Option<SharedIndex>>,
     /// Next version number per artifact name.
     versions: std::collections::HashMap<String, u32>,
 }
@@ -73,7 +89,11 @@ impl ProvDb {
 
     /// Wrap an existing provenance graph.
     pub fn from_graph(graph: ProvGraph) -> Self {
-        ProvDb { graph, index: None, versions: std::collections::HashMap::new() }
+        ProvDb {
+            graph: Arc::new(graph),
+            index: RwLock::new(None),
+            versions: std::collections::HashMap::new(),
+        }
     }
 
     /// The underlying store (read-only).
@@ -81,16 +101,34 @@ impl ProvDb {
         &self.graph
     }
 
-    /// The frozen snapshot, rebuilt lazily after mutations.
-    pub fn index(&mut self) -> &ProvIndex {
-        if self.index.is_none() {
-            self.index = Some(ProvIndex::build(&self.graph));
+    /// A shareable handle to the underlying store (what interactive sessions
+    /// pin; cheap — clones the handle, not the graph).
+    pub fn graph_shared(&self) -> Arc<ProvGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The frozen snapshot, rebuilt lazily after mutations and shared by all
+    /// queries and sessions opened since the last mutation.
+    pub fn snapshot(&self) -> SharedIndex {
+        if let Some(idx) = self.index.read().expect("index lock").as_ref() {
+            return Arc::clone(idx);
         }
-        self.index.as_ref().expect("just built")
+        let built = ProvIndex::build_shared(&self.graph);
+        let mut slot = self.index.write().expect("index lock");
+        // Another caller may have raced us here; keep whichever landed first
+        // (both were built from the same frozen graph).
+        slot.get_or_insert(built).clone()
+    }
+
+    /// Mutable access to the store: invalidates the cached snapshot and
+    /// copy-on-writes the graph if a live session still references it.
+    fn graph_mut(&mut self) -> &mut ProvGraph {
+        self.touch();
+        Arc::make_mut(&mut self.graph)
     }
 
     fn touch(&mut self) {
-        self.index = None;
+        *self.index.write().expect("index lock") = None;
     }
 
     // ------------------------------------------------------------------
@@ -99,24 +137,29 @@ impl ProvDb {
 
     /// Register a team member.
     pub fn add_agent(&mut self, name: &str) -> VertexId {
-        self.touch();
-        self.graph.add_agent(name)
+        self.graph_mut().add_agent(name)
     }
 
     /// Register a new version of an artifact (external addition, e.g. a
     /// downloaded dataset); optionally attributed to an agent.
+    ///
+    /// Atomic: a rejected record leaves the store (and the version
+    /// counters) untouched.
     pub fn add_artifact_version(
         &mut self,
         artifact: &str,
         attributed_to: Option<VertexId>,
     ) -> StoreResult<VertexId> {
-        self.touch();
-        let v = self.next_version(artifact);
-        let e = self.graph.add_entity(&format!("{artifact}-v{v}"));
-        self.graph.set_vprop(e, "filename", artifact);
-        self.graph.set_vprop(e, "version", v as i64);
         if let Some(agent) = attributed_to {
-            self.graph.add_edge(prov_model::EdgeKind::WasAttributedTo, e, agent)?;
+            self.expect_kind(agent, VertexKind::Agent, prov_model::EdgeKind::WasAttributedTo)?;
+        }
+        let v = self.next_version(artifact);
+        let graph = self.graph_mut();
+        let e = graph.add_entity(&format!("{artifact}-v{v}"));
+        graph.set_vprop(e, "filename", artifact);
+        graph.set_vprop(e, "version", v as i64);
+        if let Some(agent) = attributed_to {
+            graph.add_edge(prov_model::EdgeKind::WasAttributedTo, e, agent)?;
         }
         Ok(e)
     }
@@ -127,36 +170,72 @@ impl ProvDb {
         *slot
     }
 
-    /// Ingest one activity execution with its used/generated artifacts.
-    pub fn record_activity(&mut self, record: ActivityRecord) -> StoreResult<ActivityOutcome> {
-        self.touch();
-        let a = self.graph.add_activity(&record.command);
-        self.graph.set_vprop(a, "command", record.command.as_str());
-        for (k, v) in &record.props {
-            self.graph.set_vprop(a, k, v.clone());
+    /// Check that `v` exists and can be the target of a `kind` edge, without
+    /// mutating anything — the up-front half of atomic ingestion.
+    fn expect_kind(
+        &self,
+        v: VertexId,
+        expected: VertexKind,
+        kind: prov_model::EdgeKind,
+    ) -> StoreResult<()> {
+        let rec = self.graph.try_vertex(v)?;
+        if rec.kind != expected {
+            return Err(
+                prov_model::EdgeTypeError { kind, src: kind.endpoints().0, dst: rec.kind }.into()
+            );
         }
+        Ok(())
+    }
+
+    /// Ingest one activity execution with its used/generated artifacts.
+    ///
+    /// Atomic: the record is validated in full before the first mutation, so
+    /// a rejected request leaves the store, the version counters, and any
+    /// pinned session snapshots untouched (no copy-on-write is paid either).
+    pub fn record_activity(&mut self, record: ActivityRecord) -> StoreResult<ActivityOutcome> {
         if let Some(agent) = record.agent {
-            self.graph.add_edge(prov_model::EdgeKind::WasAssociatedWith, a, agent)?;
+            self.expect_kind(agent, VertexKind::Agent, prov_model::EdgeKind::WasAssociatedWith)?;
         }
         for &input in &record.inputs {
-            self.graph.add_edge(prov_model::EdgeKind::Used, a, input)?;
+            self.expect_kind(input, VertexKind::Entity, prov_model::EdgeKind::Used)?;
+        }
+        // Every fallible check is behind us: reserve version numbers (a
+        // rejected request must not burn versions and leave a gap in the
+        // `WasDerivedFrom` chain of a later valid request), then mutate.
+        // The edges below are structurally valid by construction.
+        let versions: Vec<u32> =
+            record.outputs.iter().map(|spec| self.next_version(&spec.artifact)).collect();
+        let graph = self.graph_mut();
+        let a = graph.add_activity(&record.command);
+        graph.set_vprop(a, "command", record.command.as_str());
+        for (k, v) in &record.props {
+            graph.set_vprop(a, k, v.clone());
+        }
+        if let Some(agent) = record.agent {
+            graph.add_edge(prov_model::EdgeKind::WasAssociatedWith, a, agent)?;
+        }
+        for &input in &record.inputs {
+            graph.add_edge(prov_model::EdgeKind::Used, a, input)?;
         }
         let mut outputs = Vec::with_capacity(record.outputs.len());
-        for spec in &record.outputs {
-            let v = self.next_version(&spec.artifact);
-            let e = self.graph.add_entity(&format!("{}-v{}", spec.artifact, v));
-            self.graph.set_vprop(e, "filename", spec.artifact.as_str());
-            self.graph.set_vprop(e, "version", v as i64);
+        for (spec, v) in record.outputs.iter().zip(versions) {
+            let e = graph.add_entity(&format!("{}-v{}", spec.artifact, v));
+            graph.set_vprop(e, "filename", spec.artifact.as_str());
+            graph.set_vprop(e, "version", v as i64);
             for (k, val) in &spec.props {
-                self.graph.set_vprop(e, k, val.clone());
+                graph.set_vprop(e, k, val.clone());
             }
-            self.graph.add_edge(prov_model::EdgeKind::WasGeneratedBy, e, a)?;
-            // Version lineage: derive from the previous version when present.
+            graph.add_edge(prov_model::EdgeKind::WasGeneratedBy, e, a)?;
+            // Version lineage: derive from the previous version when it is
+            // still addressable. Best-effort by design — name shadowing (an
+            // activity named like `model-v1`) can repoint the previous
+            // version's name at a non-entity, and a fallible link here would
+            // abort a half-applied record and break the atomicity contract.
             if v > 1 {
-                if let Some(prev) =
-                    self.graph.vertex_by_name(&format!("{}-v{}", spec.artifact, v - 1))
-                {
-                    self.graph.add_edge(prov_model::EdgeKind::WasDerivedFrom, e, prev)?;
+                if let Some(prev) = graph.vertex_by_name(&format!("{}-v{}", spec.artifact, v - 1)) {
+                    if graph.vertex_kind(prev) == VertexKind::Entity {
+                        graph.add_edge(prov_model::EdgeKind::WasDerivedFrom, e, prev)?;
+                    }
                 }
             }
             outputs.push(e);
@@ -180,21 +259,23 @@ impl ProvDb {
     // ------------------------------------------------------------------
 
     /// Run a one-shot PgSeg query.
-    pub fn segment(&mut self, query: PgSegQuery, opts: &PgSegOptions) -> StoreResult<SegmentGraph> {
-        self.index();
-        let index = self.index.as_ref().expect("built above");
-        prov_segment::pgseg(&self.graph, index, query, opts)
+    pub fn segment(&self, query: PgSegQuery, opts: &PgSegOptions) -> StoreResult<SegmentGraph> {
+        let index = self.snapshot();
+        prov_segment::pgseg(&self.graph, &index, query, opts)
     }
 
     /// Open an interactive PgSeg session (induce once, adjust repeatedly).
+    ///
+    /// The session is `'static`: it pins the current graph/index snapshot, so
+    /// it stays valid (and unchanged) even if the database is mutated later —
+    /// store it in a registry, hand it across threads, adjust at leisure.
     pub fn segment_session(
-        &mut self,
+        &self,
         query: PgSegQuery,
         opts: &PgSegOptions,
-    ) -> StoreResult<PgSegSession<'_>> {
-        self.index();
-        let index = self.index.as_ref().expect("built above");
-        PgSegSession::open(&self.graph, index, query, opts)
+    ) -> StoreResult<PgSegSession> {
+        let index = self.snapshot();
+        PgSegSession::open(self.graph_shared(), index, query, opts)
     }
 
     /// Summarize a set of segments with PgSum.
@@ -202,48 +283,41 @@ impl ProvDb {
         pgsum(&self.graph, segments, query)
     }
 
-    /// All ancestors of an entity (transitive inputs through `U`/`G` edges).
-    pub fn ancestors_of(&mut self, e: VertexId) -> Vec<VertexId> {
-        self.index();
-        let index = self.index.as_ref().expect("built above");
-        let view = prov_segment::MaskedGraph::unmasked(index);
+    /// Transitive closure over the ancestry relations (`U`/`G` edges) in the
+    /// given direction — the shared engine behind [`ProvDb::ancestors_of`]
+    /// and [`ProvDb::descendants_of`].
+    pub fn lineage(&self, e: VertexId, direction: LineageDirection) -> Vec<VertexId> {
+        let index = self.snapshot();
+        let view = prov_segment::MaskedGraph::unmasked(&index);
         let mut seen = vec![false; index.vertex_count()];
         let mut stack = vec![e];
         seen[e.index()] = true;
         let mut out = Vec::new();
         while let Some(v) = stack.pop() {
-            for w in view.upstream(v) {
+            let mut visit = |w: VertexId| {
                 if !seen[w.index()] {
                     seen[w.index()] = true;
                     out.push(w);
                     stack.push(w);
                 }
+            };
+            match direction {
+                LineageDirection::Ancestors => view.upstream(v).for_each(&mut visit),
+                LineageDirection::Descendants => view.downstream(v).for_each(&mut visit),
             }
         }
         out.sort_unstable();
         out
     }
 
+    /// All ancestors of an entity (transitive inputs through `U`/`G` edges).
+    pub fn ancestors_of(&self, e: VertexId) -> Vec<VertexId> {
+        self.lineage(e, LineageDirection::Ancestors)
+    }
+
     /// Everything derived (transitively) from an entity.
-    pub fn descendants_of(&mut self, e: VertexId) -> Vec<VertexId> {
-        self.index();
-        let index = self.index.as_ref().expect("built above");
-        let view = prov_segment::MaskedGraph::unmasked(index);
-        let mut seen = vec![false; index.vertex_count()];
-        let mut stack = vec![e];
-        seen[e.index()] = true;
-        let mut out = Vec::new();
-        while let Some(v) = stack.pop() {
-            for w in view.downstream(v) {
-                if !seen[w.index()] {
-                    seen[w.index()] = true;
-                    out.push(w);
-                    stack.push(w);
-                }
-            }
-        }
-        out.sort_unstable();
-        out
+    pub fn descendants_of(&self, e: VertexId) -> Vec<VertexId> {
+        self.lineage(e, LineageDirection::Descendants)
     }
 
     /// Export to the PROV-JSON-style interchange format.
@@ -264,7 +338,9 @@ impl ProvDb {
                 *slot = (*slot).max(ver as u32);
             }
         }
-        Ok(ProvDb { graph, index: None, versions })
+        let mut db = ProvDb::from_graph(graph);
+        db.versions = versions;
+        Ok(db)
     }
 }
 
@@ -326,7 +402,7 @@ mod tests {
 
     #[test]
     fn lineage_queries() {
-        let (mut db, data, weights) = small_project();
+        let (db, data, weights) = small_project();
         let anc = db.ancestors_of(weights);
         assert!(anc.contains(&data));
         let desc = db.descendants_of(data);
@@ -336,7 +412,7 @@ mod tests {
 
     #[test]
     fn segment_and_summarize_roundtrip() {
-        let (mut db, data, weights) = small_project();
+        let (db, data, weights) = small_project();
         let seg = db
             .segment(PgSegQuery::between(vec![data], vec![weights]), &PgSegOptions::default())
             .unwrap();
@@ -344,6 +420,99 @@ mod tests {
         let psg = db.summarize(&[SegmentRef::from(&seg)], &PgSumQuery::fig2e());
         assert!(psg.vertex_count() >= 3);
         assert!(psg.compaction_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn rejected_activity_is_atomic() {
+        let (mut db, data, _) = small_project();
+        let vertices_before = db.graph().vertex_count();
+        let edges_before = db.graph().edge_count();
+        // `data` is an entity, not an agent: the association edge is invalid
+        // and the whole record is rejected...
+        let err = db.record_activity(ActivityRecord {
+            command: "train".into(),
+            agent: Some(data),
+            inputs: vec![],
+            outputs: vec![OutputSpec::named("model")],
+            props: vec![],
+        });
+        assert!(err.is_err());
+        // ...leaving the store byte-for-byte untouched: no orphan activity
+        // vertex, no stray edges...
+        assert_eq!(db.graph().vertex_count(), vertices_before);
+        assert_eq!(db.graph().edge_count(), edges_before);
+        // ...and no reserved version: the next valid record starts the
+        // artifact at v1 and keeps the derivation chain gap-free.
+        let out = db
+            .record_activity(ActivityRecord {
+                command: "train".into(),
+                agent: None,
+                inputs: vec![data],
+                outputs: vec![OutputSpec::named("model")],
+                props: vec![],
+            })
+            .unwrap();
+        assert_eq!(db.graph().vertex_name(out.outputs[0]), Some("model-v1"));
+        assert_eq!(db.latest_version("model"), Some(out.outputs[0]));
+    }
+
+    #[test]
+    fn name_shadowed_prev_version_cannot_break_atomicity() {
+        let (mut db, data, _) = small_project();
+        // An activity whose command collides with the weights-v1 name
+        // repoints `by_name["weights-v1"]` at a non-entity.
+        db.record_activity(ActivityRecord {
+            command: "weights-v1".into(),
+            agent: None,
+            inputs: vec![data],
+            outputs: vec![],
+            props: vec![],
+        })
+        .unwrap();
+        // The next weights version must still ingest cleanly: the derivation
+        // link is skipped (its target is no longer an entity), not failed.
+        let out = db
+            .record_activity(ActivityRecord {
+                command: "train".into(),
+                agent: None,
+                inputs: vec![data],
+                outputs: vec![OutputSpec::named("weights")],
+                props: vec![],
+            })
+            .unwrap();
+        let w2 = out.outputs[0];
+        assert_eq!(db.graph().vertex_name(w2), Some("weights-v2"));
+        assert!(db
+            .graph()
+            .out_neighbors(w2, prov_model::EdgeKind::WasDerivedFrom)
+            .next()
+            .is_none());
+        db.graph().validate_acyclic().unwrap();
+    }
+
+    #[test]
+    fn sessions_pin_their_snapshot_across_mutations() {
+        let (mut db, data, weights) = small_project();
+        let mut session = db
+            .segment_session(
+                PgSegQuery::between(vec![data], vec![weights]),
+                &PgSegOptions::default(),
+            )
+            .unwrap();
+        let before = session.segment().vertex_count();
+        // Mutating the database copy-on-writes the graph; the live session
+        // keeps evaluating against the snapshot it pinned at open.
+        db.record_activity(ActivityRecord {
+            command: "train".into(),
+            agent: None,
+            inputs: vec![data],
+            outputs: vec![OutputSpec::named("weights")],
+            props: vec![],
+        })
+        .unwrap();
+        assert!(db.graph().vertex_count() > session.graph().vertex_count());
+        session.expand(&[data], 1);
+        assert_eq!(session.segment().vertex_count(), before);
     }
 
     #[test]

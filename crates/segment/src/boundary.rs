@@ -219,6 +219,20 @@ impl Mask {
     pub fn edge(&self, e: EdgeId) -> bool {
         self.edge_ok[e.index()]
     }
+
+    /// Conjoin another mask into this one: keep only what both keep.
+    /// Exclusion criteria accumulate across adjust steps this way. Both
+    /// masks must be compiled against the same graph.
+    pub fn intersect(&mut self, other: &Mask) {
+        debug_assert_eq!(self.vertex_ok.len(), other.vertex_ok.len());
+        debug_assert_eq!(self.edge_ok.len(), other.edge_ok.len());
+        for (slot, ok) in self.vertex_ok.iter_mut().zip(&other.vertex_ok) {
+            *slot &= ok;
+        }
+        for (slot, ok) in self.edge_ok.iter_mut().zip(&other.edge_ok) {
+            *slot &= ok;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +301,19 @@ mod tests {
         let mask = b.compile(&g);
         // Only d (birth 0, entity) and t (birth 1, activity) survive.
         assert_eq!(mask.vertex_ok, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn mask_intersection_accumulates_exclusions() {
+        let (g, d, t, _, e_used, e_attr) = sample();
+        let mut a = Boundary::none()
+            .with_vertex_pred(VertexPred::ExcludeKind(VertexKind::Agent))
+            .compile(&g);
+        let b = Boundary::none().without_edge_kinds(&[EdgeKind::WasAttributedTo]).compile(&g);
+        a.intersect(&b);
+        assert!(a.vertex(d) && a.vertex(t));
+        assert!(!a.edge(e_attr), "edge exclusion folded in");
+        assert!(a.edge(e_used));
     }
 
     #[test]

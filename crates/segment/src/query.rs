@@ -25,6 +25,7 @@ use prov_bitset::SetBackend;
 use prov_model::{VertexId, VertexKind};
 use prov_store::hash::FxHashMap;
 use prov_store::{ProvGraph, ProvIndex, StoreError, StoreResult};
+use std::sync::Arc;
 
 /// A PgSeg query `(Vsrc, Vdst, B)`.
 #[derive(Debug, Clone, Default)]
@@ -54,7 +55,7 @@ impl PgSegQuery {
         for &v in self.vsrc.iter().chain(self.vdst.iter()) {
             let rec = graph.try_vertex(v)?;
             if rec.kind != VertexKind::Entity {
-                return Err(StoreError::Import(format!(
+                return Err(StoreError::InvalidQuery(format!(
                     "PgSeg query vertices must be entities; {v} is {:?}",
                     rec.kind
                 )));
@@ -137,24 +138,25 @@ pub fn evaluate_similarity(
     }
 }
 
-/// A PgSeg evaluation session: owns the compiled mask and caches the induced
-/// segment so boundary adjustments are interactive (the adjust step).
-pub struct PgSegSession<'a> {
-    graph: &'a ProvGraph,
-    index: &'a ProvIndex,
+/// The borrow-based core of a PgSeg evaluation: the compiled mask plus the
+/// cached induced segment. Both the `'static` owning [`PgSegSession`] and the
+/// borrowed one-shot [`pgseg`] (the benches' entry point, which must not pay
+/// for `Arc` bookkeeping) drive their evaluation through this state machine.
+#[derive(Debug, Clone)]
+struct SessionState {
     query: PgSegQuery,
     mask: Option<crate::boundary::Mask>,
     cached: InduceResult,
 }
 
-impl<'a> PgSegSession<'a> {
-    /// Evaluate the induce step and open a session for adjustments.
-    pub fn open(
-        graph: &'a ProvGraph,
-        index: &'a ProvIndex,
+impl SessionState {
+    /// Evaluate the induce step against borrowed storage.
+    fn open(
+        graph: &ProvGraph,
+        index: &ProvIndex,
         query: PgSegQuery,
         opts: &PgSegOptions,
-    ) -> StoreResult<Self> {
+    ) -> StoreResult<SessionState> {
         query.validate(graph)?;
         let mask = if query.boundary.has_exclusions() {
             Some(query.boundary.compile(graph))
@@ -169,35 +171,16 @@ impl<'a> PgSegSession<'a> {
         for exp in &query.boundary.expansions {
             apply_expansion(graph, &view, &mut cached, &exp.roots, exp.k, mask.as_ref());
         }
-        Ok(PgSegSession { graph, index, query, mask, cached })
+        Ok(SessionState { query, mask, cached })
     }
 
-    /// The induced (and possibly adjusted) segment.
-    pub fn segment(&self) -> &SegmentGraph {
-        &self.cached.segment
+    fn expand(&mut self, graph: &ProvGraph, index: &ProvIndex, roots: &[VertexId], k: u32) {
+        let view = MaskedGraph::new(index, self.mask.as_ref());
+        apply_expansion(graph, &view, &mut self.cached, roots, k, self.mask.as_ref());
     }
 
-    /// Evaluator statistics of the similarity part.
-    pub fn similar_outcome(&self) -> &SimilarOutcome {
-        &self.cached.similar
-    }
-
-    /// The query this session answers.
-    pub fn query(&self) -> &PgSegQuery {
-        &self.query
-    }
-
-    /// Adjust step: grow the cached segment with an expansion `bx(Vx, k)`
-    /// without re-running induction.
-    pub fn expand(&mut self, roots: &[VertexId], k: u32) {
-        let view = MaskedGraph::new(self.index, self.mask.as_ref());
-        apply_expansion(self.graph, &view, &mut self.cached, roots, k, self.mask.as_ref());
-    }
-
-    /// Adjust step: filter the cached segment with additional exclusion
-    /// criteria (applied linearly to the cached vertices/edges, Sec. III-B.3).
-    pub fn restrict(&mut self, extra: &Boundary) {
-        let mask = extra.compile(self.graph);
+    fn restrict(&mut self, graph: &ProvGraph, extra: &Boundary) {
+        let mask = extra.compile(graph);
         let seg = &self.cached.segment;
         let mut cat_map: FxHashMap<VertexId, Categories> = FxHashMap::default();
         for (&v, &c) in seg.vertices.iter().zip(seg.categories.iter()) {
@@ -205,15 +188,102 @@ impl<'a> PgSegSession<'a> {
                 cat_map.insert(v, c);
             }
         }
-        let prior_mask = self.mask.clone();
-        let edge_ok = |e| mask.edge(e) && prior_mask.as_ref().is_none_or(|m| m.edge(e));
-        self.cached.segment = SegmentGraph::assemble(
-            self.graph,
-            &self.query.vsrc,
-            &self.query.vdst,
-            &cat_map,
-            edge_ok,
-        );
+        // Exclusions accumulate: fold the new criteria into the session
+        // mask so later expansions cannot resurrect what was restricted.
+        let combined = match self.mask.take() {
+            None => mask,
+            Some(mut prior) => {
+                prior.intersect(&mask);
+                prior
+            }
+        };
+        self.cached.segment =
+            SegmentGraph::assemble(graph, &self.query.vsrc, &self.query.vdst, &cat_map, |e| {
+                combined.edge(e)
+            });
+        self.mask = Some(combined);
+    }
+}
+
+/// A PgSeg evaluation session: owns its graph/index snapshot (`Arc`), the
+/// compiled mask, and the cached induced segment so boundary adjustments are
+/// interactive (the adjust step).
+///
+/// The session is `'static`: it can be stored in a registry (see the
+/// `prov-api` service layer), returned from functions, and kept alive across
+/// later mutations of the originating database — it pins the snapshot it was
+/// opened against, matching the paper's "induce once, adjust repeatedly"
+/// interaction model (Sec. III-B).
+#[derive(Debug, Clone)]
+pub struct PgSegSession {
+    graph: Arc<ProvGraph>,
+    index: Arc<ProvIndex>,
+    state: SessionState,
+}
+
+impl PgSegSession {
+    /// Evaluate the induce step and open a session for adjustments.
+    pub fn open(
+        graph: Arc<ProvGraph>,
+        index: Arc<ProvIndex>,
+        query: PgSegQuery,
+        opts: &PgSegOptions,
+    ) -> StoreResult<Self> {
+        let state = SessionState::open(&graph, &index, query, opts)?;
+        Ok(PgSegSession { graph, index, state })
+    }
+
+    /// Thin borrowed constructor: freeze-free when the caller already holds
+    /// `Arc`s (clones the handles, never the data).
+    pub fn open_shared(
+        graph: &Arc<ProvGraph>,
+        index: &Arc<ProvIndex>,
+        query: PgSegQuery,
+        opts: &PgSegOptions,
+    ) -> StoreResult<Self> {
+        PgSegSession::open(Arc::clone(graph), Arc::clone(index), query, opts)
+    }
+
+    /// The graph snapshot this session evaluates against.
+    pub fn graph(&self) -> &ProvGraph {
+        &self.graph
+    }
+
+    /// Shared handle to the pinned graph (identity comparisons, re-sharing).
+    pub fn graph_shared(&self) -> &Arc<ProvGraph> {
+        &self.graph
+    }
+
+    /// The frozen index this session evaluates against.
+    pub fn index(&self) -> &ProvIndex {
+        &self.index
+    }
+
+    /// The induced (and possibly adjusted) segment.
+    pub fn segment(&self) -> &SegmentGraph {
+        &self.state.cached.segment
+    }
+
+    /// Evaluator statistics of the similarity part.
+    pub fn similar_outcome(&self) -> &SimilarOutcome {
+        &self.state.cached.similar
+    }
+
+    /// The query this session answers.
+    pub fn query(&self) -> &PgSegQuery {
+        &self.state.query
+    }
+
+    /// Adjust step: grow the cached segment with an expansion `bx(Vx, k)`
+    /// without re-running induction.
+    pub fn expand(&mut self, roots: &[VertexId], k: u32) {
+        self.state.expand(&self.graph, &self.index, roots, k);
+    }
+
+    /// Adjust step: filter the cached segment with additional exclusion
+    /// criteria (applied linearly to the cached vertices/edges, Sec. III-B.3).
+    pub fn restrict(&mut self, extra: &Boundary) {
+        self.state.restrict(&self.graph, extra);
     }
 }
 
@@ -238,14 +308,16 @@ fn apply_expansion(
         SegmentGraph::assemble(graph, &seg.vsrc.clone(), &seg.vdst.clone(), &cat_map, edge_ok);
 }
 
-/// One-shot convenience: evaluate a PgSeg query end to end.
+/// One-shot convenience: evaluate a PgSeg query end to end against borrowed
+/// storage. This is the benches' hot entry point — it shares the evaluation
+/// core with [`PgSegSession`] but never touches an `Arc`.
 pub fn pgseg(
     graph: &ProvGraph,
     index: &ProvIndex,
     query: PgSegQuery,
     opts: &PgSegOptions,
 ) -> StoreResult<SegmentGraph> {
-    Ok(PgSegSession::open(graph, index, query, opts)?.segment().clone())
+    Ok(SessionState::open(graph, index, query, opts)?.cached.segment)
 }
 
 #[cfg(test)]
@@ -274,10 +346,12 @@ mod tests {
     #[test]
     fn validation_rejects_non_entities() {
         let (g, _, ids) = chain();
+        // A non-entity query vertex is a malformed *query*, not a store fault.
         let q = PgSegQuery::between(vec![ids[1]], vec![ids[4]]);
-        assert!(q.validate(&g).is_err());
+        assert!(matches!(q.validate(&g), Err(StoreError::InvalidQuery(_))));
+        // An out-of-range id is an unknown-vertex store error.
         let q = PgSegQuery::between(vec![ids[0]], vec![VertexId::new(99)]);
-        assert!(q.validate(&g).is_err());
+        assert!(matches!(q.validate(&g), Err(StoreError::UnknownVertex(_))));
         let q = PgSegQuery::between(vec![ids[0]], vec![ids[4]]);
         assert!(q.validate(&g).is_ok());
     }
@@ -324,8 +398,8 @@ mod tests {
         let (g, idx, ids) = chain();
         // Restrict query to the last hop: src=m, dst=w.
         let mut session = PgSegSession::open(
-            &g,
-            &idx,
+            Arc::new(g),
+            Arc::new(idx),
             PgSegQuery::between(vec![ids[2]], vec![ids[4]]),
             &PgSegOptions::default(),
         )
@@ -340,8 +414,8 @@ mod tests {
     fn session_restrict_filters_cached_segment() {
         let (g, idx, ids) = chain();
         let mut session = PgSegSession::open(
-            &g,
-            &idx,
+            Arc::new(g),
+            Arc::new(idx),
             PgSegQuery::between(vec![ids[0]], vec![ids[4]]),
             &PgSegOptions::default(),
         )
@@ -354,8 +428,38 @@ mod tests {
         assert!(!session.segment().contains(ids[5]));
         // Associated edge disappears with its endpoint.
         for &e in &session.segment().edges {
-            assert_ne!(g.edge(e).kind, EdgeKind::WasAssociatedWith);
+            assert_ne!(session.graph().edge(e).kind, EdgeKind::WasAssociatedWith);
         }
+    }
+
+    #[test]
+    fn expand_after_restrict_respects_accumulated_exclusions() {
+        let (g, idx, ids) = chain();
+        // Session over the last hop only; alice rides along via VC4.
+        let mut session = PgSegSession::open(
+            Arc::new(g),
+            Arc::new(idx),
+            PgSegQuery::between(vec![ids[2]], vec![ids[4]]),
+            &PgSegOptions::default(),
+        )
+        .unwrap();
+        session.restrict(&Boundary::none().without_edge_kinds(&[EdgeKind::WasAssociatedWith]));
+        assert!(session
+            .segment()
+            .edges
+            .iter()
+            .all(|&e| { session.graph().edge(e).kind != EdgeKind::WasAssociatedWith }));
+        // A later expansion must not resurrect the excluded edges.
+        session.expand(&[ids[2]], 1);
+        assert!(session.segment().contains(ids[0]), "expansion still grows the segment");
+        assert!(
+            session
+                .segment()
+                .edges
+                .iter()
+                .all(|&e| { session.graph().edge(e).kind != EdgeKind::WasAssociatedWith }),
+            "restricted edges reappeared after expand"
+        );
     }
 
     #[test]
@@ -363,7 +467,28 @@ mod tests {
         let (g, idx, ids) = chain();
         let q = PgSegQuery::between(vec![ids[2]], vec![ids[4]])
             .with_boundary(Boundary::none().expand(vec![ids[2]], 1));
-        let session = PgSegSession::open(&g, &idx, q, &PgSegOptions::default()).unwrap();
+        let session =
+            PgSegSession::open(Arc::new(g), Arc::new(idx), q, &PgSegOptions::default()).unwrap();
         assert!(session.segment().contains(ids[0]));
+    }
+
+    #[test]
+    fn session_is_static_and_outlives_its_builder_scope() {
+        // The compile-time point of the ownership refactor: a session built
+        // in an inner scope moves out and stays usable (registry storage).
+        fn build(ids: &[VertexId], g: ProvGraph, idx: ProvIndex) -> PgSegSession {
+            PgSegSession::open_shared(
+                &Arc::new(g),
+                &Arc::new(idx),
+                PgSegQuery::between(vec![ids[0]], vec![ids[4]]),
+                &PgSegOptions::default(),
+            )
+            .unwrap()
+        }
+        let (g, idx, ids) = chain();
+        let mut session: PgSegSession = build(&ids, g, idx);
+        assert!(session.segment().contains(ids[3]));
+        session.expand(&[ids[0]], 1);
+        assert!(session.segment().vertex_count() >= 5);
     }
 }

@@ -18,6 +18,11 @@ pub enum StoreError {
     },
     /// JSON import failed.
     Import(String),
+    /// A query was malformed (e.g. PgSeg source/destination vertices that are
+    /// not entities). Distinct from [`StoreError::Import`]: the *store* is
+    /// fine, the *request* is not — service layers map this to a client
+    /// error rather than a data corruption report.
+    InvalidQuery(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -30,6 +35,7 @@ impl std::fmt::Display for StoreError {
                 write!(f, "provenance graph must be acyclic; cycle through {on}")
             }
             StoreError::Import(msg) => write!(f, "import error: {msg}"),
+            StoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
         }
     }
 }
@@ -61,5 +67,8 @@ mod tests {
         assert!(err.to_string().contains("invalid edge"));
         assert!(StoreError::UnknownVertex(VertexId::new(3)).to_string().contains("v3"));
         assert!(StoreError::CycleDetected { on: VertexId::new(1) }.to_string().contains("acyclic"));
+        assert!(StoreError::InvalidQuery("vsrc empty".into())
+            .to_string()
+            .contains("invalid query: vsrc empty"));
     }
 }

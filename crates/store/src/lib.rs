@@ -28,4 +28,4 @@ pub use graph::{EdgeRecord, GraphStats, ProvGraph, VertexRecord};
 pub use pattern::{
     Budget, MatchOutcome, MaterializedPath, NodeSpec, PathPattern, PatternDir, RelSpec,
 };
-pub use snapshot::{Csr, Direction, ProvIndex};
+pub use snapshot::{Csr, Direction, ProvIndex, SharedIndex};

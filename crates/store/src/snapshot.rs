@@ -17,6 +17,12 @@
 
 use crate::graph::ProvGraph;
 use prov_model::{EdgeId, EdgeKind, VertexId, VertexKind};
+use std::sync::Arc;
+
+/// A shareable snapshot handle: interactive sessions and service registries
+/// hold the frozen index by `Arc` so they can outlive the call stack that
+/// built it (and so one freeze serves many concurrent readers).
+pub type SharedIndex = Arc<ProvIndex>;
 
 /// One CSR direction of one relationship type.
 #[derive(Debug, Clone, Default)]
@@ -172,6 +178,12 @@ impl ProvIndex {
             ],
             edge_counts,
         }
+    }
+
+    /// Freeze `graph` into a reference-counted snapshot ready to be stored in
+    /// a session registry ([`SharedIndex`]).
+    pub fn build_shared(graph: &ProvGraph) -> SharedIndex {
+        Arc::new(ProvIndex::build(graph))
     }
 
     /// Number of vertices.
@@ -385,6 +397,16 @@ mod tests {
                 assert_eq!(idx.kind(v), kind);
             }
         }
+    }
+
+    #[test]
+    fn shared_snapshot_is_usable_after_graph_moves() {
+        let (g, ids) = chain();
+        let shared: SharedIndex = ProvIndex::build_shared(&g);
+        let clone = Arc::clone(&shared);
+        drop(g); // the snapshot owns everything it needs
+        assert_eq!(shared.vertex_count(), 6);
+        assert_eq!(clone.inputs_of(ids[1]), &[ids[0]]);
     }
 
     #[test]

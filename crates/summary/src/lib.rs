@@ -8,10 +8,10 @@
 //! conditions.
 //!
 //! Pipeline: [`segment_ref`] (input) → [`aggregation`] (`K`) + [`provtype`]
-//! (`Rk`) → [`union`] (`g0` with `≡kκ` classes) → [`simulation`] (`≤s_in`,
-//! `≤s_out`) → [`merge`] (Lemma 5) → [`psg`] (output with `γ` frequencies).
-//! [`psum`] is the comparison baseline; [`paths`] checks the bounded
-//! path-preservation invariant in tests.
+//! (`Rk`) → [`union`] (`g0` with `≡kκ` classes) → [`mod@simulation`]
+//! (`≤s_in`, `≤s_out`) → [`mod@merge`] (Lemma 5) → [`psg`] (output with `γ`
+//! frequencies). [`mod@psum`] is the comparison baseline; [`paths`] checks
+//! the bounded path-preservation invariant in tests.
 
 pub mod aggregation;
 pub mod merge;

@@ -4,7 +4,7 @@
 //! two vertices are only combinable when those neighborhoods are isomorphic
 //! w.r.t. the aggregate labels. We compute the type as `k` rounds of
 //! Weisfeiler–Leman-style refinement — Moreau's recursive edge-label
-//! concatenation [25], extended (as the paper demands) to be degree-aware by
+//! concatenation \[25\], extended (as the paper demands) to be degree-aware by
 //! hashing the *sorted multiset* of (edge kind, direction, neighbor type)
 //! triples rather than the concatenation alone.
 //!

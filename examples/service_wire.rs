@@ -1,0 +1,87 @@
+//! The service layer end to end, entirely over serialized requests: ingest a
+//! small training project, open an interactive PgSeg session, adjust it
+//! (expand + restrict), summarize with PgSum, walk lineage, and export —
+//! every step a JSON string through [`prov::api::ProvService::handle_json`],
+//! exactly as a network transport would drive it.
+//!
+//! ```sh
+//! cargo run --release --example service_wire
+//! ```
+
+use prov::api::ProvService;
+
+/// Send one JSON request, print the exchange, return the raw response.
+fn send(service: &mut ProvService, request: &str) -> String {
+    let response = service.handle_json(request);
+    let shown = if response.len() > 120 { &response[..120] } else { &response };
+    println!("--> {request}");
+    println!("<-- {shown}{}", if response.len() > 120 { "…" } else { "" });
+    assert!(!response.starts_with("{\"Error\""), "request failed: {response}");
+    response
+}
+
+fn main() {
+    let mut service = ProvService::new();
+
+    // ---- Ingest: agents, a dataset, three training iterations ----------
+    println!("# ingest");
+    send(&mut service, r#"{"AddAgent": {"name": "alice"}}"#);
+    send(&mut service, r#"{"AddAgent": {"name": "bob"}}"#);
+    send(&mut service, r#"{"AddArtifact": {"artifact": "data", "attributed_to": "alice"}}"#);
+    for (step, agent, acc) in [(0, "alice", 0.61), (1, "alice", 0.68), (2, "bob", 0.74)] {
+        let inputs = if step == 0 {
+            r#"["data-v1"]"#.to_string()
+        } else {
+            format!(r#"["data-v1", "weights-v{step}"]"#)
+        };
+        send(
+            &mut service,
+            &format!(
+                r#"{{"RecordActivity": {{
+                     "command": "train --step {step}",
+                     "agent": "{agent}",
+                     "inputs": {inputs},
+                     "outputs": [{{"artifact": "weights", "props": [["acc", {acc}]]}},
+                                 {{"artifact": "log"}}],
+                     "props": [["step", {step}]]}}}}"#
+            ),
+        );
+    }
+
+    // ---- Interactive segmentation: induce once, adjust repeatedly ------
+    println!("\n# segment (interactive session)");
+    let opened =
+        send(&mut service, r#"{"OpenSession": {"src": ["weights-v1"], "dst": ["weights-v3"]}}"#);
+    assert!(opened.contains("\"Session\""));
+
+    // Adjust 1: pull the dataset's derivation context in (bx(Vx, k)).
+    send(&mut service, r#"{"Expand": {"session": 0, "roots": ["weights-v1"], "k": 1}}"#);
+
+    // Adjust 2: drop the agents — keep the data story only.
+    let restricted = send(
+        &mut service,
+        r#"{"Restrict": {"session": 0,
+             "boundary": {"vertex": [{"ExcludeKind": "Agent"}]}}}"#,
+    );
+    assert!(!restricted.contains("alice"), "agents were excluded");
+
+    // A second, independent session over a different window: the registry
+    // holds both, addressed by id.
+    send(&mut service, r#"{"OpenSession": {"src": ["data-v1"], "dst": ["weights-v2"]}}"#);
+
+    // ---- Summarize the two sessions' segments with PgSum ---------------
+    println!("\n# summarize");
+    let summary = send(&mut service, r#"{"Summarize": {"sessions": [0, 1]}}"#);
+    assert!(summary.contains("\"segment_count\":2"));
+
+    // ---- Lineage + interchange -----------------------------------------
+    println!("\n# lineage & export");
+    let lineage =
+        send(&mut service, r#"{"Lineage": {"entity": "weights-v3", "direction": "Ancestors"}}"#);
+    assert!(lineage.contains("\"Lineage\""));
+    send(&mut service, r#"{"CloseSession": {"session": 0}}"#);
+    let exported = send(&mut service, r#"{"Export": {}}"#);
+    assert!(exported.contains("\"Document\""));
+
+    println!("\nservice wire loop OK ({} live session)", service.session_count());
+}

@@ -6,6 +6,7 @@
 //! tests (`tests/`). See `README.md` for the tour and `DESIGN.md` for the
 //! system inventory and per-experiment index.
 
+pub use prov_api as api;
 pub use prov_bitset as bitset;
 pub use prov_cfl as cfl;
 pub use prov_core as core_api;

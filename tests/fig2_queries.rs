@@ -110,7 +110,7 @@ fn query3_summary_merges_trains_and_keeps_update_alternatives() {
 #[test]
 fn query1_and_query2_via_provdb_facade() {
     let ex = fig2::build();
-    let mut db = prov_core::ProvDb::from_graph(ex.graph.clone());
+    let db = prov_core::ProvDb::from_graph(ex.graph.clone());
     let seg = db
         .segment(
             PgSegQuery::between(vec![ex.v("dataset-v1")], vec![ex.v("weight-v2")])

@@ -2,6 +2,7 @@
 //! downstream users can reach every subsystem through `prov::…` without
 //! depending on the member crates directly.
 
+use prov::api::{AddAgentRequest, ProvService, Request, Response};
 use prov::bitset::{FastSet, FixedBitSet, SetBackend};
 use prov::cfl::{Grammar, Symbol, Terminal};
 use prov::core_api::{ActivityRecord, OutputSpec, ProvDb};
@@ -64,4 +65,10 @@ fn reexport_surface_resolves_and_is_usable() {
 
     // prov::segment / prov::summary types are nameable and constructible.
     let _q: PgSumQuery = PgSumQuery::default();
+
+    // prov::api — the service layer answers a serialized request.
+    let mut service = ProvService::new();
+    let response = service.handle(&Request::AddAgent(AddAgentRequest { name: "alice".into() }));
+    assert!(matches!(response, Response::Vertex(_)));
+    assert!(service.handle_json(r#"{"AddAgent": {"name": "bob"}}"#).contains("\"Vertex\""));
 }

@@ -7,6 +7,12 @@
 //! `#[serde(transparent)]`, `#[serde(untagged)]`, `#[serde(default)]`,
 //! `#[serde(skip_serializing_if = "path")]`. Anything else is a compile
 //! error with a pointed message rather than silently wrong codegen.
+//!
+//! Newtype enums follow real serde's tagging rules: by default they are
+//! **externally tagged** (`{"Variant": inner}` on the wire — what the
+//! `prov-api` request/response envelope relies on); with
+//! `#[serde(untagged)]` on the container they serialize as the bare inner
+//! value and deserialize by trying variants in declaration order.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -26,7 +32,7 @@ enum Item {
     NamedStruct { name: String, fields: Vec<Field> },
     NewtypeStruct { name: String },
     UnitEnum { name: String, variants: Vec<String> },
-    NewtypeEnum { name: String, variants: Vec<Variant> },
+    NewtypeEnum { name: String, variants: Vec<Variant>, untagged: bool },
 }
 
 /// Serde attribute words attached to one attr target (container or field).
@@ -34,8 +40,11 @@ enum Item {
 struct SerdeAttrs {
     default: bool,
     skip_if: Option<String>,
-    // `transparent` and `untagged` only change behaviour we already infer
-    // from the item shape, so they are accepted and ignored.
+    /// Container-level `#[serde(untagged)]`: newtype enums serialize as the
+    /// bare inner value instead of an externally tagged single-key object.
+    untagged: bool,
+    // `transparent` only changes behaviour we already infer from the item
+    // shape (newtype structs), so it is accepted and ignored.
 }
 
 fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
@@ -58,7 +67,8 @@ fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
                     out.skip_if = Some(lit.to_string().trim_matches('"').to_string());
                 }
             }
-            "transparent" | "untagged" => {}
+            "untagged" => out.untagged = true,
+            "transparent" => {}
             other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
         }
     }
@@ -149,7 +159,7 @@ fn parse_variants(body: proc_macro::Group) -> Vec<Variant> {
 
 fn parse_item(input: TokenStream) -> Item {
     let mut tokens = input.into_iter().peekable();
-    let _container_attrs = skip_attrs(&mut tokens);
+    let container_attrs = skip_attrs(&mut tokens);
     skip_visibility(&mut tokens);
     let keyword = match tokens.next() {
         Some(TokenTree::Ident(i)) => i.to_string(),
@@ -183,7 +193,7 @@ fn parse_item(input: TokenStream) -> Item {
             if variants.iter().all(|v| v.newtype.is_none()) {
                 Item::UnitEnum { name, variants: variants.into_iter().map(|v| v.name).collect() }
             } else if variants.iter().all(|v| v.newtype.is_some()) {
-                Item::NewtypeEnum { name, variants }
+                Item::NewtypeEnum { name, variants, untagged: container_attrs.untagged }
             } else {
                 panic!("serde shim derive: enums must be all-unit or all-newtype (`{name}`)");
             }
@@ -252,11 +262,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                  }}"
             )
         }
-        Item::NewtypeEnum { name, variants } => {
+        Item::NewtypeEnum { name, variants, untagged } => {
             let arms: String = variants
                 .iter()
                 .map(|v| {
-                    format!("{name}::{} (__x) => ::serde::Serialize::ser(__x),\n", v.name)
+                    let vname = &v.name;
+                    if untagged {
+                        format!("{name}::{vname} (__x) => ::serde::Serialize::ser(__x),\n")
+                    } else {
+                        format!(
+                            "{name}::{vname} (__x) => ::serde::Content::Map(vec![(\
+                                 \"{vname}\".to_string(), ::serde::Serialize::ser(__x))]),\n"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -330,29 +348,62 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }}"
             )
         }
-        Item::NewtypeEnum { name, variants } => {
-            // Untagged: try variants in declaration order, first success wins.
-            let tries: String = variants
-                .iter()
-                .map(|v| {
-                    let ty = v.newtype.as_ref().expect("newtype variant has a type");
-                    format!(
-                        "if let Ok(__x) = <{ty} as ::serde::Deserialize>::de(__content) {{\n\
-                             return Ok({name}::{}(__x));\n\
-                         }}\n",
-                        v.name
-                    )
-                })
-                .collect();
-            format!(
-                "impl ::serde::Deserialize for {name} {{\n\
-                     fn de(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
-                         {tries}\
-                         Err(::serde::Error::msg(\
-                             format!(\"no {name} variant matched a {{}}\", __content.type_name())))\n\
-                     }}\n\
-                 }}"
-            )
+        Item::NewtypeEnum { name, variants, untagged } => {
+            if untagged {
+                // Untagged: try variants in declaration order, first success wins.
+                let tries: String = variants
+                    .iter()
+                    .map(|v| {
+                        let ty = v.newtype.as_ref().expect("newtype variant has a type");
+                        format!(
+                            "if let Ok(__x) = <{ty} as ::serde::Deserialize>::de(__content) {{\n\
+                                 return Ok({name}::{}(__x));\n\
+                             }}\n",
+                            v.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn de(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                             {tries}\
+                             Err(::serde::Error::msg(\
+                                 format!(\"no {name} variant matched a {{}}\", __content.type_name())))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                // Externally tagged: a single-key object selects the variant.
+                let arms: String = variants
+                    .iter()
+                    .map(|v| {
+                        let ty = v.newtype.as_ref().expect("newtype variant has a type");
+                        format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                                 <{ty} as ::serde::Deserialize>::de(__inner)?)),\n",
+                            vname = v.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn de(__content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                             let __entries = __content.as_map().ok_or_else(|| ::serde::Error::msg(\
+                                 format!(\"expected tagged object for {name}, found {{}}\", \
+                                         __content.type_name())))?;\n\
+                             let [(__tag, __inner)] = __entries else {{\n\
+                                 return Err(::serde::Error::msg(\
+                                     \"expected a single-key tagged object for {name}\"));\n\
+                             }};\n\
+                             match __tag.as_str() {{\n\
+                                 {arms}\
+                                 __other => Err(::serde::Error::msg(\
+                                     format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                             }}\n\
+                         }}\n\
+                     }}"
+                )
+            }
         }
     };
     code.parse().expect("serde shim derive: generated Deserialize impl failed to parse")
