@@ -30,6 +30,8 @@ pub enum ErrorCode {
     Cycle,
     /// JSON interchange import failed.
     Import,
+    /// The store's dense id space is exhausted.
+    CapacityExceeded,
 }
 
 /// Everything that can go wrong while serving a request.
@@ -55,6 +57,7 @@ impl ApiError {
             ApiError::Store(StoreError::CycleDetected { .. }) => ErrorCode::Cycle,
             ApiError::Store(StoreError::Import(_)) => ErrorCode::Import,
             ApiError::Store(StoreError::InvalidQuery(_)) => ErrorCode::InvalidQuery,
+            ApiError::Store(StoreError::CapacityExceeded { .. }) => ErrorCode::CapacityExceeded,
             ApiError::UnknownSession(_) => ErrorCode::UnknownSession,
             ApiError::UnknownEntity(_) => ErrorCode::UnknownEntity,
             ApiError::Malformed(_) => ErrorCode::MalformedRequest,
@@ -100,6 +103,8 @@ mod tests {
         assert_eq!(e.code(), ErrorCode::InvalidQuery);
         let e: ApiError = StoreError::UnknownVertex(VertexId::new(9)).into();
         assert_eq!(e.code(), ErrorCode::UnknownVertex);
+        let e: ApiError = StoreError::CapacityExceeded { what: "vertex" }.into();
+        assert_eq!(e.code(), ErrorCode::CapacityExceeded);
         assert_eq!(ApiError::UnknownSession(SessionId::new(1)).code(), ErrorCode::UnknownSession);
         assert_eq!(ApiError::UnknownEntity("x".into()).code(), ErrorCode::UnknownEntity);
         assert_eq!(ApiError::Malformed("{".into()).code(), ErrorCode::MalformedRequest);

@@ -125,7 +125,7 @@ impl ProvService {
     // ------------------------------------------------------------------
 
     fn add_agent(&mut self, r: &AddAgentRequest) -> ApiResult<Response> {
-        let id = self.db.add_agent(&r.name);
+        let id = self.db.add_agent(&r.name)?;
         Ok(self.vertex_response(id))
     }
 

@@ -308,6 +308,56 @@ fn unified_errors_reach_the_wire_with_codes() {
 }
 
 #[test]
+fn duplicate_names_resolve_to_latest_and_keep_history() {
+    let mut service = ProvService::new();
+    ingest_pipeline(&mut service, 3);
+    let graph = service.db().graph();
+
+    // Each train step ran the distinctly-named command "train --step i", but
+    // the versioned artifacts all share the "weights-vN" naming: no
+    // duplicates yet, every versioned name addresses exactly one vertex.
+    assert_eq!(graph.versions_of("weights-v1").len(), 1);
+
+    // Now create true duplicates: two agents registered under one name.
+    let r = service.handle(&Request::AddAgent(AddAgentRequest { name: "carol".into() }));
+    let first_carol = match r {
+        Response::Vertex(v) => v.id,
+        other => panic!("{other:?}"),
+    };
+    let r = service.handle(&Request::AddAgent(AddAgentRequest { name: "carol".into() }));
+    let second_carol = match r {
+        Response::Vertex(v) => v.id,
+        other => panic!("{other:?}"),
+    };
+    assert_ne!(first_carol, second_carol);
+
+    // The seed silently clobbered `by_name`, losing first_carol. Now:
+    // latest wins for EntityRef::Name resolution…
+    let graph = service.db().graph();
+    assert_eq!(graph.vertex_by_name("carol"), Some(second_carol));
+    // …and the full version history stays addressable.
+    assert_eq!(graph.versions_of("carol"), &[first_carol, second_carol]);
+
+    // A name-addressed ingest binds to the latest duplicate.
+    let r = service.handle(&Request::RecordActivity(RecordActivityRequest {
+        command: "evaluate".into(),
+        agent: Some("carol".into()),
+        inputs: vec!["weights-v3".into()],
+        outputs: vec![OutputSpecDto { artifact: "report".into(), props: vec![] }],
+        props: vec![],
+    }));
+    assert!(!r.is_error(), "{r:?}");
+    let graph = service.db().graph();
+    let eval = graph.vertex_by_name("evaluate").unwrap();
+    let agents: Vec<_> = graph
+        .out_edges(eval)
+        .filter(|(_, e)| e.kind == EdgeKind::WasAssociatedWith)
+        .map(|(_, e)| e.dst)
+        .collect();
+    assert_eq!(agents, vec![second_carol], "name resolution bound the latest carol");
+}
+
+#[test]
 fn injected_clock_stamps_latency() {
     // A ticking clock advances 1000µs per reading; handle() reads twice, so
     // every successful response reports exactly one tick of latency.

@@ -1,31 +1,124 @@
-//! Regenerate the paper's evaluation figures as text tables.
+//! Regenerate the paper's evaluation figures — as text tables or as the
+//! machine-readable `BENCH_fig5.json` trajectory.
 //!
 //! ```sh
+//! # Text tables (any subset of 5a..5h, wl, or `all`):
 //! cargo run -p prov-bench --release --bin figure -- all          # full scale
 //! cargo run -p prov-bench --release --bin figure -- 5a --quick   # smoke run
+//!
+//! # Benchmark mode: run the Fig. 5(a)-(d) sweeps + the worklist ablation,
+//! # write the JSON trajectory, and (optionally) gate against a baseline:
+//! cargo run -p prov-bench --release -- --quick --json BENCH_fig5.json
+//! cargo run -p prov-bench --release -- --quick --json BENCH_fig5.new.json \
+//!     --baseline BENCH_fig5.json
 //! ```
+//!
+//! With `--baseline`, the process exits non-zero when any matched series
+//! point regressed more than [`prov_bench::REGRESSION_FACTOR`]× — the CI
+//! perf gate.
 
-use prov_bench::{run_figure, Scale, ALL_FIGURES};
+use prov_bench::{
+    run_figure_cached, BenchReport, FigureResult, PdCache, Scale, ALL_FIGURES, BENCH_FIGURES,
+};
+
+struct Cli {
+    quick: bool,
+    json: Option<String>,
+    baseline: Option<String>,
+    ids: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli { quick: false, json: None, baseline: None, ids: Vec::new() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cli.quick = true,
+            "--json" => {
+                cli.json = Some(it.next().ok_or("--json needs a path")?.clone());
+            }
+            "--baseline" => {
+                cli.baseline = Some(it.next().ok_or("--baseline needs a path")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    Ok(cli)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
-    let ids: Vec<String> = if ids.is_empty() || ids.iter().any(|i| i == "all") {
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let scale = if cli.quick { Scale::Quick } else { Scale::Full };
+    let bench_mode = cli.json.is_some() || cli.baseline.is_some();
+    let ids: Vec<String> = if cli.ids.is_empty() {
+        let defaults: &[&str] = if bench_mode { &BENCH_FIGURES } else { &ALL_FIGURES };
+        defaults.iter().map(|s| s.to_string()).collect()
+    } else if cli.ids.iter().any(|i| i == "all") {
         ALL_FIGURES.iter().map(|s| s.to_string()).collect()
     } else {
-        ids
+        cli.ids.clone()
     };
+
+    // One instance cache across every requested figure: each Pd workload is
+    // generated and CSR-frozen exactly once per invocation.
+    let mut cache = PdCache::new();
+    let mut figures: Vec<FigureResult> = Vec::new();
     for id in &ids {
-        match run_figure(id, scale) {
+        match run_figure_cached(id, scale, &mut cache) {
             Some(fig) => {
                 println!("{}", fig.render());
+                figures.push(fig);
             }
             None => {
                 eprintln!("unknown figure id {id:?}; valid: {ALL_FIGURES:?} or `all`");
                 std::process::exit(2);
             }
+        }
+    }
+
+    if !bench_mode {
+        return;
+    }
+    let report = BenchReport::from_figures(scale, &figures);
+    if let Some(path) = &cli.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path} ({} figures)", report.figures.len());
+    }
+    if let Some(path) = &cli.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        let regressions = report.regressions_against(&baseline);
+        if regressions.is_empty() {
+            println!("perf gate: OK (no series regressed beyond the committed baseline)");
+        } else {
+            eprintln!("perf gate: {} regression(s) against {path}:", regressions.len());
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
         }
     }
 }

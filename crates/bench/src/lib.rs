@@ -1,10 +1,21 @@
 //! Benchmark harness for the Fig. 5 reproduction (see `DESIGN.md` §4).
 //!
-//! * [`harness`] — one function per subplot, printable as text tables;
+//! * [`harness`] — one function per subplot, printable as text tables, plus
+//!   the worklist ablation (`wl`) and the shared [`PdCache`] so a batch run
+//!   freezes each workload once;
+//! * [`report`] — the `BENCH_fig5.json` document model and the >2× regression
+//!   gate CI applies against the committed baseline;
 //! * `src/bin/figure.rs` — CLI that regenerates any figure
-//!   (`cargo run -p prov-bench --release --bin figure -- 5a`);
+//!   (`cargo run -p prov-bench --release --bin figure -- 5a`) and the JSON
+//!   bench mode (`cargo run -p prov-bench --release -- --quick --json
+//!   BENCH_fig5.json`);
 //! * `benches/` — Criterion micro-benchmarks over the same kernels.
 
 pub mod harness;
+pub mod report;
 
-pub use harness::{run_figure, FigureResult, Scale, Series, ALL_FIGURES};
+pub use harness::{
+    run_figure, run_figure_cached, FigureResult, PdCache, Point, Scale, Series, ALL_FIGURES,
+    BENCH_FIGURES,
+};
+pub use report::{BenchReport, REGRESSION_FACTOR, REGRESSION_FLOOR_SECS};

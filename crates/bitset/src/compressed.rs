@@ -260,6 +260,40 @@ impl FastSet for CompressedBitmap {
         }
     }
 
+    fn insert_returning_new(&mut self, xs: &[u32], out: &mut Vec<u32>) {
+        // A run of ids sharing the same high 16 bits hits one container; cache
+        // its index so the batch pays one binary search per run, not per id.
+        let mut cached: Option<(u16, usize)> = None;
+        for &x in xs {
+            let (high, low) = Self::split(x);
+            let at = match cached {
+                Some((h, i)) if h == high => i,
+                _ => {
+                    let i = match self.container_idx(high) {
+                        Ok(i) => i,
+                        Err(pos) => {
+                            self.containers.insert(pos, (high, Container::Array(Vec::new())));
+                            pos
+                        }
+                    };
+                    cached = Some((high, i));
+                    i
+                }
+            };
+            if self.containers[at].1.insert(low) {
+                self.len += 1;
+                out.push(x);
+            }
+        }
+    }
+
+    fn for_each_elem(&self, f: &mut dyn FnMut(u32)) {
+        for (high, cont) in &self.containers {
+            let base = (*high as u32) << 16;
+            cont.for_each(|low| f(base | low as u32));
+        }
+    }
+
     fn iter_elems(&self) -> Box<dyn Iterator<Item = u32> + '_> {
         let mut all = Vec::with_capacity(self.len);
         for (high, cont) in &self.containers {
@@ -373,6 +407,36 @@ mod tests {
         b.insert(0x3_0001);
         a.union_with(&b);
         assert_eq!(a.to_vec(), vec![1, 2, 0x3_0001]);
+    }
+
+    #[test]
+    fn batch_insert_spans_containers_and_reports_fresh() {
+        let mut s = CompressedBitmap::new();
+        s.insert(5);
+        let mut fresh = Vec::new();
+        // Two runs: container 0 (5 stale, 6/7 fresh) then container 1.
+        s.insert_returning_new(&[5, 6, 7, 0x1_0000, 0x1_0001, 0x1_0000], &mut fresh);
+        assert_eq!(fresh, vec![6, 7, 0x1_0000, 0x1_0001]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.container_count(), 2);
+        let mut seen = Vec::new();
+        s.for_each_elem(&mut |x| seen.push(x));
+        assert_eq!(seen, s.to_vec());
+    }
+
+    #[test]
+    fn batch_insert_upgrades_to_bitmap_like_single_inserts() {
+        let xs: Vec<u32> = (0..=(ARRAY_CONTAINER_MAX as u32)).map(|x| x * 2).collect();
+        let mut batch = CompressedBitmap::new();
+        let mut fresh = Vec::new();
+        batch.insert_returning_new(&xs, &mut fresh);
+        assert_eq!(fresh, xs);
+        assert!(batch.is_bitmap_container(0));
+        let mut single = CompressedBitmap::new();
+        for &x in &xs {
+            single.insert(x);
+        }
+        assert_eq!(batch.to_vec(), single.to_vec());
     }
 
     #[test]

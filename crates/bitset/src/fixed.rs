@@ -192,6 +192,29 @@ impl FastSet for FixedBitSet {
         self.len = len;
     }
 
+    fn insert_returning_new(&mut self, xs: &[u32], out: &mut Vec<u32>) {
+        for &x in xs {
+            self.check_bounds(x);
+            let (w, m) = Self::index(x);
+            if self.words[w] & m == 0 {
+                self.words[w] |= m;
+                self.len += 1;
+                out.push(x);
+            }
+        }
+    }
+
+    fn for_each_elem(&self, f: &mut dyn FnMut(u32)) {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                f((i * WORD_BITS) as u32 + bit);
+            }
+        }
+    }
+
     fn iter_elems(&self) -> Box<dyn Iterator<Item = u32> + '_> {
         Box::new(self.ones())
     }
@@ -299,6 +322,19 @@ mod tests {
         assert!(!a.is_disjoint(&b));
         assert_eq!(a.min_elem(), Some(10));
         assert_eq!(FixedBitSet::new(8).min_elem(), None);
+    }
+
+    #[test]
+    fn batch_insert_reports_only_fresh_elements() {
+        let mut s = FixedBitSet::new(200);
+        s.insert(64);
+        let mut fresh = Vec::new();
+        s.insert_returning_new(&[63, 64, 65, 63], &mut fresh);
+        assert_eq!(fresh, vec![63, 65]);
+        assert_eq!(s.len(), 3);
+        let mut seen = Vec::new();
+        s.for_each_elem(&mut |x| seen.push(x));
+        assert_eq!(seen, vec![63, 64, 65]);
     }
 
     #[test]

@@ -17,17 +17,24 @@
 //!   bitmap (RoaringBitmap analogue).
 //! * [`FastSet`] — the common trait the CFLR solvers are generic over, including
 //!   the `collect_missing` primitive that implements CflrB's
-//!   `Col(u, C) \ Col(v, A)` set difference.
+//!   `Col(u, C) \ Col(v, A)` set difference and the batch
+//!   `insert_returning_new` primitive behind SimProvAlg's pair-encoded
+//!   worklist.
+//! * [`PairTable`] — a row/column-indexed pair relation over packed `u64`
+//!   words, the fact-table layout SimProvAlg's rewritten inner loop uses for
+//!   its symmetric `Ee`/`Aa` relations (generic over both backends above).
 //!
 //! Both implementations are exercised by differential property tests against
 //! `BTreeSet<u32>`.
 
 pub mod compressed;
 pub mod fixed;
+pub mod pairs;
 pub mod traits;
 
 pub use compressed::{CompressedBitmap, ARRAY_CONTAINER_MAX};
 pub use fixed::FixedBitSet;
+pub use pairs::{pack_pair, unpack_pair, PairTable};
 pub use traits::FastSet;
 
 /// A set representation choice, used by benchmarks and solvers to select the

@@ -1,0 +1,338 @@
+//! [`PairTable`]: a fact table over rank pairs, addressed by packed words.
+//!
+//! SimProvAlg's `Ee`/`Aa` relations are sets of pairs over a dense per-kind
+//! rank universe. The worklist rewrite (ISSUE 3) encodes a pair `(i, j)` as
+//! one `u64` word (`i` in the high half, `j` in the low half) so the whole
+//! inner loop — staging candidate facts, deduplicating them against the
+//! table, enqueuing the fresh ones — moves flat words instead of tuples.
+//!
+//! `PairTable` is generic over the same [`FastSet`] backends as the solvers
+//! and picks its layout by universe size:
+//!
+//! * universes up to 2¹⁴ ranks (every quick-scale workload) use one **flat**
+//!   backing set over cell indexes `i·n + j` — for [`crate::FixedBitSet`]
+//!   that is literally the paper's `O(n²/w)`-bit table, and an insert
+//!   attempt is one address computation plus one bit probe;
+//! * larger universes fall back to lazily-allocated per-row sets, which is
+//!   also what keeps the compressed backend's containers small.
+//!
+//! There is deliberately no column index: reverse partner lookups run a row
+//! scan once per query source at answer extraction, instead of paying a
+//! second set insert on every derived fact in the hot loop.
+
+use crate::traits::FastSet;
+
+/// Pack a rank pair into one word: `i` in the high 32 bits, `j` in the low.
+#[inline]
+pub fn pack_pair(i: u32, j: u32) -> u64 {
+    ((i as u64) << 32) | j as u64
+}
+
+/// Inverse of [`pack_pair`].
+#[inline]
+pub fn unpack_pair(w: u64) -> (u32, u32) {
+    ((w >> 32) as u32, w as u32)
+}
+
+/// Largest universe using the flat `n²`-cell layout.
+///
+/// Two constraints meet here: the flat cell index `i·n + j` must fit the
+/// backing set's `u32` elements (true up to `n = 2¹⁶`), and — since a dense
+/// backend zeroes its whole universe eagerly — the `n²`-bit table must stay
+/// cheap enough to build per query even when the worklist only ever touches
+/// a corner of it (interactive PgSeg sessions re-evaluate repeatedly). At
+/// `2¹⁴` ranks the dense table tops out at 32 MiB; beyond that the lazy
+/// per-row layout takes over, allocating only rows the evaluation reaches
+/// (the seed's behaviour).
+pub const FLAT_PAIR_UNIVERSE_MAX: usize = 1 << 14;
+
+enum Repr<S> {
+    /// One backing set over cell indexes `i * universe + j`.
+    Flat(S),
+    /// Lazily-allocated per-row sets (universes beyond [`FLAT_PAIR_UNIVERSE_MAX`]).
+    Rows(Vec<Option<S>>),
+}
+
+/// A pair relation over a dense rank universe.
+pub struct PairTable<S> {
+    repr: Repr<S>,
+    universe: usize,
+    len: usize,
+}
+
+impl<S: FastSet> PairTable<S> {
+    /// Empty table over ranks `0..universe` on each side.
+    pub fn new(universe: usize) -> Self {
+        let repr = if universe <= FLAT_PAIR_UNIVERSE_MAX {
+            Repr::Flat(S::with_universe(universe * universe))
+        } else {
+            Repr::Rows((0..universe).map(|_| None).collect())
+        };
+        PairTable { repr, universe, len: 0 }
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no pair is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The per-side rank universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// True when this table uses the flat `n²`-cell layout (exposed for
+    /// tests and the benchmark harness).
+    pub fn is_flat(&self) -> bool {
+        matches!(self.repr, Repr::Flat(_))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        match &self.repr {
+            Repr::Flat(s) => s.contains(i * self.universe as u32 + j),
+            Repr::Rows(rows) => rows[i as usize].as_ref().is_some_and(|row| row.contains(j)),
+        }
+    }
+
+    /// Insert one pair; returns true when newly inserted.
+    pub fn insert(&mut self, i: u32, j: u32) -> bool {
+        let u = self.universe;
+        let newly = match &mut self.repr {
+            Repr::Flat(s) => s.insert(i * u as u32 + j),
+            Repr::Rows(rows) => {
+                rows[i as usize].get_or_insert_with(|| S::with_universe(u)).insert(j)
+            }
+        };
+        self.len += newly as usize;
+        newly
+    }
+
+    /// Insert one packed pair; when it is new, push it — tagged with
+    /// `out_tag` — onto `out` and return true.
+    ///
+    /// This is SimProvAlg's per-fact primitive: the worklist itself is
+    /// passed as `out` with the target relation's kind tag, so a fresh fact
+    /// costs one set insert plus one push, with no intermediate buffer.
+    #[inline]
+    pub fn insert_packed(&mut self, w: u64, out_tag: u64, out: &mut Vec<u64>) -> bool {
+        let u = self.universe;
+        let newly = match &mut self.repr {
+            Repr::Flat(s) => s.insert((w >> 32) as u32 * u as u32 + w as u32),
+            Repr::Rows(rows) => {
+                rows[(w >> 32) as usize].get_or_insert_with(|| S::with_universe(u)).insert(w as u32)
+            }
+        };
+        if newly {
+            self.len += 1;
+            out.push(w | out_tag);
+        }
+        newly
+    }
+
+    /// Batch insert over a packed-pair slice: add every pair of `packed`,
+    /// appending the *newly* inserted ones — tagged with `out_tag` — to
+    /// `out` (the bulk form of [`PairTable::insert_packed`]).
+    pub fn insert_returning_new(&mut self, packed: &[u64], out_tag: u64, out: &mut Vec<u64>) {
+        for &w in packed {
+            self.insert_packed(w, out_tag, out);
+        }
+    }
+
+    /// Batch insert of one row: add `(i, j)` for every `j` of `js`, pushing
+    /// fresh pairs — packed and tagged — onto `out`.
+    ///
+    /// The row (flat base address, or lazily-created row set) resolves once
+    /// for the whole batch; with `js` ascending the flat layout probes
+    /// consecutive cells of one region. SimProvAlg's canonical-pair loop
+    /// feeds it the sorted suffix of each adjacency row.
+    pub fn insert_row(&mut self, i: u32, js: &[u32], out_tag: u64, out: &mut Vec<u64>) {
+        let u = self.universe;
+        let hi = (i as u64) << 32;
+        let mut added = 0usize;
+        match &mut self.repr {
+            Repr::Flat(s) => {
+                let base = i * u as u32;
+                for &j in js {
+                    if s.insert(base + j) {
+                        added += 1;
+                        out.push(hi | j as u64 | out_tag);
+                    }
+                }
+            }
+            Repr::Rows(rows) => {
+                let row = rows[i as usize].get_or_insert_with(|| S::with_universe(u));
+                for &j in js {
+                    if row.insert(j) {
+                        added += 1;
+                        out.push(hi | j as u64 | out_tag);
+                    }
+                }
+            }
+        }
+        self.len += added;
+    }
+
+    /// Append every partner of `r` (both orientations) to `out`, sorted and
+    /// deduplicated: the elements of row `r` plus every row containing `r`.
+    /// An `O(universe)` probe scan — cold-path only, run once per query
+    /// source at answer extraction (see the module docs on the missing
+    /// column index).
+    pub fn partners_into(&self, r: u32, out: &mut Vec<u32>) {
+        let u = self.universe as u32;
+        match &self.repr {
+            Repr::Flat(s) => {
+                let base = r * u;
+                for j in 0..u {
+                    if s.contains(base + j) {
+                        out.push(j);
+                    }
+                }
+                for i in 0..u {
+                    if s.contains(i * u + r) {
+                        out.push(i);
+                    }
+                }
+            }
+            Repr::Rows(rows) => {
+                if let Some(row) = &rows[r as usize] {
+                    row.for_each_elem(&mut |j| out.push(j));
+                }
+                for (i, row) in rows.iter().enumerate() {
+                    if let Some(row) = row {
+                        if row.contains(r) {
+                            out.push(i as u32);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Iterate all stored pairs in `(row, ascending column)` order.
+    pub fn iter_pairs(&self) -> Box<dyn Iterator<Item = (u32, u32)> + '_> {
+        let u = self.universe as u32;
+        match &self.repr {
+            Repr::Flat(s) => Box::new(s.iter_elems().map(move |cell| (cell / u, cell % u))),
+            Repr::Rows(rows) => Box::new(rows.iter().enumerate().flat_map(|(i, row)| {
+                row.iter().flat_map(move |s| s.iter_elems().map(move |j| (i as u32, j)))
+            })),
+        }
+    }
+
+    /// Approximate heap footprint of the fact table.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Flat(s) => s.heap_bytes(),
+            Repr::Rows(rows) => {
+                rows.iter().filter_map(|s| s.as_ref().map(|s| s.heap_bytes())).sum()
+            }
+        }
+    }
+}
+
+impl<S: FastSet> std::fmt::Debug for PairTable<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairTable")
+            .field("universe", &self.universe)
+            .field("flat", &self.is_flat())
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressedBitmap, FixedBitSet};
+
+    #[test]
+    fn pack_round_trips() {
+        for (i, j) in [(0u32, 0u32), (1, 2), (u32::MAX, 7), (3, u32::MAX)] {
+            assert_eq!(unpack_pair(pack_pair(i, j)), (i, j));
+        }
+    }
+
+    fn exercise<S: FastSet>(universe: usize) {
+        let mut t: PairTable<S> = PairTable::new(universe);
+        assert!(t.is_empty());
+        assert!(t.insert(1, 2));
+        assert!(!t.insert(1, 2));
+        let mut fresh = Vec::new();
+        t.insert_returning_new(&[pack_pair(1, 2), pack_pair(1, 3), pack_pair(4, 2)], 0, &mut fresh);
+        assert_eq!(fresh, vec![pack_pair(1, 3), pack_pair(4, 2)]);
+        // The tag is ORed onto fresh output words (how SimProvAlg routes
+        // fresh facts straight onto its kind-tagged worklist).
+        let mut tagged = Vec::new();
+        t.insert_returning_new(&[pack_pair(5, 6)], 1 << 63, &mut tagged);
+        assert_eq!(tagged, vec![(1 << 63) | pack_pair(5, 6)]);
+        assert_eq!(t.len(), 4);
+        assert!(t.contains(1, 3) && t.contains(4, 2) && !t.contains(2, 1));
+
+        let mut partners = Vec::new();
+        t.partners_into(2, &mut partners);
+        assert_eq!(partners, vec![1, 4], "row and reverse partners merge");
+        partners.clear();
+        t.partners_into(1, &mut partners);
+        assert_eq!(partners, vec![2, 3]);
+
+        let pairs: Vec<(u32, u32)> = t.iter_pairs().collect();
+        assert_eq!(pairs, vec![(1, 2), (1, 3), (4, 2), (5, 6)]);
+        assert!(t.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn pair_table_over_fixed_bitset() {
+        exercise::<FixedBitSet>(10); // flat layout
+        exercise::<FixedBitSet>(FLAT_PAIR_UNIVERSE_MAX + 1); // row layout
+    }
+
+    #[test]
+    fn pair_table_over_compressed_bitmap() {
+        exercise::<CompressedBitmap>(10);
+        exercise::<CompressedBitmap>(FLAT_PAIR_UNIVERSE_MAX + 1);
+    }
+
+    #[test]
+    fn layout_switches_at_the_flat_boundary() {
+        assert!(PairTable::<FixedBitSet>::new(FLAT_PAIR_UNIVERSE_MAX).is_flat());
+        assert!(!PairTable::<FixedBitSet>::new(FLAT_PAIR_UNIVERSE_MAX + 1).is_flat());
+        // The largest flat cell index must fit the u32 element space.
+        let mut t: PairTable<CompressedBitmap> = PairTable::new(FLAT_PAIR_UNIVERSE_MAX);
+        let max = (FLAT_PAIR_UNIVERSE_MAX - 1) as u32;
+        assert!(t.insert(max, max));
+        assert!(t.contains(max, max));
+        assert_eq!(t.iter_pairs().collect::<Vec<_>>(), vec![(max, max)]);
+    }
+
+    #[test]
+    fn flat_and_row_layouts_agree() {
+        let pairs: Vec<(u32, u32)> = (0..40)
+            .flat_map(|i| (0..40).filter(move |j| (i * 7 + j) % 3 == 0).map(move |j| (i, j)))
+            .collect();
+        let mut flat: PairTable<FixedBitSet> = PairTable::new(40);
+        let mut rows: PairTable<FixedBitSet> = PairTable::new(FLAT_PAIR_UNIVERSE_MAX + 1);
+        assert!(flat.is_flat() && !rows.is_flat());
+        let packed: Vec<u64> = pairs.iter().map(|&(i, j)| pack_pair(i, j)).collect();
+        let mut fresh_flat = Vec::new();
+        let mut fresh_rows = Vec::new();
+        flat.insert_returning_new(&packed, 0, &mut fresh_flat);
+        rows.insert_returning_new(&packed, 0, &mut fresh_rows);
+        assert_eq!(fresh_flat, fresh_rows);
+        assert_eq!(flat.len(), rows.len());
+        assert_eq!(flat.iter_pairs().collect::<Vec<_>>(), rows.iter_pairs().collect::<Vec<_>>());
+        for r in [0u32, 7, 39] {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            flat.partners_into(r, &mut a);
+            rows.partners_into(r, &mut b);
+            assert_eq!(a, b, "partners of {r}");
+        }
+    }
+}

@@ -43,6 +43,33 @@ pub trait FastSet: Clone {
     /// Insert every element of `other` into `self` (set union in place).
     fn union_with(&mut self, other: &Self);
 
+    /// Batch insert: add every element of `xs`, appending the ones that were
+    /// *newly* inserted to `out` (in `xs` order).
+    ///
+    /// This is the primitive behind SimProvAlg's pair-encoded worklist: a pop
+    /// stages all candidate facts for one row, inserts them in one call, and
+    /// enqueues exactly the fresh ones. Implementations may exploit locality
+    /// in `xs` (e.g. the compressed variant caches the container of a run of
+    /// nearby ids) — the default is element-wise [`FastSet::insert`].
+    fn insert_returning_new(&mut self, xs: &[u32], out: &mut Vec<u32>) {
+        for &x in xs {
+            if self.insert(x) {
+                out.push(x);
+            }
+        }
+    }
+
+    /// Visit every element in ascending order without allocating.
+    ///
+    /// Hot-loop alternative to the boxed [`FastSet::iter_elems`]: the
+    /// compressed backend's `iter_elems` materializes a `Vec`, which is too
+    /// expensive inside a worklist pop.
+    fn for_each_elem(&self, f: &mut dyn FnMut(u32)) {
+        for x in self.iter_elems() {
+            f(x);
+        }
+    }
+
     /// Iterate the elements in ascending order.
     fn iter_elems(&self) -> Box<dyn Iterator<Item = u32> + '_>;
 
@@ -147,6 +174,19 @@ mod tests {
         a.collect_missing(&b, &mut out);
         out.sort_unstable();
         assert_eq!(out, vec![4, 5]);
+    }
+
+    #[test]
+    fn hash_fast_set_batch_insert_and_for_each() {
+        let mut s = HashFastSet::with_universe(100);
+        s.insert(2);
+        let mut fresh = Vec::new();
+        s.insert_returning_new(&[1, 2, 3, 3], &mut fresh);
+        assert_eq!(fresh, vec![1, 3], "only newly-inserted elements reported");
+        assert_eq!(s.len(), 3);
+        let mut seen = Vec::new();
+        s.for_each_elem(&mut |x| seen.push(x));
+        assert_eq!(seen, vec![1, 2, 3]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! use prov_segment::{PgSegQuery, PgSegOptions};
 //!
 //! let mut db = ProvDb::new();
-//! let alice = db.add_agent("alice");
+//! let alice = db.add_agent("alice").unwrap();
 //! let data = db.add_artifact_version("dataset", Some(alice)).unwrap();
 //! let run = db.record_activity(ActivityRecord {
 //!     command: "train".into(),

@@ -135,9 +135,11 @@ impl ProvDb {
     // Ingestion
     // ------------------------------------------------------------------
 
-    /// Register a team member.
-    pub fn add_agent(&mut self, name: &str) -> VertexId {
-        self.graph_mut().add_agent(name)
+    /// Register a team member. Errors (without invalidating the cached
+    /// snapshot) when the vertex id space is exhausted.
+    pub fn add_agent(&mut self, name: &str) -> StoreResult<VertexId> {
+        self.graph.check_vertex_headroom(1)?;
+        Ok(self.graph_mut().add_agent(name))
     }
 
     /// Register a new version of an artifact (external addition, e.g. a
@@ -153,6 +155,8 @@ impl ProvDb {
         if let Some(agent) = attributed_to {
             self.expect_kind(agent, VertexKind::Agent, prov_model::EdgeKind::WasAttributedTo)?;
         }
+        self.graph.check_vertex_headroom(1)?;
+        self.graph.check_edge_headroom(attributed_to.is_some() as usize)?;
         let v = self.next_version(artifact);
         let graph = self.graph_mut();
         let e = graph.add_entity(&format!("{artifact}-v{v}"));
@@ -199,6 +203,14 @@ impl ProvDb {
         for &input in &record.inputs {
             self.expect_kind(input, VertexKind::Entity, prov_model::EdgeKind::Used)?;
         }
+        // Id-space headroom for the whole record, up front: one activity plus
+        // the outputs; association + used + generated-by + (at most one)
+        // derivation edge per output. A capacity failure must be a clean
+        // typed error, not a mid-record panic or partial mutation.
+        self.graph.check_vertex_headroom(1 + record.outputs.len())?;
+        self.graph.check_edge_headroom(
+            record.agent.is_some() as usize + record.inputs.len() + 2 * record.outputs.len(),
+        )?;
         // Every fallible check is behind us: reserve version numbers (a
         // rejected request must not burn versions and leave a gap in the
         // `WasDerivedFrom` chain of a later valid request), then mutate.
@@ -350,7 +362,7 @@ mod tests {
 
     fn small_project() -> (ProvDb, VertexId, VertexId) {
         let mut db = ProvDb::new();
-        let alice = db.add_agent("alice");
+        let alice = db.add_agent("alice").unwrap();
         let data = db.add_artifact_version("dataset", Some(alice)).unwrap();
         let out = db
             .record_activity(ActivityRecord {

@@ -19,21 +19,39 @@
 //! Facts live in per-kind rank universes (dense entity/activity ids), so the
 //! `FixedBitSet` tables take `O(|E|²/w + |A|²/w)` bits and the compressed
 //! variant trades random-access speed for memory exactly as in the paper.
+//!
+//! The inner loop is pair-encoded (ISSUE 3): worklist entries are flat `u64`
+//! words (one kind-tag bit plus two packed dense ranks) popped off a `Vec`.
+//! A one-time pre-pass lowers everything the loop touches to rank space —
+//! the exclusion mask is resolved into sorted rank-adjacency rows, and
+//! births/constraint fingerprints are re-indexed by rank — so a pop reads
+//! only dense arrays: no `VertexId` round-trips, no per-element mask probes,
+//! and fingerprints resolved once per neighbor instead of once per pair.
+//! Matched pairs dedup against a [`PairTable`] (flat `n²`-bit layout at
+//! quick scales) whose insert primitives push fresh facts, kind-tagged,
+//! straight back onto the worklist; ascending rows let canonical pairs flow
+//! through the constant-row batch [`PairTable::insert_row`]. The seed
+//! `VecDeque`-of-tuples loop survives as
+//! [`crate::alg_reference::similar_alg_reference`] for differential tests
+//! and the benchmark trajectory (`BENCH_fig5.json`, figure `wl`).
 
 use crate::outcome::{EvalStats, SimilarOutcome};
 use crate::view::MaskedGraph;
-use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
+use prov_bitset::{pack_pair, CompressedBitmap, FastSet, FixedBitSet, PairTable};
 use prov_model::{VertexId, VertexKind};
-use std::collections::VecDeque;
+use prov_store::ProvIndex;
 use std::time::Instant;
 
 /// Configuration for [`similar_alg`].
-#[derive(Debug, Clone, Default)]
+///
+/// `AlgConfig::default()` is the paper's configuration: both optimizations
+/// on, no property constraint (see [`AlgConfig::paper_default`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgConfig {
     /// Store/process only canonical (ordered) pairs of the symmetric
-    /// relations (`Default::default()` turns this on).
+    /// relations.
     pub symmetric_prune: bool,
-    /// Apply the temporal early-stopping rule (on by default).
+    /// Apply the temporal early-stopping rule.
     pub early_stop: bool,
     /// Property-constrained similarity (Sec. III-A's generalization): the two
     /// matched path sides must also agree on these property values at every
@@ -43,17 +61,26 @@ pub struct AlgConfig {
     pub constraint: Option<ConstraintTable>,
 }
 
+impl Default for AlgConfig {
+    /// Identical to [`AlgConfig::paper_default`]. (The seed's derived
+    /// `Default` silently turned *off* both optimizations, contradicting the
+    /// field docs; a regression test pins the explicit impl to the paper's
+    /// values.)
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
 impl AlgConfig {
-    /// The paper's default configuration (both optimizations on, plain
-    /// label-based SimProv). Same as `Default::default()`… except that the
-    /// derived default would turn the optimizations *off*; use this.
+    /// The paper's default configuration: symmetric pruning and early
+    /// stopping on, plain label-based SimProv.
     pub fn paper_default() -> Self {
         AlgConfig { symmetric_prune: true, early_stop: true, constraint: None }
     }
 }
 
 /// Per-vertex property fingerprints compiled from a [`SimilarConstraint`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConstraintTable {
     /// Fingerprint per vertex (activities constrained by `activity_prop`,
     /// entities by `entity_prop`; unconstrained kinds and missing values get
@@ -70,7 +97,7 @@ impl ConstraintTable {
 }
 
 /// Fine-grained similarity constraints over property values (`σ`).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimilarConstraint {
     /// Matched activities must share this property's value.
     pub activity_prop: Option<String>,
@@ -118,53 +145,84 @@ impl SimilarConstraint {
     }
 }
 
-/// A pair relation over a dense rank universe, row- and column-indexed.
-struct PairRel<S: FastSet> {
-    rows: Vec<Option<S>>,
-    cols: Vec<Option<S>>,
-    universe: usize,
-    len: usize,
+/// Kind tag of a packed worklist word: set = `Ee` fact, clear = `Aa` fact.
+const EE_TAG: u64 = 1 << 63;
+/// Mask isolating the first rank from the word's high half (31 bits — the
+/// tag bit leaves ranks below `2³¹`, asserted at entry).
+const HI_RANK_MASK: u64 = (1 << 31) - 1;
+
+/// Derive one matched pair: dedup it against the target fact table and, when
+/// fresh, push it (kind-tagged) straight onto the worklist.
+#[inline]
+fn derive_pair<S: FastSet>(
+    target: &mut PairTable<S>,
+    worklist: &mut Vec<u64>,
+    tag: u64,
+    prune: bool,
+    r1: u32,
+    r2: u32,
+) {
+    if prune {
+        target.insert_packed(pack_pair(r1.min(r2), r1.max(r2)), tag, worklist);
+    } else {
+        target.insert_packed(pack_pair(r1, r2), tag, worklist);
+        if r1 != r2 {
+            target.insert_packed(pack_pair(r2, r1), tag, worklist);
+        }
+    }
 }
 
-impl<S: FastSet> PairRel<S> {
-    fn new(universe: usize) -> Self {
-        PairRel {
-            rows: (0..universe).map(|_| None).collect(),
-            cols: (0..universe).map(|_| None).collect(),
-            universe,
-            len: 0,
+/// The mask-resolved upstream adjacency of one vertex kind, lowered to dense
+/// per-kind ranks: row `r` lists the ranks reachable one upstream step from
+/// the member with rank `r` (generator activities of an entity, input
+/// entities of an activity).
+///
+/// Built once per evaluation, this lets the worklist loop run entirely in
+/// rank space — no `VertexId` round-trips, no per-element mask probes, and
+/// sequential `u32` reads in the inner pair loop.
+struct RankAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl RankAdjacency {
+    fn build(view: &MaskedGraph<'_>, idx: &ProvIndex, from: VertexKind) -> RankAdjacency {
+        let members = idx.kind_members(from);
+        let mut offsets = Vec::with_capacity(members.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        let masked = view.is_masked();
+        for &v in members {
+            let start = targets.len();
+            match (from == VertexKind::Entity, masked) {
+                // Unmasked: raw CSR slices, no per-element filtering.
+                (true, false) => {
+                    targets.extend(idx.generators_of(v).iter().map(|&a| idx.kind_rank(a)));
+                }
+                (false, false) => {
+                    targets.extend(idx.inputs_of(v).iter().map(|&e| idx.kind_rank(e)));
+                }
+                (true, true) => targets.extend(view.generators_of(v).map(|a| idx.kind_rank(a))),
+                (false, true) => targets.extend(view.inputs_of(v).map(|e| idx.kind_rank(e))),
+            }
+            // Ascending rows let the pair loop split canonical pairs into a
+            // constant-row suffix batch (see `PairTable::insert_row`).
+            targets[start..].sort_unstable();
+            offsets.push(targets.len() as u32);
         }
+        RankAdjacency { offsets, targets }
     }
 
-    fn insert(&mut self, i: u32, j: u32) -> bool {
-        let u = self.universe;
-        let row = self.rows[i as usize].get_or_insert_with(|| S::with_universe(u));
-        if !row.insert(j) {
-            return false;
-        }
-        self.cols[j as usize].get_or_insert_with(|| S::with_universe(u)).insert(i);
-        self.len += 1;
-        true
+    #[inline]
+    fn row(&self, r: u32) -> &[u32] {
+        &self.targets[self.offsets[r as usize] as usize..self.offsets[r as usize + 1] as usize]
     }
+}
 
-    fn partners(&self, r: u32, out: &mut Vec<u32>) {
-        if let Some(row) = &self.rows[r as usize] {
-            out.extend(row.iter_elems());
-        }
-        if let Some(col) = &self.cols[r as usize] {
-            out.extend(col.iter_elems());
-        }
-        out.sort_unstable();
-        out.dedup();
-    }
-
-    fn heap_bytes(&self) -> usize {
-        self.rows
-            .iter()
-            .chain(self.cols.iter())
-            .filter_map(|s| s.as_ref().map(|s| s.heap_bytes()))
-            .sum()
-    }
+/// A per-vertex table (births, constraint fingerprints) re-indexed by the
+/// dense rank of one kind.
+fn by_rank<T>(members: &[VertexId], f: impl Fn(VertexId) -> T) -> Vec<T> {
+    members.iter().map(|&v| f(v)).collect()
 }
 
 /// Evaluate `L(SimProv)`-reachability with SimProvAlg over fact tables `S`.
@@ -179,11 +237,16 @@ pub fn similar_alg<S: FastSet>(
     let entities = idx.kind_members(VertexKind::Entity);
     let activities = idx.kind_members(VertexKind::Activity);
     let (ne, na) = (entities.len(), activities.len());
+    assert!(
+        ne < (1 << 31) && na < (1 << 31),
+        "pair-encoded worklist holds ranks below 2^31 (got |E|={ne}, |A|={na})"
+    );
 
-    let mut ee: PairRel<S> = PairRel::new(ne);
-    let mut aa: PairRel<S> = PairRel::new(na);
-    // Worklist entries: (is_ee, lo_rank, hi_rank).
-    let mut worklist: VecDeque<(bool, u32, u32)> = VecDeque::new();
+    let mut ee: PairTable<S> = PairTable::new(ne);
+    let mut aa: PairTable<S> = PairTable::new(na);
+    // Flat worklist of packed facts; a `Vec` (LIFO) is fine because the
+    // derived relation is a fixpoint — insertion order never changes it.
+    let mut worklist: Vec<u64> = Vec::new();
     let mut pops: u64 = 0;
 
     let min_src_birth: Option<u64> = vsrc
@@ -193,8 +256,6 @@ pub fn similar_alg<S: FastSet>(
         .min()
         .filter(|_| cfg.early_stop);
 
-    let canon = |i: u32, j: u32| if i <= j { (i, j) } else { (j, i) };
-
     // Init: Ee(vj, vj) anchors.
     for &vj in vdst {
         if vj.index() < idx.vertex_count()
@@ -203,68 +264,101 @@ pub fn similar_alg<S: FastSet>(
         {
             let r = idx.kind_rank(vj);
             if ee.insert(r, r) {
-                worklist.push_back((true, r, r));
+                worklist.push(EE_TAG | pack_pair(r, r));
             }
         }
     }
 
-    let mut scratch: Vec<(u32, u32)> = Vec::new();
-    while let Some((is_ee, lo, hi)) = worklist.pop_front() {
+    // Lower everything the loop touches to rank space, once: the mask is
+    // resolved into the adjacency, and births/fingerprints are re-indexed by
+    // rank. The worklist loop then never leaves dense `u32` arrays.
+    let gen_ranks = RankAdjacency::build(view, idx, VertexKind::Entity);
+    let inp_ranks = RankAdjacency::build(view, idx, VertexKind::Activity);
+    // Early-stop predicate per rank, pre-evaluated to one byte per member.
+    let stale: Option<(Vec<bool>, Vec<bool>)> = min_src_birth.map(|minb| {
+        (by_rank(entities, |v| idx.birth(v) < minb), by_rank(activities, |v| idx.birth(v) < minb))
+    });
+    let table = cfg.constraint.as_ref();
+    // Fingerprints of the *derived* side: an `Ee` pop matches generator
+    // activities, an `Aa` pop matches input entities.
+    let fps: Option<(Vec<u64>, Vec<u64>)> =
+        table.map(|t| (by_rank(activities, |v| t.fp(v)), by_rank(entities, |v| t.fp(v))));
+    let prune = cfg.symmetric_prune;
+
+    while let Some(word) = worklist.pop() {
         pops += 1;
-        if is_ee {
-            let (e1, e2) = (entities[lo as usize], entities[hi as usize]);
-            if let Some(minb) = min_src_birth {
-                if idx.birth(e1) < minb && idx.birth(e2) < minb {
-                    continue; // early stop: both older than every source
-                }
+        let is_ee = word & EE_TAG != 0;
+        let lo = ((word >> 32) & HI_RANK_MASK) as u32;
+        let hi = word as u32;
+        if let Some((se, sa)) = &stale {
+            let s = if is_ee { se } else { sa };
+            if s[lo as usize] && s[hi as usize] {
+                continue; // early stop: both older than every source
             }
-            scratch.clear();
-            for a1 in view.generators_of(e1) {
-                for a2 in view.generators_of(e2) {
-                    if let Some(table) = &cfg.constraint {
-                        if table.fp(a1) != table.fp(a2) {
-                            continue; // σ(a1, p0) ≠ σ(a2, p0)
+        }
+
+        let adj = if is_ee { &gen_ranks } else { &inp_ranks };
+        let s1 = adj.row(lo);
+        if s1.is_empty() {
+            continue;
+        }
+        let diagonal = lo == hi;
+        let s2 = if diagonal { s1 } else { adj.row(hi) };
+
+        // Derived facts go into the *other* relation; fresh ones land on the
+        // worklist with that relation's kind tag (`Aa` = clear bit).
+        let (target, tag) = if is_ee { (&mut aa, 0) } else { (&mut ee, EE_TAG) };
+        if let ([r1], [r2]) = (s1, s2) {
+            // Dominant shape in lifecycle provenance: both endpoints have a
+            // single upstream neighbor (every entity has exactly one
+            // generating activity), so a pop derives exactly one pair.
+            let (r1, r2) = (*r1, *r2);
+            let ok = match &fps {
+                Some((fa, fe)) => {
+                    let f = if is_ee { fa } else { fe };
+                    f[r1 as usize] == f[r2 as usize]
+                }
+                None => true,
+            };
+            if ok {
+                derive_pair(target, &mut worklist, tag, prune, r1, r2);
+            }
+            continue;
+        }
+        for (x, &r1) in s1.iter().enumerate() {
+            // Diagonal pops under pruning match one shared adjacency list
+            // against itself and only keep canonical pairs: the suffix loop
+            // derives each unordered pair once instead of twice.
+            let inner: &[u32] = if prune && diagonal { &s2[x..] } else { s2 };
+            match &fps {
+                // Constraint fingerprints resolve once per outer neighbor
+                // (`f1`), not once per pair as in the seed loop.
+                Some((fa, fe)) => {
+                    let f = if is_ee { fa } else { fe };
+                    let f1 = f[r1 as usize];
+                    for &r2 in inner {
+                        if f1 == f[r2 as usize] {
+                            derive_pair(target, &mut worklist, tag, prune, r1, r2);
                         }
                     }
-                    let (r1, r2) = (idx.kind_rank(a1), idx.kind_rank(a2));
-                    let pair = if cfg.symmetric_prune { canon(r1, r2) } else { (r1, r2) };
-                    scratch.push(pair);
-                    if !cfg.symmetric_prune && r1 != r2 {
-                        scratch.push((r2, r1));
+                }
+                None if prune => {
+                    // Rows are ascending, so canonical pairs split at `r1`:
+                    // the prefix lands in varying rows, the suffix is one
+                    // constant-row ascending batch.
+                    let split = inner.partition_point(|&r2| r2 < r1);
+                    for &r2 in &inner[..split] {
+                        target.insert_packed(pack_pair(r2, r1), tag, &mut worklist);
                     }
+                    target.insert_row(r1, &inner[split..], tag, &mut worklist);
                 }
-            }
-            for &(i, j) in &scratch {
-                if aa.insert(i, j) {
-                    worklist.push_back((false, i, j));
-                }
-            }
-        } else {
-            let (a1, a2) = (activities[lo as usize], activities[hi as usize]);
-            if let Some(minb) = min_src_birth {
-                if idx.birth(a1) < minb && idx.birth(a2) < minb {
-                    continue;
-                }
-            }
-            scratch.clear();
-            for e1 in view.inputs_of(a1) {
-                for e2 in view.inputs_of(a2) {
-                    if let Some(table) = &cfg.constraint {
-                        if table.fp(e1) != table.fp(e2) {
-                            continue;
+                None => {
+                    target.insert_row(r1, inner, tag, &mut worklist);
+                    for &r2 in inner {
+                        if r2 != r1 {
+                            target.insert_packed(pack_pair(r2, r1), tag, &mut worklist);
                         }
                     }
-                    let (r1, r2) = (idx.kind_rank(e1), idx.kind_rank(e2));
-                    let pair = if cfg.symmetric_prune { canon(r1, r2) } else { (r1, r2) };
-                    scratch.push(pair);
-                    if !cfg.symmetric_prune && r1 != r2 {
-                        scratch.push((r2, r1));
-                    }
-                }
-            }
-            for &(i, j) in &scratch {
-                if ee.insert(i, j) {
-                    worklist.push_back((true, i, j));
                 }
             }
         }
@@ -281,7 +375,7 @@ pub fn similar_alg<S: FastSet>(
             continue;
         }
         buf.clear();
-        ee.partners(idx.kind_rank(src), &mut buf);
+        ee.partners_into(idx.kind_rank(src), &mut buf);
         for &r in &buf {
             marks[entities[r as usize].index()] = true;
         }
@@ -293,7 +387,7 @@ pub fn similar_alg<S: FastSet>(
         vc2: None,
         stats: EvalStats {
             elapsed: t0.elapsed(),
-            work: pops + (ee.len + aa.len) as u64,
+            work: pops + (ee.len() + aa.len()) as u64,
             memory_bytes: mem,
             dnf: false,
         },
@@ -323,6 +417,7 @@ pub fn similar_alg_cbm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alg_reference::similar_alg_reference_bitset;
     use crate::tst::{similar_tst, TstConfig};
     use prov_model::EdgeKind;
     use prov_store::{ProvGraph, ProvIndex};
@@ -347,6 +442,14 @@ mod tests {
         let idx = ProvIndex::build(&g);
         let ids = vec![d, t1, m1, t2, m2, t3, w];
         (g, idx, ids)
+    }
+
+    #[test]
+    fn default_config_is_the_paper_default() {
+        // Regression: the seed's derived Default disabled both optimizations.
+        assert_eq!(AlgConfig::default(), AlgConfig::paper_default());
+        let d = AlgConfig::default();
+        assert!(d.symmetric_prune && d.early_stop && d.constraint.is_none());
     }
 
     #[test]
@@ -418,6 +521,27 @@ mod tests {
         let b = similar_alg_bitset(&view, &[d], &[w], &AlgConfig::paper_default());
         let c = similar_alg_cbm(&view, &[d], &[w], &AlgConfig::paper_default());
         assert_eq!(b.answer, c.answer);
+    }
+
+    #[test]
+    fn pair_encoded_loop_matches_seed_reference() {
+        let (_, idx, ids) = shared_dst();
+        let view = MaskedGraph::unmasked(&idx);
+        let entity_ids: Vec<_> =
+            ids.iter().copied().filter(|&v| idx.kind(v) == VertexKind::Entity).collect();
+        for symmetric_prune in [false, true] {
+            for early_stop in [false, true] {
+                let cfg = AlgConfig { symmetric_prune, early_stop, constraint: None };
+                for &src in &entity_ids {
+                    for &dst in &entity_ids {
+                        let new = similar_alg_bitset(&view, &[src], &[dst], &cfg);
+                        let old = similar_alg_reference_bitset(&view, &[src], &[dst], &cfg);
+                        assert_eq!(new.answer, old.answer, "{cfg:?} src={src} dst={dst}");
+                        assert_eq!(new.stats.work, old.stats.work, "{cfg:?} src={src} dst={dst}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

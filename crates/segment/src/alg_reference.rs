@@ -1,0 +1,258 @@
+//! The seed `VecDeque`-of-tuples SimProvAlg loop, frozen as a reference.
+//!
+//! [`crate::alg::similar_alg`] was rebuilt around a flat pair-encoded
+//! worklist (ISSUE 3). This module preserves the original implementation
+//! verbatim so that:
+//!
+//! * the worklist-equivalence property tests can assert the rewrite derives
+//!   byte-identical fact tables under every configuration, and
+//! * the benchmark trajectory (`BENCH_fig5.json`) keeps a "seed loop" series
+//!   to measure the rewrite against.
+//!
+//! Do not optimize this module — its value is being the fixed point the hot
+//! path is compared to.
+
+use crate::alg::AlgConfig;
+use crate::outcome::{EvalStats, SimilarOutcome};
+use crate::view::MaskedGraph;
+use prov_bitset::{CompressedBitmap, FastSet, FixedBitSet};
+use prov_model::{VertexId, VertexKind};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// A pair relation over a dense rank universe, row- and column-indexed
+/// (the seed's private fact-table layout).
+struct PairRel<S: FastSet> {
+    rows: Vec<Option<S>>,
+    cols: Vec<Option<S>>,
+    universe: usize,
+    len: usize,
+}
+
+impl<S: FastSet> PairRel<S> {
+    fn new(universe: usize) -> Self {
+        PairRel {
+            rows: (0..universe).map(|_| None).collect(),
+            cols: (0..universe).map(|_| None).collect(),
+            universe,
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, i: u32, j: u32) -> bool {
+        let u = self.universe;
+        let row = self.rows[i as usize].get_or_insert_with(|| S::with_universe(u));
+        if !row.insert(j) {
+            return false;
+        }
+        self.cols[j as usize].get_or_insert_with(|| S::with_universe(u)).insert(i);
+        self.len += 1;
+        true
+    }
+
+    fn partners(&self, r: u32, out: &mut Vec<u32>) {
+        if let Some(row) = &self.rows[r as usize] {
+            out.extend(row.iter_elems());
+        }
+        if let Some(col) = &self.cols[r as usize] {
+            out.extend(col.iter_elems());
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .chain(self.cols.iter())
+            .filter_map(|s| s.as_ref().map(|s| s.heap_bytes()))
+            .sum()
+    }
+}
+
+/// The seed `VecDeque` evaluation of `L(SimProv)`-reachability, kept only as
+/// a differential/benchmark reference for [`crate::alg::similar_alg`].
+pub fn similar_alg_reference<S: FastSet>(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+) -> SimilarOutcome {
+    let t0 = Instant::now();
+    let idx = view.index();
+    let entities = idx.kind_members(VertexKind::Entity);
+    let activities = idx.kind_members(VertexKind::Activity);
+    let (ne, na) = (entities.len(), activities.len());
+
+    let mut ee: PairRel<S> = PairRel::new(ne);
+    let mut aa: PairRel<S> = PairRel::new(na);
+    // Worklist entries: (is_ee, lo_rank, hi_rank).
+    let mut worklist: VecDeque<(bool, u32, u32)> = VecDeque::new();
+    let mut pops: u64 = 0;
+
+    let min_src_birth: Option<u64> = vsrc
+        .iter()
+        .filter(|&&s| s.index() < idx.vertex_count() && view.vertex_ok(s))
+        .map(|&s| idx.birth(s))
+        .min()
+        .filter(|_| cfg.early_stop);
+
+    let canon = |i: u32, j: u32| if i <= j { (i, j) } else { (j, i) };
+
+    // Init: Ee(vj, vj) anchors.
+    for &vj in vdst {
+        if vj.index() < idx.vertex_count()
+            && view.vertex_ok(vj)
+            && idx.kind(vj) == VertexKind::Entity
+        {
+            let r = idx.kind_rank(vj);
+            if ee.insert(r, r) {
+                worklist.push_back((true, r, r));
+            }
+        }
+    }
+
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+    while let Some((is_ee, lo, hi)) = worklist.pop_front() {
+        pops += 1;
+        if is_ee {
+            let (e1, e2) = (entities[lo as usize], entities[hi as usize]);
+            if let Some(minb) = min_src_birth {
+                if idx.birth(e1) < minb && idx.birth(e2) < minb {
+                    continue; // early stop: both older than every source
+                }
+            }
+            scratch.clear();
+            for a1 in view.generators_of(e1) {
+                for a2 in view.generators_of(e2) {
+                    if let Some(table) = &cfg.constraint {
+                        if table.fp(a1) != table.fp(a2) {
+                            continue; // σ(a1, p0) ≠ σ(a2, p0)
+                        }
+                    }
+                    let (r1, r2) = (idx.kind_rank(a1), idx.kind_rank(a2));
+                    let pair = if cfg.symmetric_prune { canon(r1, r2) } else { (r1, r2) };
+                    scratch.push(pair);
+                    if !cfg.symmetric_prune && r1 != r2 {
+                        scratch.push((r2, r1));
+                    }
+                }
+            }
+            for &(i, j) in &scratch {
+                if aa.insert(i, j) {
+                    worklist.push_back((false, i, j));
+                }
+            }
+        } else {
+            let (a1, a2) = (activities[lo as usize], activities[hi as usize]);
+            if let Some(minb) = min_src_birth {
+                if idx.birth(a1) < minb && idx.birth(a2) < minb {
+                    continue;
+                }
+            }
+            scratch.clear();
+            for e1 in view.inputs_of(a1) {
+                for e2 in view.inputs_of(a2) {
+                    if let Some(table) = &cfg.constraint {
+                        if table.fp(e1) != table.fp(e2) {
+                            continue;
+                        }
+                    }
+                    let (r1, r2) = (idx.kind_rank(e1), idx.kind_rank(e2));
+                    let pair = if cfg.symmetric_prune { canon(r1, r2) } else { (r1, r2) };
+                    scratch.push(pair);
+                    if !cfg.symmetric_prune && r1 != r2 {
+                        scratch.push((r2, r1));
+                    }
+                }
+            }
+            for &(i, j) in &scratch {
+                if ee.insert(i, j) {
+                    worklist.push_back((true, i, j));
+                }
+            }
+        }
+    }
+
+    // Answer: partners of each source in the Ee relation.
+    let mut marks = vec![false; idx.vertex_count()];
+    let mut buf: Vec<u32> = Vec::new();
+    for &src in vsrc {
+        if src.index() >= idx.vertex_count()
+            || !view.vertex_ok(src)
+            || idx.kind(src) != VertexKind::Entity
+        {
+            continue;
+        }
+        buf.clear();
+        ee.partners(idx.kind_rank(src), &mut buf);
+        for &r in &buf {
+            marks[entities[r as usize].index()] = true;
+        }
+    }
+    let answer = crate::outcome::marks_to_vec(&marks);
+    let mem = ee.heap_bytes() + aa.heap_bytes();
+    SimilarOutcome {
+        answer,
+        vc2: None,
+        stats: EvalStats {
+            elapsed: t0.elapsed(),
+            work: pops + (ee.len + aa.len) as u64,
+            memory_bytes: mem,
+            dnf: false,
+        },
+    }
+}
+
+/// Reference loop with `FixedBitSet` fact tables.
+pub fn similar_alg_reference_bitset(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+) -> SimilarOutcome {
+    similar_alg_reference::<FixedBitSet>(view, vsrc, vdst, cfg)
+}
+
+/// Reference loop with compressed-bitmap fact tables.
+pub fn similar_alg_reference_cbm(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+) -> SimilarOutcome {
+    similar_alg_reference::<CompressedBitmap>(view, vsrc, vdst, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::EdgeKind;
+    use prov_store::{ProvGraph, ProvIndex};
+
+    #[test]
+    fn reference_still_finds_similar_siblings() {
+        // d <-U- t1 <-G- m1 ; d <-U- t2 <-G- m2 ; {m1,m2} <-U- t3 <-G- w
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("d");
+        let t1 = g.add_activity("t1");
+        let m1 = g.add_entity("m1");
+        let t2 = g.add_activity("t2");
+        let m2 = g.add_entity("m2");
+        let t3 = g.add_activity("t3");
+        let w = g.add_entity("w");
+        g.add_edge(EdgeKind::Used, t1, d).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, m1, t1).unwrap();
+        g.add_edge(EdgeKind::Used, t2, d).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, m2, t2).unwrap();
+        g.add_edge(EdgeKind::Used, t3, m1).unwrap();
+        g.add_edge(EdgeKind::Used, t3, m2).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, w, t3).unwrap();
+        let idx = ProvIndex::build(&g);
+        let view = MaskedGraph::unmasked(&idx);
+        let out = similar_alg_reference_bitset(&view, &[m1], &[w], &AlgConfig::default());
+        assert_eq!(out.answer, vec![m1, m2]);
+        let cbm = similar_alg_reference_cbm(&view, &[m1], &[w], &AlgConfig::default());
+        assert_eq!(cbm.answer, out.answer);
+    }
+}

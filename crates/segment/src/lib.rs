@@ -16,12 +16,15 @@
 //! * [`tst`] — `SimProvTst`, the per-destination linear-time evaluator with
 //!   exact `VC2` induction (the default);
 //! * [`alg`] — `SimProvAlg`, the rewritten-grammar worklist algorithm with
-//!   symmetry pruning and early stopping;
+//!   symmetry pruning and early stopping (pair-encoded flat worklist);
+//! * [`alg_reference`] — the seed `VecDeque` SimProvAlg loop, frozen as the
+//!   differential/benchmark reference for the rewrite;
 //! * [`cflr_baseline`] — generic CflrB on the Fig. 6 normal form (baseline);
 //! * [`naive`] — Cypher-style enumerate-and-join (baseline of baselines);
 //! * [`induce`] / [`segment_graph`] — assembly of the segment `S(VS, ES)`.
 
 pub mod alg;
+pub mod alg_reference;
 pub mod boundary;
 pub mod cflr_baseline;
 pub mod direct;
@@ -35,6 +38,9 @@ pub mod view;
 
 pub use alg::{
     similar_alg, similar_alg_bitset, similar_alg_cbm, AlgConfig, ConstraintTable, SimilarConstraint,
+};
+pub use alg_reference::{
+    similar_alg_reference, similar_alg_reference_bitset, similar_alg_reference_cbm,
 };
 pub use boundary::{Boundary, EdgePred, Expansion, Mask, VertexPred};
 pub use cflr_baseline::{similar_cflr, GrammarForm};

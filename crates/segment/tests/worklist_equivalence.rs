@@ -1,0 +1,121 @@
+//! Worklist-equivalence property tests (ISSUE 3 acceptance): the
+//! pair-encoded SimProvAlg loop must derive byte-identical `SimilarOutcome`
+//! fact tables to the seed `VecDeque` implementation on random `Pd`/`Sd`
+//! workloads, under all four `(symmetric_prune × early_stop)` configurations
+//! and both bitset backends.
+//!
+//! "Byte-identical" here means the observable outcome: the sorted answer
+//! vector, the absent `vc2`, and the `work` counter (pops + derived facts) —
+//! the latter only matches if both loops insert exactly the same fact sets,
+//! because every inserted fact is popped exactly once.
+
+use proptest::prelude::*;
+use prov_bitset::{CompressedBitmap, FixedBitSet};
+use prov_model::{VertexId, VertexKind};
+use prov_segment::{similar_alg, similar_alg_reference, AlgConfig, MaskedGraph, SimilarConstraint};
+use prov_store::{ProvGraph, ProvIndex};
+use prov_workload::{generate_pd, generate_sd, standard_query, PdParams, SdParams};
+
+/// All four optimization toggles of the Fig. 5(d)-style ablation.
+fn all_configs(constraint: Option<&ProvGraph>) -> Vec<AlgConfig> {
+    let mut configs = Vec::new();
+    for symmetric_prune in [false, true] {
+        for early_stop in [false, true] {
+            configs.push(AlgConfig {
+                symmetric_prune,
+                early_stop,
+                constraint: constraint.map(|g| SimilarConstraint::same_command().compile(g)),
+            });
+        }
+    }
+    configs
+}
+
+/// Compare new vs seed loop on both backends for one query under `cfg`.
+fn assert_equivalent(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+    label: &str,
+) {
+    let new_bit = similar_alg::<FixedBitSet>(view, vsrc, vdst, cfg);
+    let old_bit = similar_alg_reference::<FixedBitSet>(view, vsrc, vdst, cfg);
+    assert_eq!(new_bit.answer, old_bit.answer, "bitset answer diverged: {label}");
+    assert!(new_bit.vc2.is_none() && old_bit.vc2.is_none());
+    assert_eq!(new_bit.stats.work, old_bit.stats.work, "bitset work diverged: {label}");
+
+    let new_cbm = similar_alg::<CompressedBitmap>(view, vsrc, vdst, cfg);
+    let old_cbm = similar_alg_reference::<CompressedBitmap>(view, vsrc, vdst, cfg);
+    assert_eq!(new_cbm.answer, old_cbm.answer, "cbm answer diverged: {label}");
+    assert_eq!(new_cbm.stats.work, old_cbm.stats.work, "cbm work diverged: {label}");
+
+    assert_eq!(new_bit.answer, new_cbm.answer, "backends diverged: {label}");
+}
+
+fn query_picks(
+    graph: &ProvGraph,
+    src_pick: prop::sample::Index,
+    dst_pick: prop::sample::Index,
+) -> (Vec<VertexId>, Vec<VertexId>) {
+    let entities = graph.vertices_of_kind(VertexKind::Entity);
+    (vec![*src_pick.get(entities)], vec![*dst_pick.get(entities)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random `Pd` collaborative-project graphs, random entity queries.
+    #[test]
+    fn pair_encoded_loop_matches_seed_on_pd(
+        n in 60usize..240,
+        seed in 0u64..1_000,
+        se in 1.1f64..2.1,
+        lambda_in in 1.0f64..3.5,
+        src_pick in any::<prop::sample::Index>(),
+        dst_pick in any::<prop::sample::Index>(),
+    ) {
+        let params = PdParams { n, seed, se, lambda_in, ..PdParams::default() };
+        let graph = generate_pd(&params);
+        let idx = ProvIndex::build(&graph);
+        let view = MaskedGraph::unmasked(&idx);
+        let (vsrc, vdst) = query_picks(&graph, src_pick, dst_pick);
+        for cfg in all_configs(None) {
+            assert_equivalent(&view, &vsrc, &vdst, &cfg, &format!("Pd n={n} seed={seed} {cfg:?}"));
+        }
+    }
+
+    /// The paper's standard first/last-entity query on `Pd`, plus the
+    /// property-constrained variant (σ = same command).
+    #[test]
+    fn pair_encoded_loop_matches_seed_on_standard_and_constrained_queries(
+        n in 80usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let graph = generate_pd(&PdParams { n, seed, ..PdParams::default() });
+        let idx = ProvIndex::build(&graph);
+        let view = MaskedGraph::unmasked(&idx);
+        let (vsrc, vdst) = standard_query(&graph, 2);
+        for cfg in all_configs(None).into_iter().chain(all_configs(Some(&graph))) {
+            assert_equivalent(&view, &vsrc, &vdst, &cfg, &format!("Pd-std n={n} seed={seed} {cfg:?}"));
+        }
+    }
+
+    /// Random `Sd` Markov-chain segment sets (the PgSum workload shape).
+    #[test]
+    fn pair_encoded_loop_matches_seed_on_sd(
+        seed in 0u64..1_000,
+        k in 2usize..6,
+        segn in 5usize..15,
+        src_pick in any::<prop::sample::Index>(),
+        dst_pick in any::<prop::sample::Index>(),
+    ) {
+        let out = generate_sd(&SdParams { seed, k, n: segn, num_segments: 3, ..SdParams::default() });
+        let idx = ProvIndex::build(&out.graph);
+        let view = MaskedGraph::unmasked(&idx);
+        let (vsrc, vdst) = query_picks(&out.graph, src_pick, dst_pick);
+        for cfg in all_configs(None) {
+            assert_equivalent(&view, &vsrc, &vdst, &cfg, &format!("Sd seed={seed} k={k} {cfg:?}"));
+        }
+    }
+}

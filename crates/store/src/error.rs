@@ -23,6 +23,13 @@ pub enum StoreError {
     /// fine, the *request* is not — service layers map this to a client
     /// error rather than a data corruption report.
     InvalidQuery(String),
+    /// The dense `u32` id space of vertices or edges is exhausted. Before
+    /// this variant the store silently wrapped past `u32::MAX` and started
+    /// clobbering ids.
+    CapacityExceeded {
+        /// Which id space ran out (`"vertex"` or `"edge"`).
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -36,6 +43,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Import(msg) => write!(f, "import error: {msg}"),
             StoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            StoreError::CapacityExceeded { what } => {
+                write!(f, "store capacity exceeded: dense u32 {what} id space is full")
+            }
         }
     }
 }
@@ -70,5 +80,8 @@ mod tests {
         assert!(StoreError::InvalidQuery("vsrc empty".into())
             .to_string()
             .contains("invalid query: vsrc empty"));
+        assert!(StoreError::CapacityExceeded { what: "vertex" }
+            .to_string()
+            .contains("vertex id space is full"));
     }
 }

@@ -55,7 +55,10 @@ pub struct ProvGraph {
     in_adj: Vec<Vec<EdgeId>>,
     keys: KeyInterner,
     by_kind: [Vec<VertexId>; 3],
-    by_name: FxHashMap<Arc<str>, VertexId>,
+    /// All vertices sharing a name, in creation order. Lookup semantics are
+    /// "latest version wins" ([`ProvGraph::vertex_by_name`]); earlier ids stay
+    /// addressable through [`ProvGraph::versions_of`].
+    by_name: FxHashMap<Arc<str>, Vec<VertexId>>,
     indexes: crate::index::IndexRegistry,
     clock: u64,
 }
@@ -70,12 +73,47 @@ impl ProvGraph {
     // Vertices
     // ------------------------------------------------------------------
 
-    /// Add a vertex of `kind` with an optional name. Returns its dense id.
-    pub fn add_vertex(&mut self, kind: VertexKind, name: Option<&str>) -> VertexId {
+    /// Reject an allocation that would overflow the dense `u32` id space
+    /// (the seed silently wrapped `len as u32` past `u32::MAX`).
+    fn check_capacity(len: usize, what: &'static str) -> StoreResult<()> {
+        if len >= u32::MAX as usize {
+            return Err(StoreError::CapacityExceeded { what });
+        }
+        Ok(())
+    }
+
+    /// Check that `extra` more vertices still fit the dense id space.
+    /// Multi-vertex ingest paths (e.g. `ProvDb::record_activity`) call this
+    /// in their validation phase so a capacity failure surfaces as a typed
+    /// error *before* the first mutation instead of mid-record.
+    pub fn check_vertex_headroom(&self, extra: usize) -> StoreResult<()> {
+        if self.vertices.len().saturating_add(extra) > u32::MAX as usize {
+            return Err(StoreError::CapacityExceeded { what: "vertex" });
+        }
+        Ok(())
+    }
+
+    /// Check that `extra` more edges still fit the dense id space (see
+    /// [`ProvGraph::check_vertex_headroom`]).
+    pub fn check_edge_headroom(&self, extra: usize) -> StoreResult<()> {
+        if self.edges.len().saturating_add(extra) > u32::MAX as usize {
+            return Err(StoreError::CapacityExceeded { what: "edge" });
+        }
+        Ok(())
+    }
+
+    /// Add a vertex of `kind` with an optional name. Returns its dense id,
+    /// or [`StoreError::CapacityExceeded`] once `u32::MAX` ids are in use.
+    ///
+    /// A duplicate name does not clobber earlier vertices: the new id becomes
+    /// the "latest version" answered by [`ProvGraph::vertex_by_name`] while
+    /// every prior holder remains reachable via [`ProvGraph::versions_of`].
+    pub fn add_vertex(&mut self, kind: VertexKind, name: Option<&str>) -> StoreResult<VertexId> {
+        Self::check_capacity(self.vertices.len(), "vertex")?;
         let id = VertexId::new(self.vertices.len() as u32);
         let name_arc: Option<Arc<str>> = name.map(Arc::from);
         if let Some(n) = &name_arc {
-            self.by_name.insert(n.clone(), id);
+            self.by_name.entry(n.clone()).or_default().push(id);
         }
         self.vertices.push(VertexRecord {
             kind,
@@ -87,22 +125,22 @@ impl ProvGraph {
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
         self.by_kind[kind.as_index()].push(id);
-        id
+        Ok(id)
     }
 
-    /// Convenience: add an Entity.
+    /// Convenience: add an Entity. Panics only on id-space exhaustion.
     pub fn add_entity(&mut self, name: &str) -> VertexId {
-        self.add_vertex(VertexKind::Entity, Some(name))
+        self.add_vertex(VertexKind::Entity, Some(name)).expect("vertex id space exhausted")
     }
 
-    /// Convenience: add an Activity.
+    /// Convenience: add an Activity. Panics only on id-space exhaustion.
     pub fn add_activity(&mut self, name: &str) -> VertexId {
-        self.add_vertex(VertexKind::Activity, Some(name))
+        self.add_vertex(VertexKind::Activity, Some(name)).expect("vertex id space exhausted")
     }
 
-    /// Convenience: add an Agent.
+    /// Convenience: add an Agent. Panics only on id-space exhaustion.
     pub fn add_agent(&mut self, name: &str) -> VertexId {
-        self.add_vertex(VertexKind::Agent, Some(name))
+        self.add_vertex(VertexKind::Agent, Some(name)).expect("vertex id space exhausted")
     }
 
     /// Constant-time vertex access by id.
@@ -134,9 +172,17 @@ impl ProvGraph {
         }
     }
 
-    /// Find a vertex by exact name.
+    /// Find a vertex by exact name; when several vertices share the name the
+    /// most recently added one wins (versioned-name addressing).
     pub fn vertex_by_name(&self, name: &str) -> Option<VertexId> {
-        self.by_name.get(name).copied()
+        self.by_name.get(name).and_then(|ids| ids.last().copied())
+    }
+
+    /// Every vertex ever registered under `name`, in creation order (the
+    /// last element is what [`ProvGraph::vertex_by_name`] answers). Empty for
+    /// unknown names.
+    pub fn versions_of(&self, name: &str) -> &[VertexId] {
+        self.by_name.get(name).map_or(&[], |ids| ids.as_slice())
     }
 
     /// All vertices of a kind, in creation order.
@@ -170,6 +216,7 @@ impl ProvGraph {
         src: VertexId,
         dst: VertexId,
     ) -> StoreResult<EdgeId> {
+        Self::check_capacity(self.edges.len(), "edge")?;
         let src_kind = self.try_vertex(src)?.kind;
         let dst_kind = self.try_vertex(dst)?.kind;
         check_edge_types(kind, src_kind, dst_kind)?;
@@ -469,6 +516,49 @@ mod tests {
         assert_eq!(g.vertex_by_name("alice").map(|v| g.vertex_kind(v)), Some(VertexKind::Agent));
         assert_eq!(g.kind_count(VertexKind::Entity), 2);
         assert!(g.try_vertex(VertexId::new(99)).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_keep_all_versions_latest_wins() {
+        let mut g = ProvGraph::new();
+        let v1 = g.add_entity("model");
+        let other = g.add_entity("data");
+        let v2 = g.add_entity("model");
+        let v3 = g.add_entity("model");
+        // Latest version wins for plain lookup…
+        assert_eq!(g.vertex_by_name("model"), Some(v3));
+        // …but earlier ids are not clobbered.
+        assert_eq!(g.versions_of("model"), &[v1, v2, v3]);
+        assert_eq!(g.versions_of("data"), &[other]);
+        assert!(g.versions_of("nope").is_empty());
+    }
+
+    #[test]
+    fn id_capacity_is_checked_not_wrapped() {
+        // Mocked length check: the guard itself must reject u32::MAX ids
+        // (allocating 4 billion vertices to prove it is not an option).
+        assert!(ProvGraph::check_capacity(0, "vertex").is_ok());
+        assert!(ProvGraph::check_capacity(u32::MAX as usize - 1, "vertex").is_ok());
+        assert!(matches!(
+            ProvGraph::check_capacity(u32::MAX as usize, "vertex"),
+            Err(StoreError::CapacityExceeded { what: "vertex" })
+        ));
+        assert!(matches!(
+            ProvGraph::check_capacity(usize::MAX, "edge"),
+            Err(StoreError::CapacityExceeded { what: "edge" })
+        ));
+        // Headroom variants used by multi-vertex ingest validation.
+        let g = ProvGraph::new();
+        assert!(g.check_vertex_headroom(u32::MAX as usize).is_ok());
+        assert!(matches!(
+            g.check_vertex_headroom(u32::MAX as usize + 1),
+            Err(StoreError::CapacityExceeded { what: "vertex" })
+        ));
+        assert!(g.check_edge_headroom(17).is_ok());
+        assert!(matches!(
+            g.check_edge_headroom(usize::MAX),
+            Err(StoreError::CapacityExceeded { what: "edge" })
+        ));
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn from_json(doc: &JsonGraph) -> StoreResult<ProvGraph> {
             )));
         }
         let kind = term_to_kind(&v.kind)?;
-        let id = g.add_vertex(kind, v.name.as_deref());
+        let id = g.add_vertex(kind, v.name.as_deref())?;
         for (key, value) in &v.props {
             g.set_vprop(id, key, value.clone());
         }

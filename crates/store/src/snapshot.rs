@@ -34,7 +34,12 @@ pub struct Csr {
 
 impl Csr {
     fn build(n: usize, pairs: &mut [(VertexId, VertexId, EdgeId)]) -> Csr {
-        pairs.sort_unstable_by_key(|(from, ..)| *from);
+        // Sort by (from, edge_id): the edge-id tie-break pins neighbor order
+        // to insertion order. A single-key unstable sort would leave the
+        // order of a vertex's edges implementation-defined, making worklist
+        // order — and every downstream statistic — nondeterministic across
+        // toolchain versions.
+        pairs.sort_unstable_by_key(|(from, _, eid)| (*from, *eid));
         let mut offsets = vec![0u32; n + 1];
         for (from, ..) in pairs.iter() {
             offsets[from.index() + 1] += 1;
@@ -395,6 +400,54 @@ mod tests {
             for (r, &v) in idx.kind_members(kind).iter().enumerate() {
                 assert_eq!(idx.kind_rank(v) as usize, r);
                 assert_eq!(idx.kind(v), kind);
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_is_deterministic_across_edge_interleavings() {
+        // Same vertices, same edge set, same per-source relative order —
+        // but globally interleaved differently (so edge ids differ). With
+        // the (from, edge_id) sort both freezes must traverse identically.
+        fn build(order: &[(usize, usize)]) -> (ProvGraph, Vec<VertexId>) {
+            let mut g = ProvGraph::new();
+            let d = g.add_entity("d");
+            let e = g.add_entity("e");
+            let t1 = g.add_activity("t1");
+            let t2 = g.add_activity("t2");
+            let vs = vec![d, e, t1, t2];
+            for &(src, dst) in order {
+                g.add_edge(EdgeKind::Used, vs[src], vs[dst]).unwrap();
+            }
+            (g, vs)
+        }
+        // t1 uses d then e; t2 uses d then e — interleaved two ways.
+        let (g1, vs1) = build(&[(2, 0), (2, 1), (3, 0), (3, 1)]);
+        let (g2, vs2) = build(&[(2, 0), (3, 0), (2, 1), (3, 1)]);
+        assert_eq!(vs1, vs2);
+        let (i1, i2) = (ProvIndex::build(&g1), ProvIndex::build(&g2));
+        for &v in &vs1 {
+            assert_eq!(i1.inputs_of(v), i2.inputs_of(v), "inputs of {v}");
+            assert_eq!(i1.users_of(v), i2.users_of(v), "users of {v}");
+        }
+        assert_eq!(i1.inputs_of(vs1[2]), &[vs1[0], vs1[1]], "insertion order preserved");
+        assert_eq!(i1.users_of(vs1[0]), &[vs1[2], vs1[3]]);
+    }
+
+    #[test]
+    fn csr_edge_ids_are_ascending_per_vertex() {
+        let (g, _) = chain();
+        let idx = ProvIndex::build(&g);
+        for kind in [EdgeKind::Used, EdgeKind::WasGeneratedBy, EdgeKind::WasDerivedFrom] {
+            for dir in [Direction::Out, Direction::In] {
+                let csr = idx.csr(kind, dir);
+                for v in g.vertex_ids() {
+                    let eids = csr.edge_ids(v);
+                    assert!(
+                        eids.windows(2).all(|w| w[0] < w[1]),
+                        "{kind:?}/{dir:?} edge ids out of order at {v}: {eids:?}"
+                    );
+                }
             }
         }
     }

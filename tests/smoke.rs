@@ -46,7 +46,7 @@ fn reexport_surface_resolves_and_is_usable() {
     // prov::core_api — end-to-end ProvDb tour exercising segment + summary
     // through the re-exports.
     let mut db = ProvDb::new();
-    let alice = db.add_agent("alice");
+    let alice = db.add_agent("alice").unwrap();
     let data = db.add_artifact_version("dataset", Some(alice)).unwrap();
     let run = db
         .record_activity(ActivityRecord {
