@@ -1,0 +1,73 @@
+//! Fig. 6 kernel benchmark: the counting-based simulation and the
+//! quotient-incremental PgSum pipeline against their frozen seed
+//! counterparts, on `Sd` segment sets at two representative sizes. The
+//! committed trajectory (`BENCH_fig6.json`) is produced by the `figure`
+//! binary; here Criterion tracks the kernels in isolation so `cargo bench
+//! --no-run` keeps them compiling and a local `cargo bench` can profile
+//! them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_model::VertexKind;
+use prov_summary::{
+    build_g0, simulation, simulation_reference, PgSumQuery, PropertyAggregation, SegmentRef,
+    SimDirection, G0,
+};
+use prov_workload::{generate_sd, SdParams};
+use std::time::Duration;
+
+fn query() -> PgSumQuery {
+    PgSumQuery::new(
+        PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]),
+        1,
+    )
+}
+
+fn prepared(params: &SdParams) -> (prov_store::ProvGraph, Vec<SegmentRef>) {
+    let out = generate_sd(params);
+    let segments =
+        out.segments.iter().map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone())).collect();
+    (out.graph, segments)
+}
+
+fn cases() -> Vec<(&'static str, SdParams)> {
+    vec![
+        ("s10", SdParams::default()),
+        ("s20", SdParams { num_segments: 20, ..SdParams::default() }),
+    ]
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_simulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, params) in cases() {
+        let (graph, segments) = prepared(&params);
+        let q = query();
+        let g0: G0 = build_g0(&graph, &segments, &q.aggregation, q.k);
+        group.bench_with_input(BenchmarkId::new("counting", label), &label, |b, _| {
+            b.iter(|| simulation(&g0, SimDirection::Out))
+        });
+        group.bench_with_input(BenchmarkId::new("seed", label), &label, |b, _| {
+            b.iter(|| simulation_reference(&g0, SimDirection::Out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pgsum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_pgsum");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (label, params) in cases() {
+        let (graph, segments) = prepared(&params);
+        let q = query();
+        group.bench_with_input(BenchmarkId::new("incremental", label), &label, |b, _| {
+            b.iter(|| prov_summary::pgsum(&graph, &segments, &q))
+        });
+        group.bench_with_input(BenchmarkId::new("seed", label), &label, |b, _| {
+            b.iter(|| prov_summary::pgsum_reference(&graph, &segments, &q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_pgsum);
+criterion_main!(benches);

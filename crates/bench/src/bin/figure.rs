@@ -1,8 +1,8 @@
 //! Regenerate the paper's evaluation figures — as text tables or as the
-//! machine-readable `BENCH_fig5.json` trajectory.
+//! machine-readable `BENCH_fig5.json` / `BENCH_fig6.json` trajectories.
 //!
 //! ```sh
-//! # Text tables (any subset of 5a..5h, wl, or `all`):
+//! # Text tables (any subset of 5a..5h, wl, 6a..6c, or `all`):
 //! cargo run -p prov-bench --release --bin figure -- all          # full scale
 //! cargo run -p prov-bench --release --bin figure -- 5a --quick   # smoke run
 //!
@@ -11,6 +11,9 @@
 //! cargo run -p prov-bench --release -- --quick --json BENCH_fig5.json
 //! cargo run -p prov-bench --release -- --quick --json BENCH_fig5.new.json \
 //!     --baseline BENCH_fig5.json
+//!
+//! # The summarization trajectory (`fig6` shorthand for 6a 6b 6c):
+//! cargo run -p prov-bench --release -- --quick fig6 --json BENCH_fig6.json
 //! ```
 //!
 //! With `--baseline`, the process exits non-zero when any matched series
@@ -18,7 +21,8 @@
 //! perf gate.
 
 use prov_bench::{
-    run_figure_cached, BenchReport, FigureResult, PdCache, Scale, ALL_FIGURES, BENCH_FIGURES,
+    run_figure_with_caches, BenchReport, FigureResult, PdCache, Scale, SdCache, ALL_FIGURES,
+    BENCH_FIGURES, FIG6_FIGURES,
 };
 
 struct Cli {
@@ -64,21 +68,33 @@ fn main() {
     } else if cli.ids.iter().any(|i| i == "all") {
         ALL_FIGURES.iter().map(|s| s.to_string()).collect()
     } else {
-        cli.ids.clone()
+        // `fig6` expands to the summarization trajectory subset.
+        cli.ids
+            .iter()
+            .flat_map(|id| {
+                if id == "fig6" {
+                    FIG6_FIGURES.iter().map(|s| s.to_string()).collect()
+                } else {
+                    vec![id.clone()]
+                }
+            })
+            .collect()
     };
 
-    // One instance cache across every requested figure: each Pd workload is
-    // generated and CSR-frozen exactly once per invocation.
-    let mut cache = PdCache::new();
+    // One instance cache per workload family across every requested figure:
+    // each Pd graph / Sd segment set is generated and frozen exactly once
+    // per invocation.
+    let mut pd_cache = PdCache::new();
+    let mut sd_cache = SdCache::new();
     let mut figures: Vec<FigureResult> = Vec::new();
     for id in &ids {
-        match run_figure_cached(id, scale, &mut cache) {
+        match run_figure_with_caches(id, scale, &mut pd_cache, &mut sd_cache) {
             Some(fig) => {
                 println!("{}", fig.render());
                 figures.push(fig);
             }
             None => {
-                eprintln!("unknown figure id {id:?}; valid: {ALL_FIGURES:?} or `all`");
+                eprintln!("unknown figure id {id:?}; valid: {ALL_FIGURES:?}, `fig6`, or `all`");
                 std::process::exit(2);
             }
         }
@@ -87,7 +103,17 @@ fn main() {
     if !bench_mode {
         return;
     }
-    let report = BenchReport::from_figures(scale, &figures);
+    // Record the exact invocation that regenerates the chosen target.
+    let command = {
+        let mut parts = vec!["cargo run -p prov-bench --release --".to_string()];
+        if cli.quick {
+            parts.push("--quick".into());
+        }
+        parts.extend(ids.iter().cloned());
+        parts.push(format!("--json {}", cli.json.as_deref().unwrap_or("BENCH.json")));
+        parts.join(" ")
+    };
+    let report = BenchReport::from_figures(scale, &figures, command);
     if let Some(path) = &cli.json {
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("cannot write {path}: {e}");

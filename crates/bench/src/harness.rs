@@ -18,12 +18,13 @@ use prov_segment::{
     evaluate_similarity, similar_alg, similar_alg_reference, similar_tst, AlgConfig, MaskedGraph,
     NaiveBudget, PgSegOptions, SimilarEvaluator, TstConfig,
 };
+use prov_store::hash::FxHashMap;
 use prov_store::{ProvGraph, ProvIndex};
 use prov_summary::{PgSumQuery, PropertyAggregation, SegmentRef};
 use prov_workload::{
-    generate_pd, generate_sd, sources_at_percentile, standard_query, PdParams, SdParams,
+    generate_pd, generate_sd, pd_segments, sources_at_percentile, standard_query, PdParams,
+    SdParams,
 };
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -175,7 +176,7 @@ const PD_CACHE_MAX_N: usize = 10_000;
 /// seed's drop-after-use behaviour at paper scale).
 #[derive(Default)]
 pub struct PdCache {
-    map: HashMap<PdKey, Rc<PdInstance>>,
+    map: FxHashMap<PdKey, Rc<PdInstance>>,
 }
 
 impl PdCache {
@@ -559,34 +560,259 @@ fn figwl_sized(cache: &mut PdCache, sizes: &[usize], reps: usize) -> FigureResul
     }
 }
 
+/// A generated `Sd` segment set frozen once: backing graph + segment refs.
+pub struct SdInstance {
+    graph: ProvGraph,
+    segments: Vec<SegmentRef>,
+}
+
+/// Cache key: the exact `SdParams` bits (f64 fields by `to_bits`).
+type SdKey = (u64, usize, usize, usize, u64, u64, u64, u64);
+
+fn sd_key(p: &SdParams) -> SdKey {
+    (
+        p.alpha.to_bits(),
+        p.k,
+        p.n,
+        p.num_segments,
+        p.lambda_in.to_bits(),
+        p.lambda_out.to_bits(),
+        p.se.to_bits(),
+        p.seed,
+    )
+}
+
+/// Cache of frozen `Sd` segment sets shared across the `fig6` sweeps (the
+/// summarization counterpart of [`PdCache`]): each parameterization is
+/// generated once per bench run, so every method of every figure times the
+/// same input.
+#[derive(Default)]
+pub struct SdCache {
+    map: FxHashMap<SdKey, Rc<SdInstance>>,
+}
+
+impl SdCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct instances retained.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True before the first instance is retained.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Fetch (or generate + freeze) the instance for `params`.
+    pub fn instance(&mut self, params: &SdParams) -> Rc<SdInstance> {
+        Rc::clone(self.map.entry(sd_key(params)).or_insert_with(|| {
+            let out = generate_sd(params);
+            let segments = out
+                .segments
+                .iter()
+                .map(|s| SegmentRef::new(s.vertices.clone(), s.edges.clone()))
+                .collect();
+            Rc::new(SdInstance { graph: out.graph, segments })
+        }))
+    }
+}
+
+/// The `fig6` query: aggregate activities by command, `k = 1` provenance
+/// types — exercises the rank-space WL refinement on top of the merge phase.
+fn fig6_query() -> PgSumQuery {
+    PgSumQuery::new(
+        PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]),
+        1,
+    )
+}
+
+/// Time the three summarizers on one frozen segment set. `work` carries the
+/// output size (pSum blocks / Psg vertices), so a run where the rewrite and
+/// the frozen seed pipeline diverge is visible in the committed JSON.
+fn time_summarizers(
+    graph: &ProvGraph,
+    segments: &[SegmentRef],
+    x: f64,
+    reps: usize,
+    series: &mut [Series; 3],
+) {
+    let query = fig6_query();
+    // Best-of-`reps` per method, like the `wl` trajectory series.
+    let mut best = [f64::INFINITY; 3];
+    let mut work = [0u64; 3];
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let ps = prov_summary::psum_baseline(graph, segments, &query);
+        best[0] = best[0].min(t0.elapsed().as_secs_f64());
+        work[0] = ps.block_count as u64;
+
+        let t0 = Instant::now();
+        let seed = prov_summary::pgsum_reference(graph, segments, &query);
+        best[1] = best[1].min(t0.elapsed().as_secs_f64());
+        work[1] = seed.vertex_count() as u64;
+
+        let t0 = Instant::now();
+        let new = prov_summary::pgsum(graph, segments, &query);
+        best[2] = best[2].min(t0.elapsed().as_secs_f64());
+        work[2] = new.vertex_count() as u64;
+    }
+    for i in 0..3 {
+        series[i].points.push(Point { x, y: Some(best[i]), work: Some(work[i]) });
+    }
+}
+
+fn fig6_series() -> [Series; 3] {
+    ["pSum", "PGSum Seed", "PGSum Alg"]
+        .map(|name| Series { name: name.to_string(), points: Vec::new() })
+}
+
+fn fig6_reps(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 3,
+        Scale::Full => 2,
+    }
+}
+
+/// Fig. 6(a): summarization runtime vs segment count `|S|` on `Sd` sets.
+pub fn fig6a(scale: Scale) -> FigureResult {
+    fig6a_cached(scale, &mut SdCache::new())
+}
+
+/// [`fig6a`] against a shared `Sd` instance cache.
+pub fn fig6a_cached(scale: Scale, cache: &mut SdCache) -> FigureResult {
+    let counts: &[usize] = match scale {
+        Scale::Quick => &[5, 10, 20, 40],
+        Scale::Full => &[10, 20, 40, 80],
+    };
+    let mut series = fig6_series();
+    for &s in counts {
+        let inst = cache.instance(&SdParams { num_segments: s, ..SdParams::default() });
+        time_summarizers(&inst.graph, &inst.segments, s as f64, fig6_reps(scale), &mut series);
+    }
+    FigureResult {
+        id: "6a",
+        title: "Summarization runtime: varying segment count |S| (Sd: α=0.1, k=5, n=20)".into(),
+        x_label: "|S|".into(),
+        y_label: "runtime (s)".into(),
+        series: series.to_vec(),
+    }
+}
+
+/// Fig. 6(b): summarization runtime vs segment size `n` on `Sd` sets.
+pub fn fig6b(scale: Scale) -> FigureResult {
+    fig6b_cached(scale, &mut SdCache::new())
+}
+
+/// [`fig6b`] against a shared `Sd` instance cache.
+pub fn fig6b_cached(scale: Scale, cache: &mut SdCache) -> FigureResult {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[10, 20, 40],
+        Scale::Full => &[20, 40, 80],
+    };
+    let mut series = fig6_series();
+    for &n in sizes {
+        let inst = cache.instance(&SdParams { n, ..SdParams::default() });
+        time_summarizers(&inst.graph, &inst.segments, n as f64, fig6_reps(scale), &mut series);
+    }
+    FigureResult {
+        id: "6b",
+        title: "Summarization runtime: varying activities per segment n (Sd: α=0.1, k=5, |S|=10)"
+            .into(),
+        x_label: "n".into(),
+        y_label: "runtime (s)".into(),
+        series: series.to_vec(),
+    }
+}
+
+/// Fig. 6(c): summarization runtime vs segment count on segments carved out
+/// of a frozen `Pd` graph (12-activity windows) — PgSum on the same topology
+/// the Fig. 5 segmentation sweeps use.
+pub fn fig6c(scale: Scale) -> FigureResult {
+    fig6c_cached(scale, &mut PdCache::new())
+}
+
+/// [`fig6c`] against the shared `Pd` instance cache.
+pub fn fig6c_cached(scale: Scale, cache: &mut PdCache) -> FigureResult {
+    let (n, counts): (usize, &[usize]) = match scale {
+        Scale::Quick => (2_000, &[4, 8, 16, 32]),
+        Scale::Full => (10_000, &[8, 16, 32, 64]),
+    };
+    const WINDOW: usize = 12;
+    let inst = cache.instance(&PdParams::with_size(n));
+    let mut series = fig6_series();
+    for &count in counts {
+        let segments: Vec<SegmentRef> = pd_segments(&inst.graph, WINDOW, count)
+            .into_iter()
+            .map(|s| SegmentRef::new(s.vertices, s.edges))
+            .collect();
+        time_summarizers(&inst.graph, &segments, count as f64, fig6_reps(scale), &mut series);
+    }
+    FigureResult {
+        id: "6c",
+        title: format!(
+            "Summarization runtime: varying segment count (Pd{n}, {WINDOW}-activity windows)"
+        ),
+        x_label: "|S|".into(),
+        y_label: "runtime (s)".into(),
+        series: series.to_vec(),
+    }
+}
+
 /// Run one figure by id.
 pub fn run_figure(id: &str, scale: Scale) -> Option<FigureResult> {
     run_figure_cached(id, scale, &mut PdCache::new())
 }
 
 /// Run one figure by id against a shared `Pd` instance cache, so a batch of
-/// figures (the bench mode) freezes each workload once.
+/// `Pd`-backed figures freezes each workload once. The `Sd`-backed figures
+/// (`6a`/`6b`) get a throwaway cache here — batch callers that mix them in
+/// should use [`run_figure_with_caches`] to share both cache families (the
+/// `figure` binary does).
 pub fn run_figure_cached(id: &str, scale: Scale, cache: &mut PdCache) -> Option<FigureResult> {
+    run_figure_with_caches(id, scale, cache, &mut SdCache::new())
+}
+
+/// [`run_figure_cached`] with the `Sd` cache shared too (the fig6 batch).
+pub fn run_figure_with_caches(
+    id: &str,
+    scale: Scale,
+    pd: &mut PdCache,
+    sd: &mut SdCache,
+) -> Option<FigureResult> {
     Some(match id {
-        "5a" => fig5a_cached(scale, cache),
-        "5b" => fig5b_cached(scale, cache),
-        "5c" => fig5c_cached(scale, cache),
-        "5d" => fig5d_cached(scale, cache),
+        "5a" => fig5a_cached(scale, pd),
+        "5b" => fig5b_cached(scale, pd),
+        "5c" => fig5c_cached(scale, pd),
+        "5d" => fig5d_cached(scale, pd),
         "5e" => fig5e(scale),
         "5f" => fig5f(scale),
         "5g" => fig5g(scale),
         "5h" => fig5h(scale),
-        "wl" => figwl_cached(scale, cache),
+        "wl" => figwl_cached(scale, pd),
+        "6a" => fig6a_cached(scale, sd),
+        "6b" => fig6b_cached(scale, sd),
+        "6c" => fig6c_cached(scale, pd),
         _ => return None,
     })
 }
 
-/// All figure ids in paper order (plus the worklist ablation).
-pub const ALL_FIGURES: [&str; 9] = ["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl"];
+/// All figure ids in paper order (plus the worklist ablation and the
+/// summarization runtime sweeps).
+pub const ALL_FIGURES: [&str; 12] =
+    ["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "6a", "6b", "6c"];
 
-/// The ids the JSON bench mode runs: the runtime sweeps Fig. 5(a)–(d) and
-/// the worklist ablation — the repo's per-PR perf trajectory.
+/// The ids the JSON bench mode runs by default: the runtime sweeps
+/// Fig. 5(a)–(d) and the worklist ablation — the repo's per-PR perf
+/// trajectory committed as `BENCH_fig5.json`.
 pub const BENCH_FIGURES: [&str; 5] = ["5a", "5b", "5c", "5d", "wl"];
+
+/// The summarization trajectory committed as `BENCH_fig6.json`: pSum vs the
+/// frozen seed PgSum pipeline vs the counting/quotient-incremental rewrite.
+pub const FIG6_FIGURES: [&str; 3] = ["6a", "6b", "6c"];
 
 #[cfg(test)]
 mod tests {
@@ -671,10 +897,53 @@ mod tests {
         assert!(run_figure("9z", Scale::Quick).is_none());
         for id in ALL_FIGURES {
             // Only check resolvability, not execution (expensive).
-            assert!(["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl"].contains(&id));
+            assert!(["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "6a", "6b", "6c"]
+                .contains(&id));
         }
         for id in BENCH_FIGURES {
             assert!(ALL_FIGURES.contains(&id), "bench subset must stay resolvable");
+        }
+        for id in FIG6_FIGURES {
+            assert!(ALL_FIGURES.contains(&id), "fig6 subset must stay resolvable");
+        }
+    }
+
+    #[test]
+    fn sd_cache_freezes_each_segment_set_once() {
+        let mut cache = SdCache::new();
+        assert!(cache.is_empty());
+        let a = cache.instance(&SdParams::default());
+        let b = cache.instance(&SdParams::default());
+        assert!(Rc::ptr_eq(&a, &b), "same params must share one frozen instance");
+        assert_eq!(cache.len(), 1);
+        let c = cache.instance(&SdParams { num_segments: 20, ..SdParams::default() });
+        assert!(!Rc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(a.segments.len(), SdParams::default().num_segments);
+    }
+
+    #[test]
+    fn fig6_sweep_times_all_three_summarizers() {
+        // Tiny sizes, one rep: shapes only (the real sweep runs in release
+        // through the bench binary).
+        let mut cache = SdCache::new();
+        let mut series = fig6_series();
+        for &s in &[2usize, 3] {
+            let inst = cache.instance(&SdParams { num_segments: s, n: 4, ..SdParams::default() });
+            time_summarizers(&inst.graph, &inst.segments, s as f64, 1, &mut series);
+        }
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|p| p.y.is_some() && p.work.is_some()));
+        }
+        // The frozen seed pipeline and the rewrite summarize to the same
+        // number of groups; pSum never compacts further than PgSum.
+        for i in 0..2 {
+            let seed = series[1].points[i].work.unwrap();
+            let new = series[2].points[i].work.unwrap();
+            let psum = series[0].points[i].work.unwrap();
+            assert_eq!(seed, new, "rewrite must match the reference |M|");
+            assert!(new <= psum, "PgSum at least as compact as pSum");
         }
     }
 }

@@ -1,10 +1,13 @@
-//! Benchmark harness for the Fig. 5 reproduction (see `DESIGN.md` §4).
+//! Benchmark harness for the Fig. 5 reproduction and the summarization
+//! sweeps (see `DESIGN.md` §4).
 //!
 //! * [`harness`] — one function per subplot, printable as text tables, plus
-//!   the worklist ablation (`wl`) and the shared [`PdCache`] so a batch run
+//!   the worklist ablation (`wl`), the summarization runtime sweeps
+//!   (`6a`–`6c`: pSum vs seed PgSum vs the counting/quotient-incremental
+//!   rewrite), and the shared [`PdCache`] / [`SdCache`] so a batch run
 //!   freezes each workload once;
-//! * [`report`] — the `BENCH_fig5.json` document model and the >2× regression
-//!   gate CI applies against the committed baseline;
+//! * [`report`] — the `BENCH_fig5.json` / `BENCH_fig6.json` document model
+//!   and the >2× regression gate CI applies against the committed baselines;
 //! * `src/bin/figure.rs` — CLI that regenerates any figure
 //!   (`cargo run -p prov-bench --release --bin figure -- 5a`) and the JSON
 //!   bench mode (`cargo run -p prov-bench --release -- --quick --json
@@ -15,7 +18,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    run_figure, run_figure_cached, FigureResult, PdCache, Point, Scale, Series, ALL_FIGURES,
-    BENCH_FIGURES,
+    run_figure, run_figure_cached, run_figure_with_caches, FigureResult, PdCache, Point, Scale,
+    SdCache, Series, ALL_FIGURES, BENCH_FIGURES, FIG6_FIGURES,
 };
 pub use report::{BenchReport, REGRESSION_FACTOR, REGRESSION_FLOOR_SECS};

@@ -1,10 +1,13 @@
-//! `BENCH_fig5.json`: the machine-readable benchmark trajectory.
+//! `BENCH_fig5.json` / `BENCH_fig6.json`: the machine-readable benchmark
+//! trajectories.
 //!
-//! Every PR regenerates this report from the quick-scale Fig. 5(a)–(d)
-//! sweeps plus the worklist comparison (`wl`), giving the repo a perf
-//! trajectory the CI can gate on: a fresh run is compared point-by-point
-//! against the committed baseline and any series that regresses beyond the
-//! configured factor fails the build.
+//! Every PR regenerates these reports — the quick-scale Fig. 5(a)–(d)
+//! sweeps plus the worklist comparison (`wl`) in `BENCH_fig5.json`, and the
+//! summarization sweeps (`6a`–`6c`: pSum vs seed PgSum vs the rewritten
+//! PgSum) in `BENCH_fig6.json` — giving the repo perf trajectories the CI
+//! can gate on: a fresh run is compared point-by-point against the committed
+//! baseline and any series that regresses beyond the configured factor fails
+//! the build.
 
 use crate::harness::{FigureResult, Scale};
 use serde::{Deserialize, Serialize};
@@ -72,21 +75,17 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Assemble a report from harness results.
-    pub fn from_figures(scale: Scale, figures: &[FigureResult]) -> BenchReport {
+    /// Assemble a report from harness results; `command` is the exact CLI
+    /// invocation that regenerates the file (recorded for reproducibility —
+    /// fig5 and fig6 trajectories differ only in the ids and target path).
+    pub fn from_figures(scale: Scale, figures: &[FigureResult], command: String) -> BenchReport {
         BenchReport {
             schema: BENCH_SCHEMA,
             scale: match scale {
                 Scale::Quick => "quick".into(),
                 Scale::Full => "full".into(),
             },
-            command: match scale {
-                Scale::Quick => {
-                    "cargo run -p prov-bench --release -- --quick --json BENCH_fig5.json"
-                }
-                Scale::Full => "cargo run -p prov-bench --release -- --json BENCH_fig5.json",
-            }
-            .into(),
+            command,
             figures: figures
                 .iter()
                 .map(|f| FigureJson {

@@ -7,6 +7,7 @@
 
 use prov_model::{PropValue, VertexId, VertexKind};
 use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
+use prov_store::hash::FxHashMap;
 use prov_store::{ProvGraph, ProvIndex, SharedIndex, StoreResult};
 use prov_summary::{pgsum, PgSumQuery, Psg, SegmentRef};
 use std::sync::{Arc, RwLock};
@@ -78,7 +79,7 @@ pub struct ProvDb {
     graph: Arc<ProvGraph>,
     index: RwLock<Option<SharedIndex>>,
     /// Next version number per artifact name.
-    versions: std::collections::HashMap<String, u32>,
+    versions: FxHashMap<String, u32>,
 }
 
 impl ProvDb {
@@ -89,11 +90,7 @@ impl ProvDb {
 
     /// Wrap an existing provenance graph.
     pub fn from_graph(graph: ProvGraph) -> Self {
-        ProvDb {
-            graph: Arc::new(graph),
-            index: RwLock::new(None),
-            versions: std::collections::HashMap::new(),
-        }
+        ProvDb { graph: Arc::new(graph), index: RwLock::new(None), versions: FxHashMap::default() }
     }
 
     /// The underlying store (read-only).
@@ -340,7 +337,7 @@ impl ProvDb {
     /// Import from the interchange format.
     pub fn import_json(data: &str) -> StoreResult<ProvDb> {
         let graph = prov_store::json::from_json_string(data)?;
-        let mut versions = std::collections::HashMap::new();
+        let mut versions = FxHashMap::default();
         for v in graph.vertices_of_kind(VertexKind::Entity) {
             if let (Some(name), Some(ver)) = (
                 graph.vprop(*v, "filename").and_then(|p| p.as_str().map(str::to_string)),

@@ -15,26 +15,47 @@
 //! the *same* condition are jointly sound: condition-1 groups share their
 //! in-language exactly; condition-3 unions only ever point languages at a
 //! dominating target. The algorithm therefore alternates rounds — all `≃in`
-//! classes, then all `≃out` classes, then all `≤in∧≤out` dominations —
-//! *recomputing the simulation preorders on the current quotient before each
-//! round*, until a full cycle performs no merge. Each round shrinks the node
-//! count, so at most `O(n)` recomputations happen (far fewer in practice).
+//! classes, then all `≃out` classes, then all `≤in∧≤out` dominations — until
+//! a full cycle performs no merge.
+//!
+//! **Quotient-incremental rounds** (ISSUE 4). The seed recomputed *both*
+//! simulation preorders from scratch on the current quotient before every
+//! round (frozen as [`mod@crate::merge_reference`]). But quotienting by
+//! simulation equivalence is exact for the *same* direction: `[u] ≤ [v]` on
+//! the quotient iff `u ≤ v` on the pre-merge graph (see `DESIGN.md` §5 for
+//! the two-inclusion proof). So after an `≃in` round the maintained `≤in`
+//! relation is *projected* onto the surviving representatives — rows and
+//! columns shrunk in place through the group map — and only the `≤out`
+//! relation (whose languages the merge really changed) is marked stale and
+//! recomputed lazily. Symmetrically for `≃out` rounds. Condition-3 rounds
+//! change both languages of the absorbed node, so they invalidate both
+//! relations and fall back to full recompute. A full cycle that used to cost
+//! four fixpoints now costs at most three, almost all on already-shrunk
+//! quotients.
 
 use crate::simulation::{simulation, SimDirection, SimRelation};
 use crate::union::{G0Node, G0};
 use prov_store::hash::FxHashSet;
 
-/// Union-find over g0 node ids.
-struct Dsu {
+/// Union-find over g0 node ids, with union-by-size and path compression.
+///
+/// The union *direction* is semantically irrelevant for the merge phase: the
+/// quotient's group ids and representatives are assigned by
+/// first-appearance order over the original nodes ([`apply_unions`] /
+/// [`quotient`]), never by DSU root. So `union` is free to pick the larger
+/// side as root — callers that conceptually merge "u into v" (condition 3)
+/// lose nothing when the tree roots at u instead.
+pub(crate) struct Dsu {
     parent: Vec<u32>,
+    size: Vec<u32>,
 }
 
 impl Dsu {
-    fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect() }
+    pub(crate) fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect(), size: vec![1; n] }
     }
 
-    fn find(&mut self, x: u32) -> u32 {
+    pub(crate) fn find(&mut self, x: u32) -> u32 {
         let mut r = x;
         while self.parent[r as usize] != r {
             r = self.parent[r as usize];
@@ -48,12 +69,19 @@ impl Dsu {
         r
     }
 
-    fn union(&mut self, from: u32, into: u32) -> bool {
-        let (a, b) = (self.find(from), self.find(into));
+    /// Union the two groups; returns false when already joined. The larger
+    /// tree absorbs the smaller (union-by-size keeps find paths `O(α(n))`
+    /// together with compression).
+    pub(crate) fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut a, mut b) = (self.find(a), self.find(b));
         if a == b {
             return false;
         }
+        if self.size[a as usize] > self.size[b as usize] {
+            std::mem::swap(&mut a, &mut b);
+        }
         self.parent[a as usize] = b;
+        self.size[b as usize] += self.size[a as usize];
         true
     }
 }
@@ -107,22 +135,11 @@ pub fn quotient(g0: &G0, group_of: &[u32], group_count: usize) -> G0 {
     }
 }
 
-/// Remap group ids to a dense `0..count` range (first-appearance order);
-/// returns the group count.
-fn densify(group_of: &mut [u32]) -> usize {
-    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    for g in group_of.iter_mut() {
-        let next = remap.len() as u32;
-        *g = *remap.entry(*g).or_insert(next);
-    }
-    remap.len()
-}
-
 /// Collect all ≃-equivalence groups of a simulation relation and union them.
 fn merge_equiv_classes(g: &G0, rel: &SimRelation, dsu: &mut Dsu) -> bool {
     let mut merged = false;
     for v in 0..g.len() as u32 {
-        for u in rel.above(v) {
+        for u in rel.row(v).ones() {
             if u > v && rel.equiv(u, v) {
                 merged |= dsu.union(u, v);
             }
@@ -135,7 +152,7 @@ fn merge_equiv_classes(g: &G0, rel: &SimRelation, dsu: &mut Dsu) -> bool {
 fn merge_dominated(g: &G0, le_in: &SimRelation, le_out: &SimRelation, dsu: &mut Dsu) -> bool {
     let mut merged = false;
     for u in 0..g.len() as u32 {
-        for v in le_in.above(u) {
+        for v in le_in.row(u).ones() {
             if v != u && le_out.le(u, v) {
                 merged |= dsu.union(u, v);
                 break; // one dominating target suffices for u
@@ -143,6 +160,27 @@ fn merge_dominated(g: &G0, le_in: &SimRelation, le_out: &SimRelation, dsu: &mut 
         }
     }
     merged
+}
+
+/// Apply a round's unions: rewrite `group_of` (original node → new dense
+/// quotient id) and return `(new_count, node_map)` where `node_map[old
+/// quotient id] = new quotient id`. Dense ids follow first-appearance order
+/// over the original nodes, exactly like the seed's `dsu.find` + [`densify`]
+/// composition, so the resulting partition (and its labeling) is identical.
+fn apply_unions(group_of: &mut [u32], dsu: &mut Dsu, old_count: usize) -> (usize, Vec<u32>) {
+    let mut root_id: Vec<u32> = vec![u32::MAX; old_count];
+    let mut next = 0u32;
+    for g in group_of.iter_mut() {
+        let r = dsu.find(*g) as usize;
+        if root_id[r] == u32::MAX {
+            root_id[r] = next;
+            next += 1;
+        }
+        *g = root_id[r];
+    }
+    // Complete the old-quotient-id → new-id map for non-root members.
+    let node_map: Vec<u32> = (0..old_count as u32).map(|c| root_id[dsu.find(c) as usize]).collect();
+    (next as usize, node_map)
 }
 
 /// Run the full merge phase on `g0`.
@@ -154,7 +192,10 @@ pub fn merge(g0: &G0) -> MergeResult {
     let mut current = quotient(g0, &group_of, gcount);
     let mut rounds = 0usize;
 
-    // One merge round; returns true when anything merged.
+    // Maintained preorders of `current`; `None` = stale (must recompute).
+    let mut sim_in: Option<SimRelation> = None;
+    let mut sim_out: Option<SimRelation> = None;
+
     enum Round {
         InEquiv,
         OutEquiv,
@@ -168,26 +209,50 @@ pub fn merge(g0: &G0) -> MergeResult {
             let mut dsu = Dsu::new(current.len());
             let merged = match round {
                 Round::InEquiv => {
-                    let le_in = simulation(&current, SimDirection::In);
-                    merge_equiv_classes(&current, &le_in, &mut dsu)
+                    let rel = sim_in.get_or_insert_with(|| simulation(&current, SimDirection::In));
+                    merge_equiv_classes(&current, rel, &mut dsu)
                 }
                 Round::OutEquiv => {
-                    let le_out = simulation(&current, SimDirection::Out);
-                    merge_equiv_classes(&current, &le_out, &mut dsu)
+                    let rel =
+                        sim_out.get_or_insert_with(|| simulation(&current, SimDirection::Out));
+                    merge_equiv_classes(&current, rel, &mut dsu)
                 }
                 Round::Dominated => {
-                    let le_in = simulation(&current, SimDirection::In);
-                    let le_out = simulation(&current, SimDirection::Out);
-                    merge_dominated(&current, &le_in, &le_out, &mut dsu)
+                    let le_in =
+                        sim_in.take().unwrap_or_else(|| simulation(&current, SimDirection::In));
+                    let le_out =
+                        sim_out.take().unwrap_or_else(|| simulation(&current, SimDirection::Out));
+                    let m = merge_dominated(&current, &le_in, &le_out, &mut dsu);
+                    if !m {
+                        // No merge: the quotient is unchanged, keep both.
+                        sim_in = Some(le_in);
+                        sim_out = Some(le_out);
+                    }
+                    m
                 }
             };
             if merged {
                 any = true;
-                for g in group_of.iter_mut() {
-                    *g = dsu.find(*g);
-                }
-                gcount = densify(&mut group_of);
+                let (new_count, node_map) = apply_unions(&mut group_of, &mut dsu, gcount);
+                gcount = new_count;
                 current = quotient(g0, &group_of, gcount);
+                // Shrink-in-place vs full recompute: quotienting by ≃ is
+                // exact for the merged direction only; a condition-3 merge
+                // (or the opposite direction) is invalidated.
+                match round {
+                    Round::InEquiv => {
+                        sim_in = sim_in.take().map(|rel| rel.project(&node_map, gcount));
+                        sim_out = None;
+                    }
+                    Round::OutEquiv => {
+                        sim_out = sim_out.take().map(|rel| rel.project(&node_map, gcount));
+                        sim_in = None;
+                    }
+                    Round::Dominated => {
+                        sim_in = None;
+                        sim_out = None;
+                    }
+                }
             }
         }
         if !any {
@@ -286,6 +351,28 @@ mod tests {
     }
 
     #[test]
+    fn matches_reference_discipline_on_fixtures() {
+        for g0 in [twins(), {
+            let mut g = ProvGraph::new();
+            let d1 = g.add_entity("d");
+            let t1 = g.add_activity("t");
+            let w1 = g.add_entity("w");
+            let e1 = g.add_edge(EdgeKind::Used, t1, d1).unwrap();
+            let e2 = g.add_edge(EdgeKind::WasGeneratedBy, w1, t1).unwrap();
+            let d2 = g.add_entity("d");
+            let t2 = g.add_activity("t");
+            let e3 = g.add_edge(EdgeKind::Used, t2, d2).unwrap();
+            let s1 = SegmentRef::new(vec![d1, t1, w1], vec![e1, e2]);
+            let s2 = SegmentRef::new(vec![d2, t2], vec![e3]);
+            build_g0(&g, &[s1, s2], &PropertyAggregation::ignore_all(), 0)
+        }] {
+            let new = merge(&g0);
+            let old = crate::merge_reference::merge_reference(&g0);
+            assert_eq!(new.group_of, old.group_of, "identical partition and labeling");
+        }
+    }
+
+    #[test]
     fn dsu_behaves() {
         let mut d = Dsu::new(4);
         assert!(d.union(0, 1));
@@ -293,5 +380,52 @@ mod tests {
         assert!(d.union(2, 3));
         assert!(d.union(0, 3));
         assert_eq!(d.find(1), d.find(2));
+    }
+
+    #[test]
+    fn dsu_unions_by_size() {
+        let mut d = Dsu::new(6);
+        // Build a 3-element group {0,1,2}.
+        d.union(0, 1);
+        d.union(1, 2);
+        let big = d.find(0);
+        // Union a singleton "into" the big group in the caller's direction:
+        // by-size keeps the big root regardless.
+        assert!(d.union(big, 5));
+        assert_eq!(d.find(5), big);
+        assert_eq!(d.size[big as usize], 4);
+    }
+
+    #[test]
+    fn dsu_path_compression_flattens_chains() {
+        let mut d = Dsu::new(8);
+        for i in 0..7u32 {
+            d.union(i, i + 1);
+        }
+        let root = d.find(0);
+        for i in 0..8u32 {
+            d.find(i);
+            assert_eq!(d.parent[i as usize], root, "find must compress {i} to the root");
+        }
+    }
+
+    #[test]
+    fn dsu_find_union_invariants() {
+        let mut d = Dsu::new(10);
+        // find is idempotent and reflexive before any union.
+        for i in 0..10u32 {
+            assert_eq!(d.find(i), i);
+        }
+        d.union(2, 7);
+        d.union(7, 9);
+        // Connectivity is an equivalence: symmetric + transitive.
+        assert_eq!(d.find(2), d.find(9));
+        assert_eq!(d.find(9), d.find(2));
+        // Unrelated elements stay apart, and sizes account for every member.
+        assert_ne!(d.find(0), d.find(2));
+        let root = d.find(2) as usize;
+        assert_eq!(d.size[root], 3);
+        // union returns false exactly on already-joined pairs.
+        assert!(!d.union(9, 2));
     }
 }

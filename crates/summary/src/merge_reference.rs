@@ -1,0 +1,210 @@
+//! The seed recompute-from-scratch merge round discipline, frozen as a
+//! reference.
+//!
+//! [`crate::merge::merge`] was rebuilt to maintain the quotient incrementally
+//! (ISSUE 4): it projects the simulation preorder onto surviving
+//! representatives after same-direction merge rounds instead of recomputing
+//! both preorders from scratch before *every* round. This module preserves
+//! the original discipline verbatim — its own `Dsu` (no union heuristic), its
+//! own `densify`/`quotient` copies, and [`simulation_reference`] as the
+//! preorder engine — so the differential property tests can assert the
+//! rewrite produces the same quotient partition on every input, and the
+//! `fig6` benchmark series has a fixed point to measure against.
+//!
+//! Do not optimize this module.
+
+use crate::merge::MergeResult;
+use crate::simulation::{SimDirection, SimRelation};
+use crate::simulation_reference::simulation_reference;
+use crate::union::{G0Node, G0};
+use prov_store::hash::FxHashSet;
+
+/// The seed union-find: no size/rank heuristic, unions in caller direction.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut r = x;
+        while self.parent[r as usize] != r {
+            r = self.parent[r as usize];
+        }
+        let mut c = x;
+        while self.parent[c as usize] != r {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, from: u32, into: u32) -> bool {
+        let (a, b) = (self.find(from), self.find(into));
+        if a == b {
+            return false;
+        }
+        self.parent[a as usize] = b;
+        true
+    }
+}
+
+/// Seed copy of the quotient builder (dedup multi-edges).
+fn quotient(g0: &G0, group_of: &[u32], group_count: usize) -> G0 {
+    let mut nodes: Vec<Option<G0Node>> = vec![None; group_count];
+    for (i, node) in g0.nodes.iter().enumerate() {
+        let slot = group_of[i] as usize;
+        if nodes[slot].is_none() {
+            nodes[slot] =
+                Some(G0Node { segment: node.segment, vertex: node.vertex, class: node.class });
+        }
+    }
+    let nodes: Vec<G0Node> = nodes.into_iter().map(|n| n.expect("group non-empty")).collect();
+    let n = nodes.len();
+    let mut out_adj: Vec<Vec<(u8, u32)>> = vec![Vec::new(); n];
+    let mut in_adj: Vec<Vec<(u8, u32)>> = vec![Vec::new(); n];
+    let mut seen: FxHashSet<(u32, u8, u32)> = FxHashSet::default();
+    for (i, adj) in g0.out_adj.iter().enumerate() {
+        let s = group_of[i];
+        for &(k, d) in adj {
+            let d2 = group_of[d as usize];
+            if seen.insert((s, k, d2)) {
+                out_adj[s as usize].push((k, d2));
+                in_adj[d2 as usize].push((k, s));
+            }
+        }
+    }
+    G0 {
+        nodes,
+        out_adj,
+        in_adj,
+        segment_count: g0.segment_count,
+        class_labels: g0.class_labels.clone(),
+        class_names: g0.class_names.clone(),
+    }
+}
+
+/// Seed copy of the dense remap (first-appearance order, `std` HashMap).
+fn densify(group_of: &mut [u32]) -> usize {
+    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for g in group_of.iter_mut() {
+        let next = remap.len() as u32;
+        *g = *remap.entry(*g).or_insert(next);
+    }
+    remap.len()
+}
+
+fn merge_equiv_classes(g: &G0, rel: &SimRelation, dsu: &mut Dsu) -> bool {
+    let mut merged = false;
+    for v in 0..g.len() as u32 {
+        for u in rel.above(v) {
+            if u > v && rel.equiv(u, v) {
+                merged |= dsu.union(u, v);
+            }
+        }
+    }
+    merged
+}
+
+fn merge_dominated(g: &G0, le_in: &SimRelation, le_out: &SimRelation, dsu: &mut Dsu) -> bool {
+    let mut merged = false;
+    for u in 0..g.len() as u32 {
+        for v in le_in.above(u) {
+            if v != u && le_out.le(u, v) {
+                merged |= dsu.union(u, v);
+                break; // one dominating target suffices for u
+            }
+        }
+    }
+    merged
+}
+
+/// Run the seed merge phase on `g0`: recompute the simulation preorders on
+/// the current quotient before *every* round.
+pub fn merge_reference(g0: &G0) -> MergeResult {
+    let n0 = g0.len();
+    let mut group_of: Vec<u32> = (0..n0 as u32).collect();
+    let mut gcount = n0;
+    let mut current = quotient(g0, &group_of, gcount);
+    let mut rounds = 0usize;
+
+    enum Round {
+        InEquiv,
+        OutEquiv,
+        Dominated,
+    }
+
+    loop {
+        rounds += 1;
+        let mut any = false;
+        for round in [Round::InEquiv, Round::OutEquiv, Round::Dominated] {
+            let mut dsu = Dsu::new(current.len());
+            let merged = match round {
+                Round::InEquiv => {
+                    let le_in = simulation_reference(&current, SimDirection::In);
+                    merge_equiv_classes(&current, &le_in, &mut dsu)
+                }
+                Round::OutEquiv => {
+                    let le_out = simulation_reference(&current, SimDirection::Out);
+                    merge_equiv_classes(&current, &le_out, &mut dsu)
+                }
+                Round::Dominated => {
+                    let le_in = simulation_reference(&current, SimDirection::In);
+                    let le_out = simulation_reference(&current, SimDirection::Out);
+                    merge_dominated(&current, &le_in, &le_out, &mut dsu)
+                }
+            };
+            if merged {
+                any = true;
+                for g in group_of.iter_mut() {
+                    *g = dsu.find(*g);
+                }
+                gcount = densify(&mut group_of);
+                current = quotient(g0, &group_of, gcount);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); gcount];
+    for (i, &g) in group_of.iter().enumerate() {
+        members[g as usize].push(i as u32);
+    }
+    MergeResult { group_of, members, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::PropertyAggregation;
+    use crate::segment_ref::SegmentRef;
+    use crate::union::build_g0;
+    use prov_model::EdgeKind;
+    use prov_store::ProvGraph;
+
+    #[test]
+    fn reference_collapses_identical_segments() {
+        let mut g = ProvGraph::new();
+        let mut segs = Vec::new();
+        for i in 0..2 {
+            let d = g.add_entity(&format!("d{i}"));
+            let t = g.add_activity("t");
+            let w = g.add_entity(&format!("w{i}"));
+            let e1 = g.add_edge(EdgeKind::Used, t, d).unwrap();
+            let e2 = g.add_edge(EdgeKind::WasGeneratedBy, w, t).unwrap();
+            segs.push(SegmentRef::new(vec![d, t, w], vec![e1, e2]));
+        }
+        let g0 = build_g0(&g, &segs, &PropertyAggregation::ignore_all(), 1);
+        let res = merge_reference(&g0);
+        assert_eq!(res.members.len(), 3);
+        assert_eq!(res.group_of[0], res.group_of[3]);
+        assert_eq!(res.group_of[1], res.group_of[4]);
+        assert_eq!(res.group_of[2], res.group_of[5]);
+    }
+}

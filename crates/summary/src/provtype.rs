@@ -5,8 +5,15 @@
 //! w.r.t. the aggregate labels. We compute the type as `k` rounds of
 //! Weisfeiler–Leman-style refinement — Moreau's recursive edge-label
 //! concatenation \[25\], extended (as the paper demands) to be degree-aware by
-//! hashing the *sorted multiset* of (edge kind, direction, neighbor type)
+//! hashing the *sorted multiset* of (direction, edge kind, neighbor type)
 //! triples rather than the concatenation alone.
+//!
+//! The refinement runs in dense rank space (ISSUE 4): one pre-pass assigns
+//! each segment vertex its position in `segment.vertices` as a local rank,
+//! the segment-restricted adjacency is lowered once into flat
+//! `Vec<(u8, u32)>` rows over those ranks ((direction, kind) packed into the
+//! tag byte), and every WL round is then a plain array walk — no per-round
+//! `FxHashMap` lookups for either the neighbor fingerprints or the rows.
 //!
 //! Soundness: differing fingerprints imply non-isomorphic neighborhoods, so
 //! refinement never merges what isomorphism would keep apart... up to 64-bit
@@ -25,8 +32,73 @@ use prov_store::ProvGraph;
 /// Per-vertex provenance-type fingerprints for one segment.
 #[derive(Debug, Clone)]
 pub struct ProvTypes {
-    /// `type_k` fingerprint per segment vertex.
-    pub fingerprint: FxHashMap<VertexId, u64>,
+    /// `type_k` fingerprint of `segment.vertices[rank]`, by rank.
+    pub fingerprints: Vec<u64>,
+}
+
+impl ProvTypes {
+    /// Fingerprint of `v` (which must be one of the segment's vertices).
+    pub fn of(&self, segment: &SegmentRef, v: VertexId) -> u64 {
+        // `SegmentRef::new` sorts and dedups `vertices`, so rank lookup is a
+        // binary search.
+        let rank = segment.vertices.binary_search(&v).expect("vertex belongs to the segment");
+        self.fingerprints[rank]
+    }
+}
+
+/// The segment-local rank assignment: `rank_of[v] = position of v in
+/// `segment.vertices``. Built once per segment and shared between the type
+/// refinement and `build_g0`'s adjacency lowering.
+pub(crate) fn segment_ranks(segment: &SegmentRef) -> FxHashMap<VertexId, u32> {
+    segment.vertices.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect()
+}
+
+/// Rank-space WL refinement over a pre-built rank assignment.
+pub(crate) fn provenance_types_ranked(
+    graph: &ProvGraph,
+    segment: &SegmentRef,
+    ranks: &FxHashMap<VertexId, u32>,
+    aggregation: &PropertyAggregation,
+    k: usize,
+) -> Vec<u64> {
+    let n = segment.vertices.len();
+
+    // Round 0: aggregate labels (rank order).
+    let mut current: Vec<u64> =
+        segment.vertices.iter().map(|&v| fx_hash64(&aggregation.label(graph, v))).collect();
+    if k == 0 {
+        return current;
+    }
+
+    // Lower the segment-restricted adjacency once: per rank, a flat row of
+    // (tag, neighbor rank) pairs where tag = direction << 3 | kind. Sorting
+    // rows by tag keeps (direction, kind) lexicographic order, since the
+    // packing is order-preserving.
+    let mut rows: Vec<Vec<(u8, u32)>> = vec![Vec::new(); n];
+    for &e in &segment.edges {
+        let rec = graph.edge(e);
+        let s = ranks[&rec.src];
+        let d = ranks[&rec.dst];
+        let kind = rec.kind.as_index() as u8;
+        rows[s as usize].push((kind, d)); // direction 0: outgoing
+        rows[d as usize].push((1 << 3 | kind, s)); // direction 1: incoming
+    }
+
+    // Rounds 1..=k: refine by neighbor multisets — plain array walks.
+    let mut next: Vec<u64> = vec![0; n];
+    let mut scratch: Vec<(u8, u64)> = Vec::new();
+    for _ in 0..k {
+        for r in 0..n {
+            scratch.clear();
+            for &(tag, nb) in &rows[r] {
+                scratch.push((tag, current[nb as usize]));
+            }
+            scratch.sort_unstable();
+            next[r] = fx_hash64(&(current[r], &scratch));
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+    current
 }
 
 /// Compute `Rk` fingerprints for the vertices of `segment`.
@@ -39,41 +111,8 @@ pub fn provenance_types(
     aggregation: &PropertyAggregation,
     k: usize,
 ) -> ProvTypes {
-    // Local adjacency restricted to the segment's edges.
-    let mut out_adj: FxHashMap<VertexId, Vec<(u8, VertexId)>> = FxHashMap::default();
-    let mut in_adj: FxHashMap<VertexId, Vec<(u8, VertexId)>> = FxHashMap::default();
-    for &v in &segment.vertices {
-        out_adj.entry(v).or_default();
-        in_adj.entry(v).or_default();
-    }
-    for &e in &segment.edges {
-        let rec = graph.edge(e);
-        out_adj.entry(rec.src).or_default().push((rec.kind.as_index() as u8, rec.dst));
-        in_adj.entry(rec.dst).or_default().push((rec.kind.as_index() as u8, rec.src));
-    }
-
-    // Round 0: aggregate labels.
-    let mut current: FxHashMap<VertexId, u64> =
-        segment.vertices.iter().map(|&v| (v, fx_hash64(&aggregation.label(graph, v)))).collect();
-
-    // Rounds 1..=k: refine by neighbor multisets.
-    let mut scratch: Vec<(u8, u8, u64)> = Vec::new();
-    for _ in 0..k {
-        let mut next: FxHashMap<VertexId, u64> = FxHashMap::default();
-        for &v in &segment.vertices {
-            scratch.clear();
-            for &(kind, n) in &out_adj[&v] {
-                scratch.push((0, kind, current[&n]));
-            }
-            for &(kind, n) in &in_adj[&v] {
-                scratch.push((1, kind, current[&n]));
-            }
-            scratch.sort_unstable();
-            next.insert(v, fx_hash64(&(current[&v], &scratch)));
-        }
-        current = next;
-    }
-    ProvTypes { fingerprint: current }
+    let ranks = segment_ranks(segment);
+    ProvTypes { fingerprints: provenance_types_ranked(graph, segment, &ranks, aggregation, k) }
 }
 
 #[cfg(test)]
@@ -104,7 +143,7 @@ mod tests {
         let (g, seg, u1, u2) = shapes();
         let agg = PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
         let t = provenance_types(&g, &seg, &agg, 0);
-        assert_eq!(t.fingerprint[&u1], t.fingerprint[&u2]);
+        assert_eq!(t.of(&seg, u1), t.of(&seg, u2));
     }
 
     #[test]
@@ -113,7 +152,8 @@ mod tests {
         let agg = PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
         let t = provenance_types(&g, &seg, &agg, 1);
         assert_ne!(
-            t.fingerprint[&u1], t.fingerprint[&u2],
+            t.of(&seg, u1),
+            t.of(&seg, u2),
             "degree-aware types must distinguish 1-input from 2-input updates"
         );
     }
@@ -136,12 +176,12 @@ mod tests {
         let agg = PropertyAggregation::ignore_all();
         for k in 0..4 {
             let t = provenance_types(&g, &seg, &agg, k);
-            assert_eq!(t.fingerprint[&t1], t.fingerprint[&t2], "k={k}");
-            assert_eq!(t.fingerprint[&d1], t.fingerprint[&d2], "k={k}");
-            assert_eq!(t.fingerprint[&w1], t.fingerprint[&w2], "k={k}");
+            assert_eq!(t.of(&seg, t1), t.of(&seg, t2), "k={k}");
+            assert_eq!(t.of(&seg, d1), t.of(&seg, d2), "k={k}");
+            assert_eq!(t.of(&seg, w1), t.of(&seg, w2), "k={k}");
             // Input vs output entities differ structurally for k >= 1.
             if k >= 1 {
-                assert_ne!(t.fingerprint[&d1], t.fingerprint[&w1], "k={k}");
+                assert_ne!(t.of(&seg, d1), t.of(&seg, w1), "k={k}");
             }
         }
     }
@@ -157,7 +197,7 @@ mod tests {
         );
         let agg = PropertyAggregation::ignore_all().with_keys(VertexKind::Activity, &["command"]);
         let t = provenance_types(&g, &seg, &agg, 1);
-        assert_eq!(t.fingerprint[&u1], t.fingerprint[&u2]);
+        assert_eq!(t.of(&seg, u1), t.of(&seg, u2));
     }
 
     #[test]
@@ -172,7 +212,19 @@ mod tests {
         let ed2 = g.add_edge(EdgeKind::WasGeneratedBy, e2, a2).unwrap();
         let seg = SegmentRef::new(vec![e1, a1, e2, a2], vec![ed1, ed2]);
         let t = provenance_types(&g, &seg, &PropertyAggregation::ignore_all(), 1);
-        assert_ne!(t.fingerprint[&e1], t.fingerprint[&e2]);
-        assert_ne!(t.fingerprint[&a1], t.fingerprint[&a2]);
+        assert_ne!(t.of(&seg, e1), t.of(&seg, e2));
+        assert_ne!(t.of(&seg, a1), t.of(&seg, a2));
+    }
+
+    #[test]
+    fn tag_packing_keeps_direction_before_kind() {
+        // The packed tag must sort all outgoing entries before all incoming
+        // ones and by kind within a direction, mirroring the seed's
+        // (direction, kind, fp) triple order.
+        let tags: Vec<u8> =
+            (0..2u8).flat_map(|dir| (0..5u8).map(move |kind| dir << 3 | kind)).collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(tags, sorted);
     }
 }

@@ -113,12 +113,16 @@ pub fn psum(g0: &G0) -> PsumResult {
         block = next_block;
     }
 
-    // Count blocks over real nodes only.
-    let mut real_blocks: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    // Count blocks over real nodes only. Ids are dense after the last
+    // refinement pass, so a marker array beats a tree set.
+    let total_blocks = block.iter().max().map_or(0, |&b| b as usize + 1);
+    let mut seen = vec![false; total_blocks];
+    let mut block_count = 0usize;
     for &b in block.iter().take(n) {
-        real_blocks.insert(b);
+        if !std::mem::replace(&mut seen[b as usize], true) {
+            block_count += 1;
+        }
     }
-    let block_count = real_blocks.len();
     PsumResult {
         block_of: block[..n].to_vec(),
         block_count,

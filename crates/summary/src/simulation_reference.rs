@@ -1,0 +1,112 @@
+//! The seed Gauss–Seidel bitset simulation fixpoint, frozen as a reference.
+//!
+//! [`crate::simulation::simulation`] was rebuilt around a counting-based
+//! Henzinger–Henzinger–Kopke worklist (ISSUE 4). This module preserves the
+//! original sweep-until-stable implementation verbatim so that:
+//!
+//! * the differential property tests can assert the rewrite computes the
+//!   byte-identical preorder on every input, and
+//! * the `fig6` benchmark trajectory (`BENCH_fig6.json`) keeps a reference
+//!   series to measure the rewrite against.
+//!
+//! Do not optimize this module — its value is being the fixed point the hot
+//! path is compared to.
+
+use crate::simulation::{SimDirection, SimRelation};
+use crate::union::G0;
+use prov_bitset::{FastSet, FixedBitSet};
+
+/// Compute the simulation preorder over `g0` with the seed sweep fixpoint.
+#[allow(clippy::needless_range_loop)] // v indexes three parallel arrays
+pub fn simulation_reference(g0: &G0, direction: SimDirection) -> SimRelation {
+    let n = g0.len();
+    let adj = match direction {
+        SimDirection::Out => &g0.out_adj,
+        SimDirection::In => &g0.in_adj,
+    };
+
+    // children_by_kind[v][kind] = bitset of v's children via edges of `kind`.
+    const KINDS: usize = 5;
+    let mut children_by_kind: Vec<[Option<Box<FixedBitSet>>; KINDS]> = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut per: [Option<Box<FixedBitSet>>; KINDS] = Default::default();
+        for &(k, c) in &adj[v] {
+            per[k as usize].get_or_insert_with(|| Box::new(FixedBitSet::new(n))).insert(c);
+        }
+        children_by_kind.push(per);
+    }
+
+    // Init: sim[v] = all nodes with v's class.
+    let mut by_class: std::collections::HashMap<crate::union::ClassId, FixedBitSet> =
+        std::collections::HashMap::new();
+    for v in 0..n as u32 {
+        by_class.entry(g0.class(v)).or_insert_with(|| FixedBitSet::new(n)).insert(v);
+    }
+    let mut sim: Vec<FixedBitSet> = (0..n as u32).map(|v| by_class[&g0.class(v)].clone()).collect();
+
+    // Fixpoint: strike u from sim[v] when some labeled child of v has no
+    // simulating counterpart among u's equally-labeled children.
+    let mut changed = true;
+    let mut strike: Vec<u32> = Vec::new();
+    while changed {
+        changed = false;
+        for v in 0..n {
+            strike.clear();
+            'candidates: for u in sim[v].ones() {
+                if u as usize == v {
+                    continue;
+                }
+                for &(k, c) in &adj[v] {
+                    let ok = match &children_by_kind[u as usize][k as usize] {
+                        None => false,
+                        Some(uc) => !uc.is_disjoint(&sim[c as usize]),
+                    };
+                    if !ok {
+                        strike.push(u);
+                        continue 'candidates;
+                    }
+                }
+            }
+            if !strike.is_empty() {
+                changed = true;
+                for &u in &strike {
+                    sim[v].remove(u);
+                }
+            }
+        }
+    }
+    SimRelation::from_rows(sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::PropertyAggregation;
+    use crate::segment_ref::SegmentRef;
+    use crate::union::build_g0;
+    use prov_model::EdgeKind;
+    use prov_store::ProvGraph;
+
+    #[test]
+    fn reference_keeps_the_seed_semantics() {
+        // One segment: d <-U- t <-G- w ; second segment: d' <-U- t'.
+        let mut g = ProvGraph::new();
+        let d1 = g.add_entity("d");
+        let t1 = g.add_activity("t");
+        let w1 = g.add_entity("w");
+        let e1 = g.add_edge(EdgeKind::Used, t1, d1).unwrap();
+        let e2 = g.add_edge(EdgeKind::WasGeneratedBy, w1, t1).unwrap();
+        let d2 = g.add_entity("d");
+        let t2 = g.add_activity("t");
+        let e3 = g.add_edge(EdgeKind::Used, t2, d2).unwrap();
+        let s1 = SegmentRef::new(vec![d1, t1, w1], vec![e1, e2]);
+        let s2 = SegmentRef::new(vec![d2, t2], vec![e3]);
+        let g0 = build_g0(&g, &[s1, s2], &PropertyAggregation::ignore_all(), 0);
+        let out = simulation_reference(&g0, SimDirection::Out);
+        assert!(out.le(4, 1), "t2 ≤out t1");
+        assert!(out.le(1, 4), "t1 ≤out t2");
+        let inn = simulation_reference(&g0, SimDirection::In);
+        assert!(inn.le(2, 0), "w1 (no in-edges) ≤in d1 vacuously");
+        assert!(!inn.le(0, 2), "d1 (used by t1) not in-dominated by w1");
+    }
+}

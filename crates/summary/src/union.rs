@@ -5,7 +5,7 @@
 //! type). `g0` itself is a valid Psg — the merging phase only improves on it.
 
 use crate::aggregation::{AggLabel, PropertyAggregation};
-use crate::provtype::provenance_types;
+use crate::provtype::{provenance_types_ranked, segment_ranks};
 use crate::segment_ref::SegmentRef;
 use prov_model::VertexId;
 use prov_store::hash::FxHashMap;
@@ -78,33 +78,39 @@ pub fn build_g0(
     let mut class_ids: FxHashMap<(AggLabel, u64), ClassId> = FxHashMap::default();
     let mut class_labels: Vec<AggLabel> = Vec::new();
     let mut class_names: Vec<String> = Vec::new();
-    // node index per (segment, vertex)
-    let mut index_of: FxHashMap<(u32, VertexId), u32> = FxHashMap::default();
+    // Rank spaces: node index of (segment si, local rank r) is
+    // `seg_base[si] + r`, so the edge pass below needs no per-(segment,
+    // vertex) map — only each segment's rank assignment, built once and
+    // shared with the type refinement.
+    let mut seg_base: Vec<u32> = Vec::with_capacity(segments.len());
+    let mut seg_ranks: Vec<FxHashMap<VertexId, u32>> = Vec::with_capacity(segments.len());
 
     for (si, seg) in segments.iter().enumerate() {
-        let types = provenance_types(graph, seg, aggregation, k);
-        for &v in &seg.vertices {
+        let ranks = segment_ranks(seg);
+        let types = provenance_types_ranked(graph, seg, &ranks, aggregation, k);
+        seg_base.push(nodes.len() as u32);
+        seg_ranks.push(ranks);
+        for (r, &v) in seg.vertices.iter().enumerate() {
             let agg = aggregation.label(graph, v);
-            let key = (agg.clone(), types.fingerprint[&v]);
+            let key = (agg.clone(), types[r]);
             let next_id = ClassId(class_labels.len() as u32);
             let class = *class_ids.entry(key).or_insert_with(|| {
                 class_labels.push(agg);
                 class_names.push(graph.display_name(v));
                 next_id
             });
-            let idx = nodes.len() as u32;
             nodes.push(G0Node { segment: si as u32, vertex: v, class });
-            index_of.insert((si as u32, v), idx);
         }
     }
 
     let mut out_adj: Vec<Vec<(u8, u32)>> = vec![Vec::new(); nodes.len()];
     let mut in_adj: Vec<Vec<(u8, u32)>> = vec![Vec::new(); nodes.len()];
     for (si, seg) in segments.iter().enumerate() {
+        let (base, ranks) = (seg_base[si], &seg_ranks[si]);
         for &e in &seg.edges {
             let rec = graph.edge(e);
-            let s = index_of[&(si as u32, rec.src)];
-            let d = index_of[&(si as u32, rec.dst)];
+            let s = base + ranks[&rec.src];
+            let d = base + ranks[&rec.dst];
             out_adj[s as usize].push((rec.kind.as_index() as u8, d));
             in_adj[d as usize].push((rec.kind.as_index() as u8, s));
         }

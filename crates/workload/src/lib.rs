@@ -16,5 +16,5 @@ pub mod pd;
 pub mod sd;
 
 pub use dist::{categorical, dirichlet, gamma, poisson, standard_normal, ZipfTable};
-pub use pd::{generate_pd, sources_at_percentile, standard_query, PdParams};
+pub use pd::{generate_pd, pd_segments, sources_at_percentile, standard_query, PdParams};
 pub use sd::{generate_sd, SdOutput, SdParams, SdSegment};

@@ -22,6 +22,7 @@
 
 use crate::dist::{poisson, ZipfTable};
 use prov_model::{EdgeKind, VertexId, VertexKind};
+use prov_store::hash::FxHashSet;
 use prov_store::ProvGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -147,6 +148,57 @@ pub fn generate_pd(params: &PdParams) -> ProvGraph {
     g
 }
 
+/// Carve PgSum input segments out of a `Pd` graph: segment `i` covers the
+/// `i`-th window of `window` consecutive activities (in creation order) plus
+/// every entity its `Used` / `WasGeneratedBy` edges touch. This derives
+/// realistic "repeated pipeline stage" segment sets from the same frozen
+/// graphs the Fig. 5 sweeps use, so the `fig6` summarization benchmark can
+/// exercise PgSum on `Pd` topology without a second generator.
+///
+/// Returns at most `count` segments (fewer when the graph runs out of
+/// activities). Agent vertices and association/attribution edges stay
+/// outside the segments, matching the entity/activity shape of [`crate::sd`]
+/// segments.
+pub fn pd_segments(graph: &ProvGraph, window: usize, count: usize) -> Vec<crate::sd::SdSegment> {
+    assert!(window >= 1, "window must be positive");
+    let activities = graph.vertices_of_kind(VertexKind::Activity);
+    let mut segments = Vec::new();
+    for ci in 0..count {
+        let start = ci * window;
+        if start >= activities.len() {
+            break;
+        }
+        let acts = &activities[start..(start + window).min(activities.len())];
+        let mut vertices: Vec<VertexId> = Vec::new();
+        let mut edges = Vec::new();
+        let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+        for &a in acts {
+            if seen.insert(a) {
+                vertices.push(a);
+            }
+            // Used: activity -> entity; WasGeneratedBy: entity -> activity.
+            for (eid, rec) in graph.out_edges(a) {
+                if rec.kind == EdgeKind::Used {
+                    if seen.insert(rec.dst) {
+                        vertices.push(rec.dst);
+                    }
+                    edges.push(eid);
+                }
+            }
+            for (eid, rec) in graph.in_edges(a) {
+                if rec.kind == EdgeKind::WasGeneratedBy {
+                    if seen.insert(rec.src) {
+                        vertices.push(rec.src);
+                    }
+                    edges.push(eid);
+                }
+            }
+        }
+        segments.push(crate::sd::SdSegment { vertices, edges });
+    }
+    segments
+}
+
 /// The paper's standard query entities: the first `k` and last `k` entities of
 /// a `Pd` graph ("the most challenging PgSeg instance").
 pub fn standard_query(graph: &ProvGraph, k: usize) -> (Vec<VertexId>, Vec<VertexId>) {
@@ -185,6 +237,31 @@ mod tests {
             assert_eq!(s.agents, PdParams::with_size(n).agent_count());
             assert!(s.activities > 0 && s.entities > s.activities);
         }
+    }
+
+    #[test]
+    fn pd_segments_cover_disjoint_activity_windows() {
+        let g = generate_pd(&PdParams::with_size(500));
+        let segs = pd_segments(&g, 10, 6);
+        assert_eq!(segs.len(), 6);
+        let mut seen_acts = FxHashSet::default();
+        for seg in &segs {
+            assert!(!seg.vertices.is_empty() && !seg.edges.is_empty());
+            for &v in &seg.vertices {
+                if g.vertex_kind(v) == VertexKind::Activity {
+                    assert!(seen_acts.insert(v), "activity windows must not overlap");
+                }
+            }
+            // Every edge endpoint is inside the segment's vertex set.
+            let vset: FxHashSet<VertexId> = seg.vertices.iter().copied().collect();
+            for &e in &seg.edges {
+                let rec = g.edge(e);
+                assert!(vset.contains(&rec.src) && vset.contains(&rec.dst));
+            }
+        }
+        // Asking past the end truncates instead of panicking.
+        let all = pd_segments(&g, 1000, 5);
+        assert_eq!(all.len(), 1);
     }
 
     #[test]
