@@ -102,6 +102,28 @@ impl From<&str> for EntityRef {
 // The stats envelope
 // ---------------------------------------------------------------------------
 
+/// Cumulative snapshot-acquisition outcomes of the serving database (wire
+/// twin of [`prov_core::SnapshotCounters`]). Every query that needs a frozen
+/// snapshot resolves as exactly one reuse, one incremental refresh, or one
+/// full rebuild — so a serving-loop perf regression (refreshes silently
+/// degrading to rebuilds, reuse ratio collapsing) is visible to any client
+/// without profiling the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SnapshotActivity {
+    /// Acquisitions served by the still-fresh cached snapshot.
+    pub reuses: u64,
+    /// Acquisitions served by extending a stale snapshot from the delta log.
+    pub refreshes: u64,
+    /// Acquisitions that rebuilt the snapshot from scratch.
+    pub rebuilds: u64,
+}
+
+impl From<prov_core::SnapshotCounters> for SnapshotActivity {
+    fn from(c: prov_core::SnapshotCounters) -> Self {
+        SnapshotActivity { reuses: c.reuses, refreshes: c.refreshes, rebuilds: c.rebuilds }
+    }
+}
+
 /// Per-response measurement envelope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Stats {
@@ -111,12 +133,18 @@ pub struct Stats {
     pub vertices: usize,
     /// Edges in the result (or in the store, for ingest/import).
     pub edges: usize,
+    /// Snapshot reuse/refresh/rebuild counters at response time (cumulative
+    /// over the database's lifetime; stamped by the service). Absent on old
+    /// wires: deserializes to all-zero.
+    #[serde(default)]
+    pub snapshot: SnapshotActivity,
 }
 
 impl Stats {
-    /// Stats sized after a result; latency is stamped by the service.
+    /// Stats sized after a result; latency and snapshot counters are
+    /// stamped by the service.
     pub fn sized(vertices: usize, edges: usize) -> Stats {
-        Stats { elapsed_micros: 0, vertices, edges }
+        Stats { vertices, edges, ..Stats::default() }
     }
 
     /// Stats sized after a whole graph.
@@ -330,6 +358,11 @@ pub struct LineageRequest {
     pub entity: EntityRef,
     /// Walk direction.
     pub direction: LineageDir,
+    /// Maximum ancestry hops (one hop = one `U`/`G` edge; "k activities
+    /// away" is `2k`). Unset walks the full closure — the pre-bounded wire
+    /// shape.
+    #[serde(default)]
+    pub max_hops: Option<u32>,
 }
 
 /// Export the store as PROV-JSON-style interchange.
@@ -595,7 +628,10 @@ pub struct SummaryResponse {
 pub struct LineageResponse {
     /// The resolved start entity.
     pub entity: VertexId,
-    /// The closure, sorted by id.
+    /// The (possibly depth-bounded) closure. **Order contract**: sorted
+    /// ascending by dense vertex id, start excluded — never BFS discovery
+    /// order. Clients may rely on this (regression-tested in
+    /// `tests/service_flow.rs` and `prov_core::provdb`).
     pub vertices: Vec<VertexId>,
     /// Measurement envelope.
     pub stats: Stats,

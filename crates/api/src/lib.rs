@@ -42,8 +42,8 @@ pub use envelope::{
     ImportRequest, ImportedResponse, LineageDir, LineageRequest, LineageResponse,
     OpenSessionRequest, OutputSpecDto, PsgDto, PsgEdgeDto, PsgVertexDto, RecordActivityRequest,
     Request, Response, RestrictRequest, SegmentDto, SegmentEdgeDto, SegmentOptions, SegmentRequest,
-    SegmentResponse, SegmentVertexDto, SessionId, SessionResponse, Stats, SummarizeRequest,
-    SummaryResponse, VertexResponse,
+    SegmentResponse, SegmentVertexDto, SessionId, SessionResponse, SnapshotActivity, Stats,
+    SummarizeRequest, SummaryResponse, VertexResponse,
 };
 pub use error::{ApiError, ApiResult, ErrorCode};
 pub use service::ProvService;

@@ -76,7 +76,9 @@ impl ProvService {
     }
 
     /// Serve one request; errors become [`Response::Error`], successes carry
-    /// a [`Stats`] envelope timed by the injected clock.
+    /// a [`Stats`] envelope timed by the injected clock and stamped with the
+    /// database's snapshot reuse/refresh/rebuild counters — the serving
+    /// loop's health, observable per response.
     pub fn handle(&mut self, request: &Request) -> Response {
         let start = self.clock.now_micros();
         let mut response = match self.dispatch(request) {
@@ -86,6 +88,7 @@ impl ProvService {
         let elapsed = self.clock.now_micros().saturating_sub(start);
         if let Some(stats) = response.stats_mut() {
             stats.elapsed_micros = elapsed;
+            stats.snapshot = self.db.snapshot_counters().into();
         }
         response
     }
@@ -296,7 +299,10 @@ impl ProvService {
             LineageDir::Ancestors => LineageDirection::Ancestors,
             LineageDir::Descendants => LineageDirection::Descendants,
         };
-        let vertices = self.db.lineage(entity, direction);
+        let vertices = match r.max_hops {
+            Some(hops) => self.db.lineage_within(entity, direction, hops),
+            None => self.db.lineage(entity, direction),
+        };
         let stats = Stats::sized(vertices.len(), 0);
         Ok(Response::Lineage(LineageResponse { entity, vertices, stats }))
     }

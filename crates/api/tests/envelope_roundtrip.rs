@@ -35,7 +35,12 @@ fn full_boundary() -> BoundarySpec {
 }
 
 fn stats() -> Stats {
-    Stats { elapsed_micros: 120, vertices: 7, edges: 9 }
+    Stats {
+        elapsed_micros: 120,
+        vertices: 7,
+        edges: 9,
+        snapshot: SnapshotActivity { reuses: 40, refreshes: 2, rebuilds: 1 },
+    }
 }
 
 #[test]
@@ -90,6 +95,12 @@ fn every_request_variant_round_trips() {
     roundtrip_request(Request::Lineage(LineageRequest {
         entity: "weights-v3".into(),
         direction: LineageDir::Ancestors,
+        max_hops: None,
+    }));
+    roundtrip_request(Request::Lineage(LineageRequest {
+        entity: EntityRef::Id(VertexId::new(3)),
+        direction: LineageDir::Descendants,
+        max_hops: Some(4),
     }));
     roundtrip_request(Request::Export(ExportRequest {}));
     roundtrip_request(Request::Import(ImportRequest { json: "{\"entity\":{}}".into() }));

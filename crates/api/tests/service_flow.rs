@@ -251,6 +251,7 @@ fn unified_errors_reach_the_wire_with_codes() {
     let r = service.handle(&Request::Lineage(LineageRequest {
         entity: "nothing-v9".into(),
         direction: LineageDir::Ancestors,
+        max_hops: None,
     }));
     let Response::Error(e) = r else { panic!("expected error") };
     assert_eq!(e.code, ErrorCode::UnknownEntity);
@@ -393,4 +394,86 @@ fn export_import_round_trips_through_the_envelope() {
     // The restored service answers the same queries.
     let (_, seg) = open_session(&mut restored, "data-v1", "weights-v2");
     assert!(seg.vertices.len() >= 4);
+}
+
+#[test]
+fn lineage_is_sorted_bounded_and_counter_stamped() {
+    let mut service = ProvService::new();
+    ingest_pipeline(&mut service, 4);
+
+    // Unbounded closure: the documented wire contract is ascending-id order.
+    let r = service.handle(&Request::Lineage(LineageRequest {
+        entity: "weights-v4".into(),
+        direction: LineageDir::Ancestors,
+        max_hops: None,
+    }));
+    let full = match r {
+        Response::Lineage(l) => l,
+        other => panic!("{other:?}"),
+    };
+    assert!(full.vertices.windows(2).all(|w| w[0] < w[1]), "not sorted: {:?}", full.vertices);
+    assert!(!full.vertices.contains(&full.entity), "start vertex must be excluded");
+    assert_eq!(full.stats.vertices, full.vertices.len());
+
+    // Bounded: 2 hops = one activity away — a strict, consistent prefix.
+    let r = service.handle(&Request::Lineage(LineageRequest {
+        entity: "weights-v4".into(),
+        direction: LineageDir::Ancestors,
+        max_hops: Some(2),
+    }));
+    let near = match r {
+        Response::Lineage(l) => l,
+        other => panic!("{other:?}"),
+    };
+    assert!(near.vertices.len() < full.vertices.len());
+    assert!(near.vertices.iter().all(|v| full.vertices.contains(v)));
+
+    // The serving loop's health is on the wire: every successful response
+    // carries cumulative reuse/refresh/rebuild counters, and an
+    // ingest→query→ingest loop moves them.
+    let after_queries = near.stats.snapshot;
+    assert!(after_queries.rebuilds >= 1, "{after_queries:?}");
+    assert!(after_queries.reuses >= 1, "{after_queries:?}");
+    let r = service.handle(&Request::RecordActivity(RecordActivityRequest {
+        command: "postprocess".into(),
+        agent: None,
+        inputs: vec!["weights-v4".into()],
+        outputs: vec![OutputSpecDto { artifact: "final".into(), props: vec![] }],
+        props: vec![],
+    }));
+    assert!(!r.is_error(), "{r:?}");
+    let r = service.handle(&Request::Lineage(LineageRequest {
+        entity: "final-v1".into(),
+        direction: LineageDir::Ancestors,
+        max_hops: None,
+    }));
+    let post_ingest = match r {
+        Response::Lineage(l) => l.stats.snapshot,
+        other => panic!("{other:?}"),
+    };
+    assert!(
+        post_ingest.refreshes > after_queries.refreshes,
+        "a small post-snapshot ingest must refresh, not rebuild: \
+         {after_queries:?} -> {post_ingest:?}"
+    );
+    assert_eq!(post_ingest.rebuilds, after_queries.rebuilds);
+}
+
+#[test]
+fn stats_snapshot_field_is_optional_on_the_wire() {
+    // Old clients omit `snapshot` (and `max_hops`): both default.
+    let stats: Stats =
+        serde_json::from_str(r#"{"elapsed_micros":5,"vertices":1,"edges":2}"#).unwrap();
+    assert_eq!(stats.snapshot, SnapshotActivity::default());
+    let req: Request = serde_json::from_str(
+        r#"{"Lineage":{"entity":"weights-v1","direction":{"Ancestors":null}}}"#,
+    )
+    .unwrap_or_else(|_| {
+        serde_json::from_str(r#"{"Lineage":{"entity":"weights-v1","direction":"Ancestors"}}"#)
+            .unwrap()
+    });
+    match req {
+        Request::Lineage(l) => assert_eq!(l.max_hops, None),
+        other => panic!("{other:?}"),
+    }
 }

@@ -1,0 +1,73 @@
+//! Fig. 7 kernel benchmark: the serving-loop primitives in isolation —
+//! incremental `ProvIndex` refresh vs full rebuild after a streamed delta,
+//! and the epoch-scratch lineage BFS vs the frozen seed walk. The committed
+//! trajectory (`BENCH_fig7.json`) is produced by the `figure` binary; here
+//! Criterion keeps the kernels compiling (`cargo bench --no-run`) and
+//! profilable (`cargo bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prov_core::{lineage_over, lineage_reference, LineageBound, LineageDirection};
+use prov_model::{EdgeKind, VertexKind};
+use prov_store::{ProvGraph, ProvIndex};
+use prov_workload::{generate_pd, ActivityStream, PdParams, StreamParams};
+use std::time::Duration;
+
+/// A frozen `Pd` graph plus a copy grown by `delta` streamed activities,
+/// with the snapshot frozen at the preload cursor.
+fn grown(n: usize, delta: usize) -> (ProvGraph, ProvIndex) {
+    let base = generate_pd(&PdParams::with_size(n));
+    let stale = ProvIndex::build(&base);
+    let mut graph = base;
+    let mut pool = graph.vertices_of_kind(VertexKind::Entity).to_vec();
+    let mut stream = ActivityStream::new(StreamParams::default(), n * 4);
+    for record in stream.batch(pool.len(), delta) {
+        let a = graph.add_activity(&record.command);
+        for &r in &record.input_ranks {
+            graph.add_edge(EdgeKind::Used, a, pool[pool.len() - r]).unwrap();
+        }
+        for out in &record.outputs {
+            let e = graph.add_entity(&format!("s-{out}"));
+            graph.add_edge(EdgeKind::WasGeneratedBy, e, a).unwrap();
+            pool.push(e);
+        }
+    }
+    (graph, stale)
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_refresh");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (label, n) in [("n2k", 2_000usize), ("n10k", 10_000)] {
+        let (graph, stale) = grown(n, 64);
+        group.bench_with_input(BenchmarkId::new("refresh", label), &label, |b, _| {
+            b.iter(|| stale.refreshed(&graph))
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", label), &label, |b, _| {
+            b.iter(|| ProvIndex::build(&graph))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lineage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_lineage");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for (label, n) in [("n2k", 2_000usize), ("n10k", 10_000)] {
+        let graph = generate_pd(&PdParams::with_size(n));
+        let index = ProvIndex::build(&graph);
+        let entities = graph.vertices_of_kind(VertexKind::Entity);
+        let probe = entities[entities.len() * 9 / 10];
+        group.bench_with_input(BenchmarkId::new("epoch_bfs", label), &label, |b, _| {
+            b.iter(|| {
+                lineage_over(&index, probe, LineageDirection::Ancestors, LineageBound::Unbounded)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seed", label), &label, |b, _| {
+            b.iter(|| lineage_reference(&index, probe, LineageDirection::Ancestors))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh, bench_lineage);
+criterion_main!(benches);

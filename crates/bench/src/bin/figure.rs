@@ -14,15 +14,20 @@
 //!
 //! # The summarization trajectory (`fig6` shorthand for 6a 6b 6c):
 //! cargo run -p prov-bench --release -- --quick fig6 --json BENCH_fig6.json
+//!
+//! # The serving-loop trajectory (`fig7` shorthand for 7a 7b 7c):
+//! cargo run -p prov-bench --release -- --quick fig7 --json BENCH_fig7.json
 //! ```
 //!
 //! With `--baseline`, the process exits non-zero when any matched series
 //! point regressed more than [`prov_bench::REGRESSION_FACTOR`]× — the CI
-//! perf gate.
+//! perf gate. Bench mode always prints the compact trajectory summary table
+//! (largest point per series, speedup vs the figure's reference series and
+//! vs the committed baseline) so the CI job log is readable on its own.
 
 use prov_bench::{
     run_figure_with_caches, BenchReport, FigureResult, PdCache, Scale, SdCache, ALL_FIGURES,
-    BENCH_FIGURES, FIG6_FIGURES,
+    BENCH_FIGURES, FIG6_FIGURES, FIG7_FIGURES,
 };
 
 struct Cli {
@@ -68,15 +73,13 @@ fn main() {
     } else if cli.ids.iter().any(|i| i == "all") {
         ALL_FIGURES.iter().map(|s| s.to_string()).collect()
     } else {
-        // `fig6` expands to the summarization trajectory subset.
+        // `fig6`/`fig7` expand to their trajectory subsets.
         cli.ids
             .iter()
-            .flat_map(|id| {
-                if id == "fig6" {
-                    FIG6_FIGURES.iter().map(|s| s.to_string()).collect()
-                } else {
-                    vec![id.clone()]
-                }
+            .flat_map(|id| match id.as_str() {
+                "fig6" => FIG6_FIGURES.iter().map(|s| s.to_string()).collect(),
+                "fig7" => FIG7_FIGURES.iter().map(|s| s.to_string()).collect(),
+                _ => vec![id.clone()],
             })
             .collect()
     };
@@ -94,7 +97,9 @@ fn main() {
                 figures.push(fig);
             }
             None => {
-                eprintln!("unknown figure id {id:?}; valid: {ALL_FIGURES:?}, `fig6`, or `all`");
+                eprintln!(
+                    "unknown figure id {id:?}; valid: {ALL_FIGURES:?}, `fig6`, `fig7`, or `all`"
+                );
                 std::process::exit(2);
             }
         }
@@ -121,7 +126,7 @@ fn main() {
         }
         println!("wrote {path} ({} figures)", report.figures.len());
     }
-    if let Some(path) = &cli.baseline {
+    let baseline = cli.baseline.as_ref().map(|path| {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -129,14 +134,20 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let baseline = match BenchReport::from_json(&text) {
+        match BenchReport::from_json(&text) {
             Ok(b) => b,
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
-        };
-        let regressions = report.regressions_against(&baseline);
+        }
+    });
+    // The compact per-figure trajectory summary: always printed in bench
+    // mode so a CI job log carries the perf story without artifacts.
+    print!("{}", report.summary_table(baseline.as_ref()));
+    if let Some(baseline) = &baseline {
+        let path = cli.baseline.as_deref().unwrap_or_default();
+        let regressions = report.regressions_against(baseline);
         if regressions.is_empty() {
             println!("perf gate: OK (no series regressed beyond the committed baseline)");
         } else {

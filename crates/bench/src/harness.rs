@@ -156,6 +156,23 @@ pub struct PdInstance {
     vdst: Vec<VertexId>,
 }
 
+impl PdInstance {
+    /// The generated graph.
+    pub fn graph(&self) -> &ProvGraph {
+        &self.graph
+    }
+
+    /// The frozen CSR snapshot of [`PdInstance::graph`].
+    pub fn index(&self) -> &ProvIndex {
+        &self.index
+    }
+
+    /// The paper's standard first/last-entity query `(Vsrc, Vdst)`.
+    pub fn query(&self) -> (&[VertexId], &[VertexId]) {
+        (&self.vsrc, &self.vdst)
+    }
+}
+
 /// Cache key: the exact `PdParams` bits (f64 fields by `to_bits`).
 type PdKey = (usize, u64, u64, u64, u64, u64);
 
@@ -796,14 +813,17 @@ pub fn run_figure_with_caches(
         "6a" => fig6a_cached(scale, sd),
         "6b" => fig6b_cached(scale, sd),
         "6c" => fig6c_cached(scale, pd),
+        "7a" => crate::fig7::fig7a_cached(scale, pd),
+        "7b" => crate::fig7::fig7b_cached(scale, pd),
+        "7c" => crate::fig7::fig7c_cached(scale, pd),
         _ => return None,
     })
 }
 
-/// All figure ids in paper order (plus the worklist ablation and the
-/// summarization runtime sweeps).
-pub const ALL_FIGURES: [&str; 12] =
-    ["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "6a", "6b", "6c"];
+/// All figure ids in paper order (plus the worklist ablation, the
+/// summarization runtime sweeps, and the serving-loop sweeps).
+pub const ALL_FIGURES: [&str; 15] =
+    ["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "6a", "6b", "6c", "7a", "7b", "7c"];
 
 /// The ids the JSON bench mode runs by default: the runtime sweeps
 /// Fig. 5(a)–(d) and the worklist ablation — the repo's per-PR perf
@@ -813,6 +833,12 @@ pub const BENCH_FIGURES: [&str; 5] = ["5a", "5b", "5c", "5d", "wl"];
 /// The summarization trajectory committed as `BENCH_fig6.json`: pSum vs the
 /// frozen seed PgSum pipeline vs the counting/quotient-incremental rewrite.
 pub const FIG6_FIGURES: [&str; 3] = ["6a", "6b", "6c"];
+
+/// The serving-loop trajectory committed as `BENCH_fig7.json`: the
+/// ingest/query interleave (rebuild-every-batch vs incremental refresh),
+/// the lineage latency sweep (seed walk vs epoch-scratch BFS), and the
+/// session-open acquisition sweep.
+pub const FIG7_FIGURES: [&str; 3] = ["7a", "7b", "7c"];
 
 #[cfg(test)]
 mod tests {
@@ -897,14 +923,20 @@ mod tests {
         assert!(run_figure("9z", Scale::Quick).is_none());
         for id in ALL_FIGURES {
             // Only check resolvability, not execution (expensive).
-            assert!(["5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "6a", "6b", "6c"]
-                .contains(&id));
+            assert!([
+                "5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "6a", "6b", "6c", "7a", "7b",
+                "7c"
+            ]
+            .contains(&id));
         }
         for id in BENCH_FIGURES {
             assert!(ALL_FIGURES.contains(&id), "bench subset must stay resolvable");
         }
         for id in FIG6_FIGURES {
             assert!(ALL_FIGURES.contains(&id), "fig6 subset must stay resolvable");
+        }
+        for id in FIG7_FIGURES {
+            assert!(ALL_FIGURES.contains(&id), "fig7 subset must stay resolvable");
         }
     }
 

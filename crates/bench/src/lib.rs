@@ -6,19 +6,26 @@
 //!   (`6a`–`6c`: pSum vs seed PgSum vs the counting/quotient-incremental
 //!   rewrite), and the shared [`PdCache`] / [`SdCache`] so a batch run
 //!   freezes each workload once;
-//! * [`report`] — the `BENCH_fig5.json` / `BENCH_fig6.json` document model
-//!   and the >2× regression gate CI applies against the committed baselines;
+//! * [`fig7`] — the serving-loop sweeps (`7a`–`7c`: ingest/query
+//!   interleaving, lineage latency, session-open latency) driven over a live
+//!   `ProvDb`, committed as `BENCH_fig7.json`;
+//! * [`report`] — the `BENCH_fig5.json` / `BENCH_fig6.json` /
+//!   `BENCH_fig7.json` document model, the >2× regression gate CI applies
+//!   against the committed baselines, and the per-figure trajectory summary
+//!   table printed into the CI job log;
 //! * `src/bin/figure.rs` — CLI that regenerates any figure
 //!   (`cargo run -p prov-bench --release --bin figure -- 5a`) and the JSON
 //!   bench mode (`cargo run -p prov-bench --release -- --quick --json
 //!   BENCH_fig5.json`);
 //! * `benches/` — Criterion micro-benchmarks over the same kernels.
 
+pub mod fig7;
 pub mod harness;
 pub mod report;
 
+pub use fig7::{fig7a, fig7b, fig7c};
 pub use harness::{
-    run_figure, run_figure_cached, run_figure_with_caches, FigureResult, PdCache, Point, Scale,
-    SdCache, Series, ALL_FIGURES, BENCH_FIGURES, FIG6_FIGURES,
+    run_figure, run_figure_cached, run_figure_with_caches, FigureResult, PdCache, PdInstance,
+    Point, Scale, SdCache, Series, ALL_FIGURES, BENCH_FIGURES, FIG6_FIGURES, FIG7_FIGURES,
 };
 pub use report::{BenchReport, REGRESSION_FACTOR, REGRESSION_FLOOR_SECS};

@@ -1,13 +1,16 @@
-//! `BENCH_fig5.json` / `BENCH_fig6.json`: the machine-readable benchmark
-//! trajectories.
+//! `BENCH_fig5.json` / `BENCH_fig6.json` / `BENCH_fig7.json`: the
+//! machine-readable benchmark trajectories.
 //!
 //! Every PR regenerates these reports — the quick-scale Fig. 5(a)–(d)
-//! sweeps plus the worklist comparison (`wl`) in `BENCH_fig5.json`, and the
+//! sweeps plus the worklist comparison (`wl`) in `BENCH_fig5.json`, the
 //! summarization sweeps (`6a`–`6c`: pSum vs seed PgSum vs the rewritten
-//! PgSum) in `BENCH_fig6.json` — giving the repo perf trajectories the CI
-//! can gate on: a fresh run is compared point-by-point against the committed
-//! baseline and any series that regresses beyond the configured factor fails
-//! the build.
+//! PgSum) in `BENCH_fig6.json`, and the serving-loop sweeps (`7a`–`7c`:
+//! ingest/query interleave, lineage latency, session-open latency) in
+//! `BENCH_fig7.json` — giving the repo perf trajectories the CI can gate
+//! on: a fresh run is compared point-by-point against the committed
+//! baseline and any series that regresses beyond the configured factor
+//! fails the build. [`BenchReport::summary_table`] renders the same data as
+//! a compact per-figure table for the job log.
 
 use crate::harness::{FigureResult, Scale};
 use serde::{Deserialize, Serialize};
@@ -153,6 +156,71 @@ impl BenchReport {
         out
     }
 
+    /// Compact per-figure trajectory summary: for every series, its
+    /// largest-x measured point, the speedup against the figure's *first*
+    /// series at that x (the reference/baseline method of the figure — e.g.
+    /// `Rebuild` in 7a, `SeedLoop` in `wl`, `pSum` in fig6), and, when a
+    /// committed `baseline` report is supplied, the speedup against the same
+    /// point of that baseline. Printed into the CI job log so the perf
+    /// history reads without downloading artifacts.
+    pub fn summary_table(&self, baseline: Option<&BenchReport>) -> String {
+        fn fmt_secs(secs: f64) -> String {
+            if secs < 0.001 {
+                format!("{:.1}us", secs * 1e6)
+            } else if secs < 1.0 {
+                format!("{:.2}ms", secs * 1e3)
+            } else {
+                format!("{secs:.2}s")
+            }
+        }
+        fn fmt_ratio(r: Option<f64>) -> String {
+            match r {
+                Some(r) => format!("{r:.2}x"),
+                None => "-".into(),
+            }
+        }
+        let mut out = String::from("trajectory summary (largest measured point per series):\n");
+        out.push_str(&format!(
+            "{:<5}{:<20}{:>10}{:>12}{:>10}{:>14}\n",
+            "fig", "series", "x", "secs", "vs-ref", "vs-baseline"
+        ));
+        for fig in &self.figures {
+            // The figure's reference series: its first series' secs by x.
+            let reference = fig.series.first();
+            for series in &fig.series {
+                // Largest x with a measured (non-DNF) timing.
+                let Some(point) = series
+                    .points
+                    .iter()
+                    .filter(|p| p.secs.is_some())
+                    .max_by(|a, b| a.x.total_cmp(&b.x))
+                else {
+                    continue;
+                };
+                let secs = point.secs.expect("filtered on measured");
+                let at_x = |s: &SeriesJson| {
+                    s.points.iter().find(|p| (p.x - point.x).abs() < 1e-9).and_then(|p| p.secs)
+                };
+                let vs_ref = reference.and_then(at_x).map(|r| r / secs);
+                let vs_baseline = baseline
+                    .and_then(|b| b.figures.iter().find(|f| f.id == fig.id))
+                    .and_then(|f| f.series.iter().find(|s| s.name == series.name))
+                    .and_then(at_x)
+                    .map(|then| then / secs);
+                out.push_str(&format!(
+                    "{:<5}{:<20}{:>10}{:>12}{:>10}{:>14}\n",
+                    fig.id,
+                    series.name,
+                    point.x,
+                    fmt_secs(secs),
+                    fmt_ratio(vs_ref),
+                    fmt_ratio(vs_baseline)
+                ));
+            }
+        }
+        out
+    }
+
     /// Compare this (fresh) report against a committed baseline. Returns one
     /// message per regressed point; empty means the gate passes.
     ///
@@ -254,6 +322,30 @@ mod tests {
         let mut renamed = report(&[9.0, 0.1, 0.1]);
         renamed.figures[0].series[0].name = "other".into();
         assert!(renamed.regressions_against(&baseline).is_empty());
+    }
+
+    #[test]
+    fn summary_table_reports_largest_point_and_speedups() {
+        // series0 = 0.2s (the reference), series1 = 0.05s at the largest
+        // measured x (the 5000-point is DNF, so 1000 is the largest).
+        let fresh = report(&[0.2, 0.05]);
+        let table = fresh.summary_table(None);
+        assert!(table.contains("trajectory summary"), "{table}");
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2 + 2, "header + one row per series: {table}");
+        let s0 = lines[2];
+        let s1 = lines[3];
+        assert!(s0.contains("series0") && s0.contains("1.00x"), "{s0}");
+        // 0.2 / 0.05 = 4x faster than the reference series.
+        assert!(s1.contains("series1") && s1.contains("4.00x"), "{s1}");
+        assert!(s1.contains("50.00ms"), "{s1}");
+        // vs-baseline column: dash without a baseline...
+        assert!(s0.trim_end().ends_with('-'), "{s0}");
+        // ...and then/now with one (baseline 0.1 vs now 0.2 → 0.50x).
+        let with_base = fresh.summary_table(Some(&report(&[0.1, 0.1])));
+        let lines: Vec<&str> = with_base.lines().collect();
+        assert!(lines[2].contains("0.50x"), "{}", lines[2]);
+        assert!(lines[3].contains("2.00x"), "{}", lines[3]);
     }
 
     #[test]

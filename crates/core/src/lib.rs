@@ -26,10 +26,14 @@
 //! ```
 
 pub mod example_graph;
+pub mod lineage;
 pub mod provdb;
 
 pub use example_graph::{fig2, fig3, Example};
-pub use provdb::{ActivityOutcome, ActivityRecord, LineageDirection, OutputSpec, ProvDb};
+pub use lineage::{lineage_over, lineage_reference, LineageBound, LineageDirection};
+pub use provdb::{
+    ActivityOutcome, ActivityRecord, OutputSpec, ProvDb, SnapshotCounters, SnapshotPolicy,
+};
 
 // Re-export the operator crates under one roof for downstream convenience.
 pub use prov_bitset as bitset;

@@ -5,11 +5,14 @@
 //! the query facilities (PgSeg segmentation, PgSum summarization, lineage and
 //! pattern matching) over the embedded property graph store.
 
+use crate::lineage::{lineage_over, LineageBound};
+pub use crate::lineage::{lineage_reference, LineageDirection};
 use prov_model::{PropValue, VertexId, VertexKind};
 use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
 use prov_store::hash::FxHashMap;
 use prov_store::{ProvGraph, ProvIndex, SharedIndex, StoreResult};
 use prov_summary::{pgsum, PgSumQuery, Psg, SegmentRef};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Description of one artifact an activity generates.
@@ -58,13 +61,48 @@ pub struct ActivityOutcome {
     pub outputs: Vec<VertexId>,
 }
 
-/// Which way a lineage traversal walks the ancestry relations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LineageDirection {
-    /// Transitive inputs: walk `used`/`wasGeneratedBy` upstream.
-    Ancestors,
-    /// Transitive products: walk the same relations downstream.
-    Descendants,
+/// When a query needs a snapshot and the cached one is stale, how large may
+/// the append-only delta be (relative to the frozen prefix) before the
+/// incremental [`ProvIndex::refresh_in_place`] stops paying and the database
+/// falls back to a full rebuild?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotPolicy {
+    /// Maximum [`prov_store::GraphDelta::fraction`] still refreshed
+    /// incrementally; anything larger rebuilds. `0.0` disables refresh
+    /// entirely (the rebuild-every-batch baseline the fig7 benchmark gates
+    /// against); the default `0.5` refreshes until the delta reaches half
+    /// the frozen graph.
+    pub max_refresh_fraction: f64,
+}
+
+impl Default for SnapshotPolicy {
+    fn default() -> Self {
+        SnapshotPolicy { max_refresh_fraction: 0.5 }
+    }
+}
+
+impl SnapshotPolicy {
+    /// The pre-incremental behavior: every stale snapshot is rebuilt from
+    /// scratch. Kept as the observable baseline for benchmarks and tests.
+    pub fn rebuild_always() -> Self {
+        SnapshotPolicy { max_refresh_fraction: 0.0 }
+    }
+}
+
+/// How the database has been serving snapshot acquisitions: every
+/// [`ProvDb::snapshot`] call resolves as exactly one of these three
+/// outcomes. Exposed on the wire through the service `Stats` envelope so a
+/// serving-loop regression (e.g. a refresh path silently degrading to
+/// rebuilds) is observable without profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotCounters {
+    /// The cached snapshot was still fresh and was handed out as-is.
+    pub reuses: u64,
+    /// A stale snapshot was extended incrementally from the delta log.
+    pub refreshes: u64,
+    /// A snapshot was built from scratch (cold start, oversized delta, or
+    /// `max_refresh_fraction` = 0).
+    pub rebuilds: u64,
 }
 
 /// The lifecycle provenance management system facade.
@@ -74,12 +112,24 @@ pub enum LineageDirection {
 /// [`ProvDb::segment_session`] are `'static` (they pin the snapshot they were
 /// opened against), and mutations copy-on-write only when a live session
 /// still holds the previous graph.
+///
+/// Snapshot lifecycle (DESIGN.md §6): mutations no longer invalidate the
+/// cached snapshot — freshness is the cursor equality test
+/// [`ProvIndex::is_fresh`], so the stale snapshot stays in the slot and the
+/// next acquisition *extends* it from the append-only delta
+/// ([`ProvIndex::refresh_in_place`]) instead of rebuilding, falling back to
+/// a full build only when the delta outgrows the [`SnapshotPolicy`]
+/// threshold. Every acquisition bumps exactly one [`SnapshotCounters`] slot.
 #[derive(Debug, Default)]
 pub struct ProvDb {
     graph: Arc<ProvGraph>,
     index: RwLock<Option<SharedIndex>>,
     /// Next version number per artifact name.
     versions: FxHashMap<String, u32>,
+    policy: SnapshotPolicy,
+    reuses: AtomicU64,
+    refreshes: AtomicU64,
+    rebuilds: AtomicU64,
 }
 
 impl ProvDb {
@@ -90,7 +140,28 @@ impl ProvDb {
 
     /// Wrap an existing provenance graph.
     pub fn from_graph(graph: ProvGraph) -> Self {
-        ProvDb { graph: Arc::new(graph), index: RwLock::new(None), versions: FxHashMap::default() }
+        ProvDb { graph: Arc::new(graph), ..ProvDb::default() }
+    }
+
+    /// The snapshot refresh-vs-rebuild policy in force.
+    pub fn snapshot_policy(&self) -> SnapshotPolicy {
+        self.policy
+    }
+
+    /// Replace the snapshot policy (e.g. [`SnapshotPolicy::rebuild_always`]
+    /// for baseline measurements).
+    pub fn set_snapshot_policy(&mut self, policy: SnapshotPolicy) {
+        self.policy = policy;
+    }
+
+    /// Cumulative snapshot acquisition outcomes since this database was
+    /// created (reuse / incremental refresh / full rebuild).
+    pub fn snapshot_counters(&self) -> SnapshotCounters {
+        SnapshotCounters {
+            reuses: self.reuses.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+        }
     }
 
     /// The underlying store (read-only).
@@ -104,28 +175,85 @@ impl ProvDb {
         Arc::clone(&self.graph)
     }
 
-    /// The frozen snapshot, rebuilt lazily after mutations and shared by all
-    /// queries and sessions opened since the last mutation.
+    /// The frozen snapshot, shared by all queries and sessions opened since
+    /// the last mutation.
+    ///
+    /// Acquisition outcomes, cheapest first (each bumps its
+    /// [`SnapshotCounters`] slot):
+    ///
+    /// 1. **reuse** — the cached snapshot's cursor equals the graph's: hand
+    ///    it out under the read lock (the steady-state query path);
+    /// 2. **refresh** — the graph grew within the policy threshold: extend
+    ///    the stale snapshot from the delta log, in place when nothing else
+    ///    pins it, on a column copy when live sessions do (their pinned
+    ///    snapshot is immutable either way);
+    /// 3. **rebuild** — cold start or oversized delta: full
+    ///    [`ProvIndex::build`].
     pub fn snapshot(&self) -> SharedIndex {
+        let cursor = self.graph.cursor();
         if let Some(idx) = self.index.read().expect("index lock").as_ref() {
-            return Arc::clone(idx);
+            if idx.cursor() == cursor {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(idx);
+            }
         }
-        let built = ProvIndex::build_shared(&self.graph);
         let mut slot = self.index.write().expect("index lock");
-        // Another caller may have raced us here; keep whichever landed first
-        // (both were built from the same frozen graph).
-        slot.get_or_insert(built).clone()
+        // Re-check under the write lock: a racing caller may have already
+        // brought the slot up to date (all callers see the same frozen
+        // graph, so whichever lands is correct).
+        if let Some(idx) = slot.as_ref() {
+            if idx.cursor() == cursor {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(idx);
+            }
+        }
+        let refreshable = slot.as_ref().is_some_and(|stale| {
+            let at = stale.cursor();
+            // A cursor beyond the graph's log means the store was swapped
+            // out from under us (`with_graph_mut` misuse) — never refresh
+            // from it.
+            at.vertices <= cursor.vertices
+                && at.edges <= cursor.edges
+                && self.graph.delta_since(at).fraction() <= self.policy.max_refresh_fraction
+        });
+        let next = if refreshable {
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+            let stale = slot.take().expect("refreshable implies a cached snapshot");
+            Arc::new(match Arc::try_unwrap(stale) {
+                // Sole owner: extend the columns in place, no copy at all.
+                Ok(mut owned) => {
+                    owned.refresh_in_place(&self.graph);
+                    owned
+                }
+                // Pinned by live sessions: extend a copy, leave theirs be.
+                Err(shared) => shared.refreshed(&self.graph),
+            })
+        } else {
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            ProvIndex::build_shared(&self.graph)
+        };
+        *slot = Some(Arc::clone(&next));
+        next
     }
 
-    /// Mutable access to the store: invalidates the cached snapshot and
-    /// copy-on-writes the graph if a live session still references it.
+    /// Mutable access to the store: copy-on-writes the graph if a live
+    /// session still references it. The cached snapshot is left in place —
+    /// it self-identifies as stale by cursor and is refreshed or rebuilt on
+    /// the next acquisition.
     fn graph_mut(&mut self) -> &mut ProvGraph {
-        self.touch();
         Arc::make_mut(&mut self.graph)
     }
 
-    fn touch(&mut self) {
-        *self.index.write().expect("index lock") = None;
+    /// Run a closure with mutable access to the underlying store — the
+    /// escape hatch for ingestion shapes [`ProvDb::record_activity`] does
+    /// not cover (bulk loads, test drivers). Copy-on-write semantics match
+    /// every other mutation: live sessions keep their pinned graph.
+    ///
+    /// Contract: the closure must only *append* (the store is an append-only
+    /// log; [`ProvGraph`] offers nothing else). Swapping the graph wholesale
+    /// breaks snapshot freshness tracking — replace the database instead.
+    pub fn with_graph_mut<R>(&mut self, f: impl FnOnce(&mut ProvGraph) -> R) -> R {
+        f(self.graph_mut())
     }
 
     // ------------------------------------------------------------------
@@ -295,28 +423,32 @@ impl ProvDb {
     /// Transitive closure over the ancestry relations (`U`/`G` edges) in the
     /// given direction — the shared engine behind [`ProvDb::ancestors_of`]
     /// and [`ProvDb::descendants_of`].
+    ///
+    /// **Order contract** (wire-stable, part of the service envelope): the
+    /// result is sorted ascending by dense vertex id and excludes the start
+    /// vertex. BFS discovery order is an implementation detail of the
+    /// epoch-scratch engine ([`crate::lineage`]) and never escapes; callers
+    /// and examples may rely on the sorted order.
     pub fn lineage(&self, e: VertexId, direction: LineageDirection) -> Vec<VertexId> {
-        let index = self.snapshot();
-        let view = prov_segment::MaskedGraph::unmasked(&index);
-        let mut seen = vec![false; index.vertex_count()];
-        let mut stack = vec![e];
-        seen[e.index()] = true;
-        let mut out = Vec::new();
-        while let Some(v) = stack.pop() {
-            let mut visit = |w: VertexId| {
-                if !seen[w.index()] {
-                    seen[w.index()] = true;
-                    out.push(w);
-                    stack.push(w);
-                }
-            };
-            match direction {
-                LineageDirection::Ancestors => view.upstream(v).for_each(&mut visit),
-                LineageDirection::Descendants => view.downstream(v).for_each(&mut visit),
-            }
-        }
-        out.sort_unstable();
-        out
+        lineage_over(&self.snapshot(), e, direction, LineageBound::Unbounded)
+    }
+
+    /// Depth-bounded lineage: every vertex within `max_hops` ancestry hops
+    /// (one hop = one `U`/`G` edge, so "k activities away" is `2k` hops).
+    /// Same order contract as [`ProvDb::lineage`].
+    pub fn lineage_within(
+        &self,
+        e: VertexId,
+        direction: LineageDirection,
+        max_hops: u32,
+    ) -> Vec<VertexId> {
+        lineage_over(&self.snapshot(), e, direction, LineageBound::Within(max_hops))
+    }
+
+    /// The k-hop ring: only the vertices at *exactly* `hops` ancestry hops
+    /// from `e` (BFS distance). Same order contract as [`ProvDb::lineage`].
+    pub fn k_hop(&self, e: VertexId, direction: LineageDirection, hops: u32) -> Vec<VertexId> {
+        lineage_over(&self.snapshot(), e, direction, LineageBound::Exactly(hops))
     }
 
     /// All ancestors of an entity (transitive inputs through `U`/`G` edges).
@@ -417,6 +549,154 @@ mod tests {
         let desc = db.descendants_of(data);
         assert!(desc.contains(&weights));
         assert!(!db.ancestors_of(data).contains(&weights));
+    }
+
+    /// Regression for the wire order contract: lineage output is sorted
+    /// ascending by id, never BFS discovery order, and matches the frozen
+    /// seed implementation exactly.
+    #[test]
+    fn lineage_output_is_sorted_not_discovery_ordered() {
+        let (mut db, data, weights) = small_project();
+        // A second generation whose activity is discovered before its
+        // (lower-id) sibling inputs, so BFS discovery order != id order.
+        let out = db
+            .record_activity(ActivityRecord {
+                command: "eval".into(),
+                agent: None,
+                inputs: vec![weights, data],
+                outputs: vec![OutputSpec::named("report")],
+                props: vec![],
+            })
+            .unwrap();
+        let report = out.outputs[0];
+        let anc = db.ancestors_of(report);
+        assert!(anc.windows(2).all(|w| w[0] < w[1]), "not ascending: {anc:?}");
+        assert!(anc.contains(&data) && anc.contains(&weights));
+        assert!(!anc.contains(&report), "start vertex must be excluded");
+        // Differential vs the frozen seed path on the same snapshot.
+        let idx = db.snapshot();
+        for dir in [LineageDirection::Ancestors, LineageDirection::Descendants] {
+            for v in [data, weights, report] {
+                assert_eq!(db.lineage(v, dir), lineage_reference(&idx, v, dir));
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_lineage_and_k_hop_respect_hop_semantics() {
+        let (db, data, weights) = small_project();
+        // weights <-G- train <-U- data: 2 hops from weights up to data.
+        assert_eq!(db.lineage_within(weights, LineageDirection::Ancestors, 0), vec![]);
+        let one = db.lineage_within(weights, LineageDirection::Ancestors, 1);
+        assert!(!one.contains(&data), "data is 2 hops away");
+        let two = db.lineage_within(weights, LineageDirection::Ancestors, 2);
+        assert!(two.contains(&data));
+        assert_eq!(db.k_hop(weights, LineageDirection::Ancestors, 2), vec![data]);
+        assert!(db.k_hop(weights, LineageDirection::Ancestors, 9).is_empty());
+        // Unbounded == a large-enough bound.
+        assert_eq!(
+            db.lineage_within(weights, LineageDirection::Ancestors, 100),
+            db.ancestors_of(weights)
+        );
+    }
+
+    #[test]
+    fn snapshot_counters_track_reuse_refresh_rebuild() {
+        let (mut db, data, weights) = small_project();
+        assert_eq!(db.snapshot_counters(), SnapshotCounters::default());
+        // Grow the frozen prefix so a one-activity delta stays well under
+        // the default 0.5 refresh threshold.
+        for i in 0..6 {
+            db.record_activity(ActivityRecord {
+                command: format!("prep{i}"),
+                agent: None,
+                inputs: vec![data],
+                outputs: vec![OutputSpec::named("prep")],
+                props: vec![],
+            })
+            .unwrap();
+        }
+        // Cold start: the first acquisition is a rebuild, the second a reuse.
+        let _ = db.snapshot();
+        let _ = db.snapshot();
+        let c = db.snapshot_counters();
+        assert_eq!((c.rebuilds, c.refreshes, c.reuses), (1, 0, 1));
+        // A small ingest leaves the stale snapshot refreshable.
+        db.record_activity(ActivityRecord {
+            command: "tweak".into(),
+            agent: None,
+            inputs: vec![data],
+            outputs: vec![OutputSpec::named("weights")],
+            props: vec![],
+        })
+        .unwrap();
+        let refreshed = db.snapshot();
+        let c = db.snapshot_counters();
+        assert_eq!((c.rebuilds, c.refreshes, c.reuses), (1, 1, 1));
+        // The refreshed snapshot equals a reference rebuild.
+        assert_eq!(*refreshed, ProvIndex::build(db.graph()));
+        // Rebuild-always policy: the same situation rebuilds instead.
+        db.set_snapshot_policy(SnapshotPolicy::rebuild_always());
+        db.record_activity(ActivityRecord {
+            command: "tweak".into(),
+            agent: None,
+            inputs: vec![weights],
+            outputs: vec![OutputSpec::named("weights")],
+            props: vec![],
+        })
+        .unwrap();
+        let _ = db.snapshot();
+        let c = db.snapshot_counters();
+        assert_eq!((c.rebuilds, c.refreshes, c.reuses), (2, 1, 1));
+        // An oversized delta under the default policy also rebuilds.
+        let mut db2 = ProvDb::new();
+        let a = db2.add_agent("a").unwrap();
+        let _ = db2.snapshot();
+        for _ in 0..50 {
+            db2.add_artifact_version("blob", Some(a)).unwrap();
+        }
+        let _ = db2.snapshot();
+        assert_eq!(db2.snapshot_counters().rebuilds, 2, "50x growth must not refresh");
+    }
+
+    #[test]
+    fn refresh_under_pinned_session_leaves_the_pin_untouched() {
+        let (mut db, data, weights) = small_project();
+        let session = db
+            .segment_session(
+                PgSegQuery::between(vec![data], vec![weights]),
+                &PgSegOptions::default(),
+            )
+            .unwrap();
+        let pinned_n = session.index().vertex_count();
+        db.record_activity(ActivityRecord {
+            command: "tweak".into(),
+            agent: None,
+            inputs: vec![data],
+            outputs: vec![OutputSpec::named("extra")],
+            props: vec![],
+        })
+        .unwrap();
+        // The session pins the old snapshot, so the refresh copies.
+        let fresh = db.snapshot();
+        assert_eq!(db.snapshot_counters().refreshes, 1);
+        assert_eq!(session.index().vertex_count(), pinned_n, "pinned snapshot must not move");
+        assert!(fresh.vertex_count() > pinned_n);
+        assert_eq!(*fresh, ProvIndex::build(db.graph()));
+    }
+
+    #[test]
+    fn with_graph_mut_appends_are_picked_up_by_refresh() {
+        let (mut db, data, _) = small_project();
+        let v = db.with_graph_mut(|g| {
+            let t = g.add_activity("bulk");
+            let w = g.add_entity("bulk-out");
+            g.add_edge(prov_model::EdgeKind::Used, t, data).unwrap();
+            g.add_edge(prov_model::EdgeKind::WasGeneratedBy, w, t).unwrap();
+            w
+        });
+        assert!(db.descendants_of(data).contains(&v));
+        assert_eq!(*db.snapshot(), ProvIndex::build(db.graph()));
     }
 
     #[test]

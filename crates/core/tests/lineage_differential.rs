@@ -1,0 +1,52 @@
+//! Epoch-scratch lineage differential (ISSUE 5): the allocation-free BFS
+//! engine must answer exactly like the frozen seed path on random `Pd`
+//! workloads — same sorted closure, both directions, from entity and
+//! activity starts alike — and its bounded variants must be consistent
+//! prefixes/rings of the unbounded walk.
+
+use proptest::prelude::*;
+use prov_core::{lineage_over, lineage_reference, LineageBound, LineageDirection};
+use prov_model::VertexKind;
+use prov_store::ProvIndex;
+use prov_workload::{generate_pd, PdParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn epoch_bfs_matches_seed_lineage_on_pd(
+        n in 60usize..400,
+        seed in 0u64..1_000,
+        se in 1.1f64..2.1,
+        start_pick in any::<prop::sample::Index>(),
+        kind_pick in 0usize..2,
+    ) {
+        let graph = generate_pd(&PdParams { n, seed, se, ..PdParams::default() });
+        let idx = ProvIndex::build(&graph);
+        let kind = [VertexKind::Entity, VertexKind::Activity][kind_pick];
+        let of_kind = graph.vertices_of_kind(kind);
+        // Pd always seeds entities and at least one activity.
+        prop_assert!(!of_kind.is_empty());
+        let start = *start_pick.get(of_kind);
+        for dir in [LineageDirection::Ancestors, LineageDirection::Descendants] {
+            let new = lineage_over(&idx, start, dir, LineageBound::Unbounded);
+            let old = lineage_reference(&idx, start, dir);
+            prop_assert_eq!(&new, &old, "closure diverged at {} {:?}", start, dir);
+            prop_assert!(new.windows(2).all(|w| w[0] < w[1]), "unsorted");
+
+            // Within(d) is monotone in d and reaches the closure; Exactly(d)
+            // rings partition Within's increments.
+            let mut prev = Vec::new();
+            for d in 1..=8u32 {
+                let within = lineage_over(&idx, start, dir, LineageBound::Within(d));
+                prop_assert!(prev.iter().all(|v| within.contains(v)), "Within not monotone");
+                let ring = lineage_over(&idx, start, dir, LineageBound::Exactly(d));
+                let grew: Vec<_> =
+                    within.iter().filter(|v| !prev.contains(v)).copied().collect();
+                prop_assert_eq!(&ring, &grew, "ring {} != Within increment", d);
+                prev = within;
+            }
+            prop_assert!(prev.iter().all(|v| new.contains(v)), "Within(8) ⊄ closure");
+        }
+    }
+}

@@ -46,6 +46,72 @@ pub struct EdgeRecord {
     pub props: PropMap,
 }
 
+/// Position in a [`ProvGraph`]'s append-only vertex/edge log.
+///
+/// The store never deletes or reorders: vertices and edges live in columnar
+/// `Vec`s that only grow at the tail, so the columns *are* the delta log and
+/// a cursor — one watermark per column — identifies everything written since
+/// a snapshot. [`ProvGraph::cursor`] reads the current position,
+/// [`ProvGraph::delta_since`] views the suffix beyond one, and
+/// [`crate::ProvIndex::refresh_in_place`] consumes that suffix to extend a
+/// frozen snapshot without a rebuild.
+///
+/// A cursor is only meaningful against the graph it was taken from (or a
+/// clone of it, possibly grown further — the copy-on-write path of a
+/// database facade preserves every frozen prefix byte-for-byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaCursor {
+    /// Vertices present when the cursor was taken.
+    pub vertices: u32,
+    /// Edges present when the cursor was taken.
+    pub edges: u32,
+}
+
+/// The suffix of a [`ProvGraph`]'s append-only log beyond a [`DeltaCursor`]:
+/// every vertex and edge recorded since the cursor was taken.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphDelta<'g> {
+    graph: &'g ProvGraph,
+    from: DeltaCursor,
+}
+
+impl<'g> GraphDelta<'g> {
+    /// Number of vertices added since the cursor.
+    pub fn new_vertex_count(&self) -> usize {
+        self.graph.vertex_count() - self.from.vertices as usize
+    }
+
+    /// Number of edges added since the cursor.
+    pub fn new_edge_count(&self) -> usize {
+        self.graph.edge_count() - self.from.edges as usize
+    }
+
+    /// True when nothing was appended since the cursor. Property writes do
+    /// not move the cursor: they are invisible to structural snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.new_vertex_count() == 0 && self.new_edge_count() == 0
+    }
+
+    /// Ids of the vertices added since the cursor, in creation order.
+    pub fn new_vertices(&self) -> impl Iterator<Item = VertexId> + 'g {
+        (self.from.vertices..self.graph.vertex_count() as u32).map(VertexId::new)
+    }
+
+    /// Ids of the edges added since the cursor, in creation order.
+    pub fn new_edges(&self) -> impl Iterator<Item = EdgeId> + 'g {
+        (self.from.edges..self.graph.edge_count() as u32).map(EdgeId::new)
+    }
+
+    /// Delta size relative to the frozen prefix: the larger of the vertex and
+    /// edge growth ratios. A refresh-vs-rebuild policy compares this against
+    /// its threshold.
+    pub fn fraction(&self) -> f64 {
+        let vf = self.new_vertex_count() as f64 / (self.from.vertices.max(1) as f64);
+        let ef = self.new_edge_count() as f64 / (self.from.edges.max(1) as f64);
+        vf.max(ef)
+    }
+}
+
 /// The mutable property graph store.
 #[derive(Debug, Default, Clone)]
 pub struct ProvGraph {
@@ -67,6 +133,31 @@ impl ProvGraph {
     /// Empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Current position in the append-only vertex/edge log (see
+    /// [`DeltaCursor`]). Snapshots record the cursor they were frozen at;
+    /// equality of cursors is the freshness test.
+    pub fn cursor(&self) -> DeltaCursor {
+        DeltaCursor { vertices: self.vertices.len() as u32, edges: self.edges.len() as u32 }
+    }
+
+    /// View of everything appended since `cursor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cursor` lies beyond the current log (it was taken from a
+    /// different — or a further-grown — graph).
+    pub fn delta_since(&self, cursor: DeltaCursor) -> GraphDelta<'_> {
+        assert!(
+            cursor.vertices as usize <= self.vertices.len()
+                && cursor.edges as usize <= self.edges.len(),
+            "delta cursor {cursor:?} lies beyond this graph's log \
+             ({} vertices, {} edges)",
+            self.vertices.len(),
+            self.edges.len()
+        );
+        GraphDelta { graph: self, from: cursor }
     }
 
     // ------------------------------------------------------------------
@@ -325,6 +416,20 @@ impl ProvGraph {
         self.vertices[v.index()].props.get(k)
     }
 
+    /// Remove a vertex property (`σ(v, p) := ⊥`), returning the previous
+    /// value and keeping any declared `(kind, key)` index in sync — the
+    /// removal twin of [`ProvGraph::set_vprop`], so an indexed lookup never
+    /// answers a value the vertex no longer carries.
+    pub fn unset_vprop(&mut self, v: VertexId, key: &str) -> Option<PropValue> {
+        let k = self.keys.get(key)?;
+        let kind = self.vertices[v.index()].kind;
+        let old = self.vertices[v.index()].props.unset(k)?;
+        if let Some(index) = self.indexes.get_mut(kind, k) {
+            index.remove(&old, v);
+        }
+        Some(old)
+    }
+
     /// Set an edge property (`ω(e, p) := o`).
     pub fn set_eprop(&mut self, e: EdgeId, key: &str, value: impl Into<PropValue>) {
         let k = self.keys.intern(key);
@@ -342,9 +447,16 @@ impl ProvGraph {
         &self.keys
     }
 
-    /// Vertices of `kind` whose property `key` equals `value`. Uses a
-    /// declared secondary index when available ([`ProvGraph::create_vprop_index`]),
-    /// otherwise scans the kind's vertices.
+    /// Vertices of `kind` whose property `key` equals `value`, in ascending
+    /// id (= creation) order.
+    ///
+    /// Routing contract: whenever an index is declared for `(kind, key)` the
+    /// lookup is a hash probe — including indexes declared *after* the
+    /// property writes, because [`ProvGraph::create_vprop_index`] backfills
+    /// from the existing vertices at declaration time. Only a genuinely
+    /// unindexed `(kind, key)` pair falls back to the linear scan of the
+    /// kind's vertices, and both paths answer identically (the differential
+    /// test in `tests/find_by_prop_differential.rs` pins this).
     pub fn find_by_prop(&self, kind: VertexKind, key: &str, value: &PropValue) -> Vec<VertexId> {
         let Some(k) = self.keys.get(key) else { return Vec::new() };
         if let Some(index) = self.indexes.get(kind, k) {

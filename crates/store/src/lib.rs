@@ -24,7 +24,7 @@ pub mod pattern;
 pub mod snapshot;
 
 pub use error::{StoreError, StoreResult};
-pub use graph::{EdgeRecord, GraphStats, ProvGraph, VertexRecord};
+pub use graph::{DeltaCursor, EdgeRecord, GraphDelta, GraphStats, ProvGraph, VertexRecord};
 pub use pattern::{
     Budget, MatchOutcome, MaterializedPath, NodeSpec, PathPattern, PatternDir, RelSpec,
 };

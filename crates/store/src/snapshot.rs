@@ -15,7 +15,7 @@
 //! Each adjacency entry carries its [`EdgeId`] so boundary criteria can exclude
 //! individual edges.
 
-use crate::graph::ProvGraph;
+use crate::graph::{DeltaCursor, ProvGraph};
 use prov_model::{EdgeId, EdgeKind, VertexId, VertexKind};
 use std::sync::Arc;
 
@@ -25,7 +25,7 @@ use std::sync::Arc;
 pub type SharedIndex = Arc<ProvIndex>;
 
 /// One CSR direction of one relationship type.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Csr {
     offsets: Vec<u32>,
     targets: Vec<VertexId>,
@@ -97,12 +97,87 @@ impl Csr {
         }
         (self.offsets[v.index()] as usize, self.offsets[v.index() + 1] as usize)
     }
+
+    /// Tail-merge `pairs` into the CSR and grow the vertex space to `n`.
+    ///
+    /// Requires every pair's edge id to exceed every frozen edge id (true by
+    /// construction for an append-only store: the delta holds only new edge
+    /// ids). Under that invariant each vertex's new entries sort *after* its
+    /// old entries in the `(from, edge_id)` order, so the merge appends at
+    /// each row tail and never compares against — let alone re-sorts — old
+    /// entries: sort the `m_new` pairs, shift the affected row suffix right
+    /// in one backward pass, and splice the new entries in. Rows before the
+    /// first touched vertex do not move, so the pass costs
+    /// `O(m_new log m_new + shifted suffix)`, not `O(m log m)` like
+    /// [`Csr::build`].
+    fn extend_tail(&mut self, n: usize, pairs: &mut [(VertexId, VertexId, EdgeId)]) {
+        debug_assert!(!self.offsets.is_empty(), "extend_tail needs a built CSR");
+        // New vertices have empty rows: they inherit the running total.
+        let old_total = *self.offsets.last().expect("built CSR has offsets");
+        self.offsets.resize(n + 1, old_total);
+        if pairs.is_empty() {
+            return;
+        }
+        // Same comparator as `build`: the edge-id tie-break keeps per-vertex
+        // neighbor order deterministic (and, per the invariant above, after
+        // all frozen entries of that vertex).
+        pairs.sort_unstable_by_key(|(from, _, eid)| (*from, *eid));
+        // `add[v]` = new entries for vertices < v after the prefix pass, so
+        // each row shifts right by exactly `add[v]`.
+        let mut add = vec![0u32; n + 1];
+        for (from, ..) in pairs.iter() {
+            add[from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            add[i + 1] += add[i];
+        }
+        let old_len = self.targets.len();
+        let new_len = old_len + pairs.len();
+        self.targets.resize(new_len, VertexId::new(0));
+        self.edge_ids.resize(new_len, EdgeId::new(0));
+        // One backward pass: rows move right, so writing high rows first
+        // never clobbers an unread low row (a row's destination starts at or
+        // after the next row's old start).
+        let mut pending = pairs.len();
+        for v in (0..n).rev() {
+            let old_lo = self.offsets[v] as usize;
+            let old_hi = self.offsets[v + 1] as usize;
+            let new_lo = old_lo + add[v] as usize;
+            let fresh = (add[v + 1] - add[v]) as usize;
+            for k in (0..fresh).rev() {
+                pending -= 1;
+                let (_, to, eid) = pairs[pending];
+                let pos = new_lo + (old_hi - old_lo) + k;
+                self.targets[pos] = to;
+                self.edge_ids[pos] = eid;
+            }
+            if add[v] > 0 && old_hi > old_lo {
+                self.targets.copy_within(old_lo..old_hi, new_lo);
+                self.edge_ids.copy_within(old_lo..old_hi, new_lo);
+            }
+            if pending == 0 && add[v] == 0 {
+                break; // every remaining row is below the first touched vertex
+            }
+        }
+        for (offset, shift) in self.offsets.iter_mut().zip(&add) {
+            *offset += shift;
+        }
+    }
 }
 
 /// Immutable CSR snapshot of a [`ProvGraph`], specialized by relationship type.
-#[derive(Debug, Clone)]
+///
+/// A snapshot remembers the [`DeltaCursor`] it was frozen at, so after the
+/// graph grows it can be *refreshed* ([`ProvIndex::refresh_in_place`])
+/// instead of rebuilt: the append-only delta is tail-merged into every CSR
+/// and the per-vertex tables extend at their ends. `PartialEq` is derived so
+/// differential tests can assert a refreshed snapshot is byte-identical to a
+/// full [`ProvIndex::build`] of the same graph.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProvIndex {
     n: usize,
+    /// Log position this snapshot reflects (freshness test + refresh base).
+    frozen: DeltaCursor,
     kinds: Vec<VertexKind>,
     birth: Vec<u64>,
     /// Rank of each vertex within its kind (dense per-kind id).
@@ -121,39 +196,60 @@ pub struct ProvIndex {
     edge_counts: [usize; 5],
 }
 
-impl ProvIndex {
-    /// Freeze `graph` into a snapshot.
-    pub fn build(graph: &ProvGraph) -> ProvIndex {
-        let n = graph.vertex_count();
-        let mut used: Vec<(VertexId, VertexId, EdgeId)> = Vec::new();
-        let mut used_rev = Vec::new();
-        let mut gen = Vec::new();
-        let mut gen_rev = Vec::new();
-        let mut assoc = Vec::new();
-        let mut attr = Vec::new();
-        let mut deriv = Vec::new();
-        let mut deriv_rev = Vec::new();
-        let mut edge_counts = [0usize; 5];
-        for eid in graph.edge_ids() {
+/// Typed `(from, to, edge_id)` pair lists for one edge-id range, one list
+/// per (relationship, direction) CSR — the shared collection pass of
+/// [`ProvIndex::build`] and [`ProvIndex::refresh_in_place`].
+#[derive(Default)]
+struct TypedPairs {
+    used: Vec<(VertexId, VertexId, EdgeId)>,
+    used_rev: Vec<(VertexId, VertexId, EdgeId)>,
+    gen: Vec<(VertexId, VertexId, EdgeId)>,
+    gen_rev: Vec<(VertexId, VertexId, EdgeId)>,
+    assoc: Vec<(VertexId, VertexId, EdgeId)>,
+    attr: Vec<(VertexId, VertexId, EdgeId)>,
+    deriv: Vec<(VertexId, VertexId, EdgeId)>,
+    deriv_rev: Vec<(VertexId, VertexId, EdgeId)>,
+    edge_counts: [usize; 5],
+}
+
+impl TypedPairs {
+    /// Dispatch the edges `[from_edge, graph.edge_count())` by kind.
+    fn collect(graph: &ProvGraph, from_edge: u32) -> TypedPairs {
+        let mut p = TypedPairs::default();
+        for raw in from_edge..graph.edge_count() as u32 {
+            let eid = EdgeId::new(raw);
             let e = graph.edge(eid);
-            edge_counts[e.kind.as_index()] += 1;
+            p.edge_counts[e.kind.as_index()] += 1;
             match e.kind {
                 EdgeKind::Used => {
-                    used.push((e.src, e.dst, eid));
-                    used_rev.push((e.dst, e.src, eid));
+                    p.used.push((e.src, e.dst, eid));
+                    p.used_rev.push((e.dst, e.src, eid));
                 }
                 EdgeKind::WasGeneratedBy => {
-                    gen.push((e.src, e.dst, eid));
-                    gen_rev.push((e.dst, e.src, eid));
+                    p.gen.push((e.src, e.dst, eid));
+                    p.gen_rev.push((e.dst, e.src, eid));
                 }
-                EdgeKind::WasAssociatedWith => assoc.push((e.src, e.dst, eid)),
-                EdgeKind::WasAttributedTo => attr.push((e.src, e.dst, eid)),
+                EdgeKind::WasAssociatedWith => p.assoc.push((e.src, e.dst, eid)),
+                EdgeKind::WasAttributedTo => p.attr.push((e.src, e.dst, eid)),
                 EdgeKind::WasDerivedFrom => {
-                    deriv.push((e.src, e.dst, eid));
-                    deriv_rev.push((e.dst, e.src, eid));
+                    p.deriv.push((e.src, e.dst, eid));
+                    p.deriv_rev.push((e.dst, e.src, eid));
                 }
             }
         }
+        p
+    }
+}
+
+impl ProvIndex {
+    /// Freeze `graph` into a snapshot.
+    ///
+    /// This full build is the *reference* construction: the incremental
+    /// [`ProvIndex::refresh_in_place`] path is differential-tested to produce
+    /// snapshots `==` to it on every interleaving.
+    pub fn build(graph: &ProvGraph) -> ProvIndex {
+        let n = graph.vertex_count();
+        let mut pairs = TypedPairs::collect(graph, 0);
         let kinds: Vec<VertexKind> = graph.vertex_ids().map(|v| graph.vertex_kind(v)).collect();
         let mut kind_rank = vec![0u32; n];
         let mut kind_members: [Vec<VertexId>; 3] = Default::default();
@@ -164,24 +260,25 @@ impl ProvIndex {
         }
         ProvIndex {
             n,
+            frozen: graph.cursor(),
             kinds,
             birth: graph.vertex_ids().map(|v| graph.vertex(v).birth).collect(),
             kind_rank,
             kind_members,
-            used_out: Csr::build(n, &mut used),
-            used_in: Csr::build(n, &mut used_rev),
-            gen_out: Csr::build(n, &mut gen),
-            gen_in: Csr::build(n, &mut gen_rev),
-            assoc_out: Csr::build(n, &mut assoc),
-            attr_out: Csr::build(n, &mut attr),
-            deriv_out: Csr::build(n, &mut deriv),
-            deriv_in: Csr::build(n, &mut deriv_rev),
+            used_out: Csr::build(n, &mut pairs.used),
+            used_in: Csr::build(n, &mut pairs.used_rev),
+            gen_out: Csr::build(n, &mut pairs.gen),
+            gen_in: Csr::build(n, &mut pairs.gen_rev),
+            assoc_out: Csr::build(n, &mut pairs.assoc),
+            attr_out: Csr::build(n, &mut pairs.attr),
+            deriv_out: Csr::build(n, &mut pairs.deriv),
+            deriv_in: Csr::build(n, &mut pairs.deriv_rev),
             counts: [
                 graph.kind_count(VertexKind::Entity),
                 graph.kind_count(VertexKind::Activity),
                 graph.kind_count(VertexKind::Agent),
             ],
-            edge_counts,
+            edge_counts: pairs.edge_counts,
         }
     }
 
@@ -189,6 +286,79 @@ impl ProvIndex {
     /// a session registry ([`SharedIndex`]).
     pub fn build_shared(graph: &ProvGraph) -> SharedIndex {
         Arc::new(ProvIndex::build(graph))
+    }
+
+    /// The log position this snapshot reflects.
+    #[inline]
+    pub fn cursor(&self) -> DeltaCursor {
+        self.frozen
+    }
+
+    /// Does this snapshot still reflect `graph` exactly? Property writes do
+    /// not age a snapshot (it never captured properties); only appended
+    /// vertices/edges do.
+    #[inline]
+    pub fn is_fresh(&self, graph: &ProvGraph) -> bool {
+        self.frozen == graph.cursor()
+    }
+
+    /// Extend this snapshot in place to cover everything appended to `graph`
+    /// since it was frozen.
+    ///
+    /// Instead of the full rebuild — re-dispatching all `m` edges, re-sorting
+    /// every CSR in `O(m log m)`, re-collecting kinds and births — the
+    /// refresh dispatches only the `m_new` delta edges, tail-merges them into
+    /// each CSR (`Csr::extend_tail`), and appends the new vertices to the
+    /// kind/birth/rank tables: `O(n + m_new)` plus the shifted row suffixes.
+    /// The result is `==` to `ProvIndex::build(graph)` by construction (and
+    /// by the differential proptest in `tests/refresh_differential.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when this snapshot's cursor lies beyond `graph`'s log — i.e.
+    /// the snapshot was not frozen from `graph` or a prefix-preserving clone
+    /// of it.
+    pub fn refresh_in_place(&mut self, graph: &ProvGraph) {
+        let delta = graph.delta_since(self.frozen);
+        if delta.is_empty() {
+            return;
+        }
+        let n = graph.vertex_count();
+        // Vertex tables: append-only, so they extend at their tails.
+        for v in delta.new_vertices() {
+            let k = graph.vertex_kind(v);
+            let members = &mut self.kind_members[k.as_index()];
+            self.kind_rank.push(members.len() as u32);
+            members.push(v);
+            self.kinds.push(k);
+            self.birth.push(graph.vertex(v).birth);
+            self.counts[k.as_index()] += 1;
+        }
+        self.n = n;
+        // Edge tables: dispatch the delta, tail-merge per CSR.
+        let mut pairs = TypedPairs::collect(graph, self.frozen.edges);
+        for (i, c) in pairs.edge_counts.iter().enumerate() {
+            self.edge_counts[i] += c;
+        }
+        self.used_out.extend_tail(n, &mut pairs.used);
+        self.used_in.extend_tail(n, &mut pairs.used_rev);
+        self.gen_out.extend_tail(n, &mut pairs.gen);
+        self.gen_in.extend_tail(n, &mut pairs.gen_rev);
+        self.assoc_out.extend_tail(n, &mut pairs.assoc);
+        self.attr_out.extend_tail(n, &mut pairs.attr);
+        self.deriv_out.extend_tail(n, &mut pairs.deriv);
+        self.deriv_in.extend_tail(n, &mut pairs.deriv_rev);
+        self.frozen = graph.cursor();
+    }
+
+    /// [`ProvIndex::refresh_in_place`] on a copy: clone the frozen columns
+    /// (a memcpy, no sort, no hash) and extend the copy. This is the refresh
+    /// path when the previous snapshot is still pinned by live sessions and
+    /// must stay immutable.
+    pub fn refreshed(&self, graph: &ProvGraph) -> ProvIndex {
+        let mut next = self.clone();
+        next.refresh_in_place(graph);
+        next
     }
 
     /// Number of vertices.
@@ -468,5 +638,88 @@ mod tests {
         let idx = ProvIndex::build(&g);
         assert!(idx.csr(EdgeKind::WasAssociatedWith, Direction::In).is_empty());
         assert!(idx.csr(EdgeKind::WasAttributedTo, Direction::In).is_empty());
+    }
+
+    #[test]
+    fn refresh_on_unchanged_graph_is_identity() {
+        let (g, _) = chain();
+        let built = ProvIndex::build(&g);
+        assert!(built.is_fresh(&g));
+        let mut refreshed = built.clone();
+        refreshed.refresh_in_place(&g);
+        assert_eq!(refreshed, built);
+        assert_eq!(built.refreshed(&g), built);
+    }
+
+    #[test]
+    fn refresh_matches_full_build_after_growth() {
+        let (mut g, ids) = chain();
+        let stale = ProvIndex::build(&g);
+        // Grow: a new activity using OLD entities (so frozen rows must shift),
+        // a new entity, agent edges, and a derivation to an old entity.
+        let t3 = g.add_activity("t3");
+        let w3 = g.add_entity("w3");
+        let bob = g.add_agent("bob");
+        g.add_edge(EdgeKind::Used, t3, ids[0]).unwrap(); // d gains a user
+        g.add_edge(EdgeKind::Used, t3, ids[4]).unwrap(); // w2 gains a user
+        g.add_edge(EdgeKind::WasGeneratedBy, w3, t3).unwrap();
+        g.add_edge(EdgeKind::WasAssociatedWith, t3, bob).unwrap();
+        g.add_edge(EdgeKind::WasAttributedTo, w3, bob).unwrap();
+        g.add_edge(EdgeKind::WasDerivedFrom, w3, ids[2]).unwrap(); // w1
+        assert!(!stale.is_fresh(&g));
+
+        let full = ProvIndex::build(&g);
+        let refreshed = stale.refreshed(&g);
+        assert_eq!(refreshed, full, "refreshed snapshot must equal the reference build");
+        // In-place refresh takes the same path.
+        let mut in_place = stale.clone();
+        in_place.refresh_in_place(&g);
+        assert_eq!(in_place, full);
+        // Spot-check a shifted frozen row: d's users are t1, t2, then t3.
+        assert_eq!(refreshed.users_of(ids[0]), &[ids[1], ids[3], t3]);
+        assert_eq!(refreshed.cursor(), g.cursor());
+        assert!(refreshed.is_fresh(&g));
+    }
+
+    #[test]
+    fn refresh_applies_repeatedly_across_batches() {
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("d");
+        let mut idx = ProvIndex::build(&g);
+        let mut prev = d;
+        for i in 0..5 {
+            let t = g.add_activity(&format!("t{i}"));
+            let w = g.add_entity(&format!("w{i}"));
+            g.add_edge(EdgeKind::Used, t, prev).unwrap();
+            g.add_edge(EdgeKind::Used, t, d).unwrap(); // seed row keeps growing
+            g.add_edge(EdgeKind::WasGeneratedBy, w, t).unwrap();
+            prev = w;
+            idx.refresh_in_place(&g);
+            assert_eq!(idx, ProvIndex::build(&g), "batch {i} produced a divergent snapshot");
+        }
+        // Round 0 used `d` twice (prev == d), later rounds once each.
+        assert_eq!(idx.users_of(d).len(), 6);
+    }
+
+    #[test]
+    fn delta_cursor_tracks_appends_only() {
+        let mut g = ProvGraph::new();
+        let c0 = g.cursor();
+        let e = g.add_entity("e");
+        let a = g.add_activity("a");
+        g.add_edge(EdgeKind::Used, a, e).unwrap();
+        let delta = g.delta_since(c0);
+        assert_eq!(delta.new_vertex_count(), 2);
+        assert_eq!(delta.new_edge_count(), 1);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.new_vertices().collect::<Vec<_>>(), vec![e, a]);
+        assert_eq!(delta.new_edges().count(), 1);
+        // Property writes do not move the cursor.
+        let c1 = g.cursor();
+        g.set_vprop(e, "tag", "raw");
+        assert_eq!(g.cursor(), c1);
+        assert!(g.delta_since(c1).is_empty());
+        assert!(g.delta_since(c1).fraction() == 0.0);
+        assert!(g.delta_since(c0).fraction() > 0.0);
     }
 }

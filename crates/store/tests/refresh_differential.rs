@@ -1,0 +1,140 @@
+//! Incremental-refresh differential tests (ISSUE 5 acceptance): a
+//! [`ProvIndex`] maintained through `refresh_in_place`/`refreshed` across
+//! random ingest/query interleavings must stay `==` to a full
+//! [`ProvIndex::build`] of the same graph — identical CSRs (offsets, targets,
+//! edge ids), kind tables, ranks, births, and counts, which is exactly what
+//! the derived `PartialEq` compares.
+//!
+//! The generator grows a random PROV-typed graph in batches (every edge kind,
+//! edges landing on arbitrarily old vertices so frozen CSR rows must shift,
+//! interleaved property writes that must NOT age the snapshot), and after
+//! each batch "queries" the maintained snapshot by comparing it against the
+//! reference build. Both refresh flavors — in place (sole owner) and
+//! clone-extend (pinned by sessions) — take the same merge path and are
+//! exercised alternately; a second snapshot refreshed only at the end covers
+//! multi-batch deltas.
+
+use proptest::prelude::*;
+use prov_model::{EdgeKind, VertexKind};
+use prov_store::{ProvGraph, ProvIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One randomized mutation; invalid endpoint draws fall back to inserts so
+/// every step mutates something.
+fn mutate(g: &mut ProvGraph, rng: &mut StdRng, step: usize) {
+    let pick = |g: &ProvGraph, rng: &mut StdRng, kind: VertexKind| {
+        let of_kind = g.vertices_of_kind(kind);
+        if of_kind.is_empty() {
+            None
+        } else {
+            Some(of_kind[rng.gen_range(0..of_kind.len())])
+        }
+    };
+    match rng.gen_range(0..10u32) {
+        0 => {
+            g.add_entity(&format!("e{step}"));
+        }
+        1 => {
+            g.add_activity(&format!("a{step}"));
+        }
+        2 => {
+            g.add_agent(&format!("u{step}"));
+        }
+        // Property writes: must leave the delta cursor (and thus snapshot
+        // freshness) untouched.
+        3 => {
+            if let Some(v) = pick(g, rng, VertexKind::Entity) {
+                g.set_vprop(v, "tag", format!("t{step}"));
+            }
+        }
+        4 => match (pick(g, rng, VertexKind::Activity), pick(g, rng, VertexKind::Entity)) {
+            (Some(a), Some(e)) => {
+                g.add_edge(EdgeKind::Used, a, e).unwrap();
+            }
+            _ => {
+                g.add_activity(&format!("a{step}"));
+            }
+        },
+        5 => match (pick(g, rng, VertexKind::Entity), pick(g, rng, VertexKind::Activity)) {
+            (Some(e), Some(a)) => {
+                g.add_edge(EdgeKind::WasGeneratedBy, e, a).unwrap();
+            }
+            _ => {
+                g.add_entity(&format!("e{step}"));
+            }
+        },
+        6 => match (pick(g, rng, VertexKind::Activity), pick(g, rng, VertexKind::Agent)) {
+            (Some(a), Some(u)) => {
+                g.add_edge(EdgeKind::WasAssociatedWith, a, u).unwrap();
+            }
+            _ => {
+                g.add_agent(&format!("u{step}"));
+            }
+        },
+        7 => match (pick(g, rng, VertexKind::Entity), pick(g, rng, VertexKind::Agent)) {
+            (Some(e), Some(u)) => {
+                g.add_edge(EdgeKind::WasAttributedTo, e, u).unwrap();
+            }
+            _ => {
+                g.add_agent(&format!("u{step}"));
+            }
+        },
+        _ => match (pick(g, rng, VertexKind::Entity), pick(g, rng, VertexKind::Entity)) {
+            (Some(d1), Some(d2)) => {
+                g.add_edge(EdgeKind::WasDerivedFrom, d1, d2).unwrap();
+            }
+            _ => {
+                g.add_entity(&format!("e{step}"));
+            }
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-batch refresh (alternating in-place and clone-extend) plus one
+    /// end-of-run refresh over the whole accumulated delta, both `==` to the
+    /// reference full build at every query point.
+    #[test]
+    fn refresh_equals_build_on_random_interleavings(
+        seed in 0u64..100_000,
+        batches in 1usize..9,
+        batch_size in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = ProvGraph::new();
+        // A tiny seed population so early edge draws can land.
+        let e0 = g.add_entity("seed-e");
+        g.add_activity("seed-a");
+        g.add_agent("seed-u");
+        g.add_edge(EdgeKind::WasAttributedTo, e0, g.vertex_by_name("seed-u").unwrap()).unwrap();
+
+        let mut maintained = ProvIndex::build(&g);
+        let pinned_at_start = maintained.clone();
+
+        let mut step = 0usize;
+        for batch in 0..batches {
+            for _ in 0..batch_size {
+                mutate(&mut g, &mut rng, step);
+                step += 1;
+            }
+            // Query point: the maintained snapshot must equal the reference.
+            if batch % 2 == 0 {
+                maintained.refresh_in_place(&g);
+            } else {
+                maintained = maintained.refreshed(&g);
+            }
+            let reference = ProvIndex::build(&g);
+            prop_assert_eq!(&maintained, &reference, "batch {} diverged", batch);
+            prop_assert!(maintained.is_fresh(&g));
+        }
+
+        // Multi-batch delta in one refresh: same answer.
+        let late = pinned_at_start.refreshed(&g);
+        prop_assert_eq!(&late, &ProvIndex::build(&g));
+        // The pinned original is untouched by the clone-extend path.
+        prop_assert_eq!(pinned_at_start.vertex_count(), 3);
+    }
+}
