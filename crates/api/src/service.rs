@@ -65,6 +65,20 @@ impl ProvService {
         &self.db
     }
 
+    /// The query parallelism the wrapped database serves with (see
+    /// [`ProvDb::parallelism`]).
+    pub fn parallelism(&self) -> usize {
+        self.db.parallelism()
+    }
+
+    /// Pin the database's query parallelism (`1` forces the sequential
+    /// engines, `0` restores the track-the-pool default). Answers are
+    /// identical at any value — the wire contract does not move — so a
+    /// deployment can tune this freely.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.db.set_parallelism(threads);
+    }
+
     /// Number of live sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.len()

@@ -144,7 +144,26 @@ fn main() {
     });
     // The compact per-figure trajectory summary: always printed in bench
     // mode so a CI job log carries the perf story without artifacts.
-    print!("{}", report.summary_table(baseline.as_ref()));
+    let summary = report.summary_table(baseline.as_ref());
+    print!("{summary}");
+    // Mirror it into the GitHub job summary when CI provides one (append:
+    // the fig5/fig6/fig7 invocations of one job share the file).
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        let md = format!(
+            "### prov-bench trajectory ({} figures, host_threads={})\n\n```text\n{summary}```\n\n",
+            report.figures.len(),
+            report.host_threads
+        );
+        let appended = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(md.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("cannot append to GITHUB_STEP_SUMMARY ({path}): {e}");
+        }
+    }
     if let Some(baseline) = &baseline {
         let path = cli.baseline.as_deref().unwrap_or_default();
         let regressions = report.regressions_against(baseline);

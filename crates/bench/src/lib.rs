@@ -23,9 +23,10 @@ pub mod fig7;
 pub mod harness;
 pub mod report;
 
-pub use fig7::{fig7a, fig7b, fig7c};
+pub use fig7::{fig7a, fig7b, fig7c, fig7t};
 pub use harness::{
     run_figure, run_figure_cached, run_figure_with_caches, FigureResult, PdCache, PdInstance,
     Point, Scale, SdCache, Series, ALL_FIGURES, BENCH_FIGURES, FIG6_FIGURES, FIG7_FIGURES,
+    THREAD_SWEEP,
 };
 pub use report::{BenchReport, REGRESSION_FACTOR, REGRESSION_FLOOR_SECS};

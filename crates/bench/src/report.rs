@@ -73,6 +73,12 @@ pub struct BenchReport {
     pub scale: String,
     /// The command that regenerates this file.
     pub command: String,
+    /// Hardware parallelism of the measuring machine (0 in reports written
+    /// before the field existed). Thread-sweep points (`5t`/`6t`/`7t`) only
+    /// show real speedups when this exceeds the swept chunk counts — a
+    /// single-core runner timeshares the workers.
+    #[serde(default)]
+    pub host_threads: usize,
     /// Measured figures.
     pub figures: Vec<FigureJson>,
 }
@@ -89,6 +95,7 @@ impl BenchReport {
                 Scale::Full => "full".into(),
             },
             command,
+            host_threads: std::thread::available_parallelism().map_or(0, |n| n.get()),
             figures: figures
                 .iter()
                 .map(|f| FigureJson {
@@ -279,6 +286,7 @@ mod tests {
             schema: BENCH_SCHEMA,
             scale: "quick".into(),
             command: "x".into(),
+            host_threads: 1,
             figures: vec![FigureJson {
                 id: "5a".into(),
                 title: "t".into(),
@@ -304,6 +312,20 @@ mod tests {
         let r = report(&[0.25, 0.1]);
         let parsed = BenchReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn reports_without_host_threads_still_parse() {
+        // Committed baselines predate the field; serde must default it to 0
+        // rather than reject the file (which would break the CI perf gate on
+        // the first PR that adds the field).
+        let json = report(&[0.1]).to_json();
+        let line = "\"host_threads\": 1,";
+        assert!(json.contains(line), "{json}");
+        let stripped: String =
+            json.lines().filter(|l| !l.contains(line)).collect::<Vec<_>>().join("\n");
+        let parsed = BenchReport::from_json(&stripped).unwrap();
+        assert_eq!(parsed.host_threads, 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! the query facilities (PgSeg segmentation, PgSum summarization, lineage and
 //! pattern matching) over the embedded property graph store.
 
-use crate::lineage::{lineage_over, LineageBound};
+use crate::lineage::{lineage_over_par, LineageBound};
 pub use crate::lineage::{lineage_reference, LineageDirection};
 use prov_model::{PropValue, VertexId, VertexKind};
 use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
@@ -127,6 +127,9 @@ pub struct ProvDb {
     /// Next version number per artifact name.
     versions: FxHashMap<String, u32>,
     policy: SnapshotPolicy,
+    /// Chunk count handed to the parallel query kernels; `0` means "track
+    /// the pool width" (`PROV_THREADS` / hardware parallelism).
+    parallelism: usize,
     reuses: AtomicU64,
     refreshes: AtomicU64,
     rebuilds: AtomicU64,
@@ -152,6 +155,27 @@ impl ProvDb {
     /// for baseline measurements).
     pub fn set_snapshot_policy(&mut self, policy: SnapshotPolicy) {
         self.policy = policy;
+    }
+
+    /// The effective query parallelism: how many chunks the parallel kernels
+    /// (level-parallel lineage BFS, see [`crate::lineage`]) cut their work
+    /// into. Defaults to the executor pool width — `PROV_THREADS` when set,
+    /// the machine's available parallelism otherwise — so the CI thread
+    /// matrix drives the parallel paths through ordinary queries. `1` means
+    /// every query runs the sequential twin.
+    pub fn parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => rayon_core::configured_num_threads(),
+            n => n,
+        }
+    }
+
+    /// Pin the query parallelism to `threads` chunks (`1` forces the
+    /// sequential engines, `0` restores the track-the-pool default). Chunk
+    /// counts, not pool sizing: answers are identical at any value, only the
+    /// fan-out shape changes.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.parallelism = threads;
     }
 
     /// Cumulative snapshot acquisition outcomes since this database was
@@ -430,7 +454,13 @@ impl ProvDb {
     /// epoch-scratch engine ([`crate::lineage`]) and never escapes; callers
     /// and examples may rely on the sorted order.
     pub fn lineage(&self, e: VertexId, direction: LineageDirection) -> Vec<VertexId> {
-        lineage_over(&self.snapshot(), e, direction, LineageBound::Unbounded)
+        lineage_over_par(
+            &self.snapshot(),
+            e,
+            direction,
+            LineageBound::Unbounded,
+            self.parallelism(),
+        )
     }
 
     /// Depth-bounded lineage: every vertex within `max_hops` ancestry hops
@@ -442,13 +472,25 @@ impl ProvDb {
         direction: LineageDirection,
         max_hops: u32,
     ) -> Vec<VertexId> {
-        lineage_over(&self.snapshot(), e, direction, LineageBound::Within(max_hops))
+        lineage_over_par(
+            &self.snapshot(),
+            e,
+            direction,
+            LineageBound::Within(max_hops),
+            self.parallelism(),
+        )
     }
 
     /// The k-hop ring: only the vertices at *exactly* `hops` ancestry hops
     /// from `e` (BFS distance). Same order contract as [`ProvDb::lineage`].
     pub fn k_hop(&self, e: VertexId, direction: LineageDirection, hops: u32) -> Vec<VertexId> {
-        lineage_over(&self.snapshot(), e, direction, LineageBound::Exactly(hops))
+        lineage_over_par(
+            &self.snapshot(),
+            e,
+            direction,
+            LineageBound::Exactly(hops),
+            self.parallelism(),
+        )
     }
 
     /// All ancestors of an entity (transitive inputs through `U`/`G` edges).

@@ -1,0 +1,103 @@
+//! Differential suite (ISSUE 6): the level-parallel lineage BFS must produce
+//! byte-identical output — the sorted, start-excluded closure or ring — to
+//! the sequential epoch-scratch engine, on random `Pd` workload graphs, at
+//! every thread count, under every bound, in both directions.
+//!
+//! `frontier_min = 0` forces the chunked fan-out/merge path on *every* BFS
+//! level, so even graphs whose frontiers never reach the production
+//! threshold exercise the parallel machinery (this is also what the TSan CI
+//! lane runs under).
+
+use proptest::prelude::*;
+use prov_core::{
+    lineage_over, lineage_over_par, lineage_over_par_with_frontier_min, lineage_reference,
+    LineageBound, LineageDirection,
+};
+use prov_model::VertexId;
+use prov_store::ProvIndex;
+use prov_workload::{generate_pd, PdParams};
+
+/// Chunk counts exercised for every query; chunk counts control the fan-out
+/// shape, so these are meaningful even on a smaller pool.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_lineage_matches_sequential_on_pd(
+        n in 60usize..300,
+        seed in 0u64..1_000,
+        se in 1.1f64..2.1,
+        start_pick in any::<prop::sample::Index>(),
+        hops in 0u32..8,
+    ) {
+        let graph = generate_pd(&PdParams { n, seed, se, ..PdParams::default() });
+        let idx = ProvIndex::build(&graph);
+        let start = VertexId::new(start_pick.index(idx.vertex_count()) as u32);
+        for dir in [LineageDirection::Ancestors, LineageDirection::Descendants] {
+            for bound in [
+                LineageBound::Unbounded,
+                LineageBound::Within(hops),
+                LineageBound::Exactly(hops),
+            ] {
+                let seq = lineage_over(&idx, start, dir, bound);
+                for threads in THREADS {
+                    let par =
+                        lineage_over_par_with_frontier_min(&idx, start, dir, bound, threads, 0);
+                    prop_assert_eq!(
+                        &par, &seq,
+                        "dir={:?} bound={:?} threads={}", dir, bound, threads
+                    );
+                }
+            }
+            // The frozen seed path pins the unbounded closure independently.
+            prop_assert_eq!(
+                lineage_over_par_with_frontier_min(&idx, start, dir, LineageBound::Unbounded, 4, 0),
+                lineage_reference(&idx, start, dir)
+            );
+        }
+    }
+
+    /// The production entry point (inline threshold in force) must agree
+    /// with the sequential engine too — levels below [`prov_core::PAR_FRONTIER_MIN`]
+    /// take the inline step, levels above fan out, and the seam between the
+    /// two regimes must not show in the answer.
+    #[test]
+    fn production_threshold_seam_is_invisible(
+        n in 200usize..400,
+        seed in 0u64..1_000,
+        start_pick in any::<prop::sample::Index>(),
+    ) {
+        let graph = generate_pd(&PdParams { n, seed, ..PdParams::default() });
+        let idx = ProvIndex::build(&graph);
+        let start = VertexId::new(start_pick.index(idx.vertex_count()) as u32);
+        for dir in [LineageDirection::Ancestors, LineageDirection::Descendants] {
+            let seq = lineage_over(&idx, start, dir, LineageBound::Unbounded);
+            for threads in THREADS {
+                prop_assert_eq!(
+                    &lineage_over_par(&idx, start, dir, LineageBound::Unbounded, threads),
+                    &seq,
+                    "threads={}", threads
+                );
+            }
+        }
+    }
+}
+
+/// Out-of-range starts short-circuit in the parallel engine exactly like the
+/// sequential one (empty, no panic).
+#[test]
+fn out_of_range_start_is_empty_in_parallel_too() {
+    let graph = generate_pd(&PdParams { n: 40, seed: 7, ..PdParams::default() });
+    let idx = ProvIndex::build(&graph);
+    assert!(lineage_over_par_with_frontier_min(
+        &idx,
+        VertexId::new(1_000_000),
+        LineageDirection::Ancestors,
+        LineageBound::Unbounded,
+        4,
+        0,
+    )
+    .is_empty());
+}

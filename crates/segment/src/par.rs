@@ -1,0 +1,349 @@
+//! Parallel SimProvAlg: BSP-round drain of the pair-encoded worklist.
+//!
+//! The sequential loop ([`crate::alg::similar_alg`]) pops one packed word at
+//! a time and inserts derived pairs straight into the mutable fact tables.
+//! This module drains the same worklist in *rounds*: each round freezes the
+//! `Ee`/`Aa` tables, partitions the pending words by kind (a popped `Ee`
+//! word derives into `Aa` and vice versa, so a per-kind sub-batch shares one
+//! read-only target table), and fans the sub-batch out in contiguous chunks
+//! to the [`rayon_core`] pool. Workers expand their chunk against the frozen
+//! tables only — membership probes via [`PairTable::contains`] pre-dedup
+//! candidates — and stage fresh pairs in per-worker buffers. A sequential
+//! merge then replays the buffers through [`PairTable::insert_packed`],
+//! whose idempotence resolves any candidate duplicated across workers (or
+//! derived twice within a round): the first replay inserts the fact and
+//! pushes it onto the next round's worklist, every later replay is a no-op.
+//!
+//! Because each unique fact is enqueued exactly once (by the merge) and each
+//! enqueued word is expanded exactly once (by some round), the pop count —
+//! and with it the `work` statistic — is byte-identical to the sequential
+//! loop's, and the derived relation is the same fixpoint. The differential
+//! property tests in `tests/parallel_equivalence.rs` pin both, at every
+//! thread count.
+
+use crate::alg::{by_rank, AlgConfig, RankAdjacency, EE_TAG, HI_RANK_MASK};
+use crate::outcome::{EvalStats, SimilarOutcome};
+use crate::view::MaskedGraph;
+use prov_bitset::{pack_pair, CompressedBitmap, FastSet, FixedBitSet, PairTable};
+use prov_model::{VertexId, VertexKind};
+use std::time::Instant;
+
+/// Below this many pending words of one kind, a round expands inline — the
+/// chunking/merge machinery costs more than it saves on tiny frontiers.
+pub const PAR_BATCH_MIN: usize = 256;
+
+/// Everything a worker reads while expanding one kind's sub-batch. All
+/// fields are frozen for the round, so sharing them across threads is plain
+/// `&`-aliasing — no synchronization in the hot path.
+struct RoundCtx<'a, S> {
+    /// Upstream adjacency of the popped kind (generators for `Ee` pops,
+    /// inputs for `Aa` pops).
+    adj: &'a RankAdjacency,
+    /// Early-stop flags of the popped kind, when active.
+    stale: Option<&'a [bool]>,
+    /// Constraint fingerprints of the *derived* kind, when active.
+    fps: Option<&'a [u64]>,
+    prune: bool,
+    /// Frozen target relation (the derived kind's table).
+    target: &'a PairTable<S>,
+}
+
+/// Stage `(r1, r2)` as a candidate unless the frozen target already holds it
+/// (mirrors `derive_pair`'s canonicalization, minus the mutation).
+#[inline]
+fn push_candidate<S: FastSet>(ctx: &RoundCtx<'_, S>, out: &mut Vec<u64>, r1: u32, r2: u32) {
+    if ctx.prune {
+        let (a, b) = (r1.min(r2), r1.max(r2));
+        if !ctx.target.contains(a, b) {
+            out.push(pack_pair(a, b));
+        }
+    } else {
+        if !ctx.target.contains(r1, r2) {
+            out.push(pack_pair(r1, r2));
+        }
+        if r1 != r2 && !ctx.target.contains(r2, r1) {
+            out.push(pack_pair(r2, r1));
+        }
+    }
+}
+
+/// Expand one popped word against the frozen round context, staging fresh
+/// candidate pairs into `out`. Pair-for-pair the same derivations as the
+/// sequential loop body.
+fn expand_word<S: FastSet>(ctx: &RoundCtx<'_, S>, word: u64, out: &mut Vec<u64>) {
+    let lo = ((word >> 32) & HI_RANK_MASK) as u32;
+    let hi = word as u32;
+    if let Some(stale) = ctx.stale {
+        if stale[lo as usize] && stale[hi as usize] {
+            return; // early stop: both older than every source
+        }
+    }
+    let s1 = ctx.adj.row(lo);
+    if s1.is_empty() {
+        return;
+    }
+    let diagonal = lo == hi;
+    let s2 = if diagonal { s1 } else { ctx.adj.row(hi) };
+    if let ([r1], [r2]) = (s1, s2) {
+        let (r1, r2) = (*r1, *r2);
+        let ok = match ctx.fps {
+            Some(f) => f[r1 as usize] == f[r2 as usize],
+            None => true,
+        };
+        if ok {
+            push_candidate(ctx, out, r1, r2);
+        }
+        return;
+    }
+    for (x, &r1) in s1.iter().enumerate() {
+        let inner: &[u32] = if ctx.prune && diagonal { &s2[x..] } else { s2 };
+        match ctx.fps {
+            Some(f) => {
+                let f1 = f[r1 as usize];
+                for &r2 in inner {
+                    if f1 == f[r2 as usize] {
+                        push_candidate(ctx, out, r1, r2);
+                    }
+                }
+            }
+            None => {
+                for &r2 in inner {
+                    push_candidate(ctx, out, r1, r2);
+                }
+            }
+        }
+    }
+}
+
+/// Expand `words` into `bufs` (one buffer per chunk), in parallel when the
+/// sub-batch is large enough to pay for the fan-out.
+fn expand_batch<S: FastSet + Sync>(
+    ctx: &RoundCtx<'_, S>,
+    words: &[u64],
+    threads: usize,
+    batch_min: usize,
+    bufs: &mut [Vec<u64>],
+) {
+    if words.len() < batch_min || threads <= 1 {
+        for &word in words {
+            expand_word(ctx, word, &mut bufs[0]);
+        }
+        return;
+    }
+    let ranges = rayon_core::chunk_ranges(words.len(), threads);
+    rayon_core::scope(|s| {
+        for (range, buf) in ranges.into_iter().zip(bufs.iter_mut()) {
+            let chunk = &words[range];
+            s.spawn(move || {
+                for &word in chunk {
+                    expand_word(ctx, word, buf);
+                }
+            });
+        }
+    });
+}
+
+/// [`crate::alg::similar_alg`] with the worklist drained by `threads`-way
+/// BSP rounds on the global [`rayon_core`] pool. `threads <= 1` delegates to
+/// the sequential loop; any `threads` value yields the identical
+/// `SimilarOutcome` (answer and `work`), which is what makes the sequential
+/// twin a differential reference rather than dead code.
+pub fn similar_alg_par<S: FastSet + Send + Sync>(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+    threads: usize,
+) -> SimilarOutcome {
+    similar_alg_par_with_batch_min::<S>(view, vsrc, vdst, cfg, threads, PAR_BATCH_MIN)
+}
+
+/// [`similar_alg_par`] with an explicit inline-round threshold. Production
+/// callers want [`PAR_BATCH_MIN`]; the differential tests and the TSan CI
+/// lane pass `0` so even tiny worklists exercise the chunked fan-out and
+/// merge machinery.
+pub fn similar_alg_par_with_batch_min<S: FastSet + Send + Sync>(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+    threads: usize,
+    batch_min: usize,
+) -> SimilarOutcome {
+    if threads <= 1 {
+        return crate::alg::similar_alg::<S>(view, vsrc, vdst, cfg);
+    }
+    let t0 = Instant::now();
+    let idx = view.index();
+    let entities = idx.kind_members(VertexKind::Entity);
+    let activities = idx.kind_members(VertexKind::Activity);
+    let (ne, na) = (entities.len(), activities.len());
+    assert!(
+        ne < (1 << 31) && na < (1 << 31),
+        "pair-encoded worklist holds ranks below 2^31 (got |E|={ne}, |A|={na})"
+    );
+
+    let mut ee: PairTable<S> = PairTable::new(ne);
+    let mut aa: PairTable<S> = PairTable::new(na);
+    let mut worklist: Vec<u64> = Vec::new();
+    let mut pops: u64 = 0;
+
+    let min_src_birth: Option<u64> = vsrc
+        .iter()
+        .filter(|&&s| s.index() < idx.vertex_count() && view.vertex_ok(s))
+        .map(|&s| idx.birth(s))
+        .min()
+        .filter(|_| cfg.early_stop);
+
+    for &vj in vdst {
+        if vj.index() < idx.vertex_count()
+            && view.vertex_ok(vj)
+            && idx.kind(vj) == VertexKind::Entity
+        {
+            let r = idx.kind_rank(vj);
+            if ee.insert(r, r) {
+                worklist.push(EE_TAG | pack_pair(r, r));
+            }
+        }
+    }
+
+    let gen_ranks = RankAdjacency::build(view, idx, VertexKind::Entity);
+    let inp_ranks = RankAdjacency::build(view, idx, VertexKind::Activity);
+    let stale: Option<(Vec<bool>, Vec<bool>)> = min_src_birth.map(|minb| {
+        (by_rank(entities, |v| idx.birth(v) < minb), by_rank(activities, |v| idx.birth(v) < minb))
+    });
+    let table = cfg.constraint.as_ref();
+    let fps: Option<(Vec<u64>, Vec<u64>)> =
+        table.map(|t| (by_rank(activities, |v| t.fp(v)), by_rank(entities, |v| t.fp(v))));
+    let prune = cfg.symmetric_prune;
+
+    // Round state, reused across iterations.
+    let mut ee_words: Vec<u64> = Vec::new();
+    let mut aa_words: Vec<u64> = Vec::new();
+    let mut bufs: Vec<Vec<u64>> = (0..threads).map(|_| Vec::new()).collect();
+
+    while !worklist.is_empty() {
+        pops += worklist.len() as u64;
+        ee_words.clear();
+        aa_words.clear();
+        for &word in &worklist {
+            if word & EE_TAG != 0 {
+                ee_words.push(word);
+            } else {
+                aa_words.push(word);
+            }
+        }
+        worklist.clear();
+
+        // `Ee` pops derive into `Aa`, then `Aa` pops derive into `Ee`. Each
+        // sub-batch freezes its target table for the expansion and merges
+        // sequentially; fresh facts land on `worklist` for the next round.
+        for is_ee in [true, false] {
+            let words = if is_ee { &ee_words } else { &aa_words };
+            if words.is_empty() {
+                continue;
+            }
+            let ctx = RoundCtx {
+                adj: if is_ee { &gen_ranks } else { &inp_ranks },
+                stale: stale.as_ref().map(|(se, sa)| if is_ee { &se[..] } else { &sa[..] }),
+                fps: fps.as_ref().map(|(fa, fe)| if is_ee { &fa[..] } else { &fe[..] }),
+                prune,
+                target: if is_ee { &aa } else { &ee },
+            };
+            expand_batch(&ctx, words, threads, batch_min, &mut bufs);
+            let (target, tag) = if is_ee { (&mut aa, 0) } else { (&mut ee, EE_TAG) };
+            for buf in &mut bufs {
+                for &w in buf.iter() {
+                    target.insert_packed(w, tag, &mut worklist);
+                }
+                buf.clear();
+            }
+        }
+    }
+
+    let mut marks = vec![false; idx.vertex_count()];
+    let mut buf: Vec<u32> = Vec::new();
+    for &src in vsrc {
+        if src.index() >= idx.vertex_count()
+            || !view.vertex_ok(src)
+            || idx.kind(src) != VertexKind::Entity
+        {
+            continue;
+        }
+        buf.clear();
+        ee.partners_into(idx.kind_rank(src), &mut buf);
+        for &r in &buf {
+            marks[entities[r as usize].index()] = true;
+        }
+    }
+    let answer = crate::outcome::marks_to_vec(&marks);
+    let mem = ee.heap_bytes() + aa.heap_bytes();
+    SimilarOutcome {
+        answer,
+        vc2: None,
+        stats: EvalStats {
+            elapsed: t0.elapsed(),
+            work: pops + (ee.len() + aa.len()) as u64,
+            memory_bytes: mem,
+            dnf: false,
+        },
+    }
+}
+
+/// [`similar_alg_par`] with `FixedBitSet` fact tables.
+pub fn similar_alg_par_bitset(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+    threads: usize,
+) -> SimilarOutcome {
+    similar_alg_par::<FixedBitSet>(view, vsrc, vdst, cfg, threads)
+}
+
+/// [`similar_alg_par`] with compressed-bitmap fact tables.
+pub fn similar_alg_par_cbm(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+    threads: usize,
+) -> SimilarOutcome {
+    similar_alg_par::<CompressedBitmap>(view, vsrc, vdst, cfg, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::similar_alg_bitset;
+    use prov_model::EdgeKind;
+    use prov_store::{ProvGraph, ProvIndex};
+
+    #[test]
+    fn parallel_rounds_match_sequential_on_a_small_graph() {
+        let mut g = ProvGraph::new();
+        let d = g.add_entity("d");
+        let t1 = g.add_activity("t1");
+        let m1 = g.add_entity("m1");
+        let t2 = g.add_activity("t2");
+        let m2 = g.add_entity("m2");
+        let t3 = g.add_activity("t3");
+        let w = g.add_entity("w");
+        g.add_edge(EdgeKind::Used, t1, d).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, m1, t1).unwrap();
+        g.add_edge(EdgeKind::Used, t2, d).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, m2, t2).unwrap();
+        g.add_edge(EdgeKind::Used, t3, m1).unwrap();
+        g.add_edge(EdgeKind::Used, t3, m2).unwrap();
+        g.add_edge(EdgeKind::WasGeneratedBy, w, t3).unwrap();
+        let idx = ProvIndex::build(&g);
+        let view = MaskedGraph::unmasked(&idx);
+        let cfg = AlgConfig::paper_default();
+        let seq = similar_alg_bitset(&view, &[m1], &[w], &cfg);
+        for threads in [1, 2, 4, 8] {
+            let par = similar_alg_par_bitset(&view, &[m1], &[w], &cfg, threads);
+            assert_eq!(par.answer, seq.answer, "threads={threads}");
+            assert_eq!(par.stats.work, seq.stats.work, "threads={threads}");
+        }
+    }
+}

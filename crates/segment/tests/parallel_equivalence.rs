@@ -1,0 +1,127 @@
+//! Parallel-equivalence property tests (ISSUE 6): the BSP-round parallel
+//! SimProvAlg must produce byte-identical `SimilarOutcome`s — sorted answer
+//! vector and `work` counter — to the sequential pair-encoded loop, on
+//! random `Pd`/`Sd` workloads, at every thread count, under all four
+//! `(symmetric_prune × early_stop)` configurations and both backends.
+//!
+//! `work` equality is the strong half of the contract: it only holds if the
+//! parallel merge enqueues every unique fact exactly once (idempotent
+//! `insert_packed` collapsing cross-worker duplicates), because every
+//! enqueued word is popped exactly once by both drains.
+
+use proptest::prelude::*;
+use prov_bitset::{CompressedBitmap, FixedBitSet};
+use prov_model::{VertexId, VertexKind};
+use prov_segment::{
+    similar_alg, similar_alg_par_with_batch_min, AlgConfig, MaskedGraph, SimilarConstraint,
+};
+use prov_store::{ProvGraph, ProvIndex};
+use prov_workload::{generate_pd, generate_sd, standard_query, PdParams, SdParams};
+
+/// Thread counts exercised for every query; chunk counts control the
+/// parallel shape, so these are meaningful even on a smaller pool.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn all_configs(constraint: Option<&ProvGraph>) -> Vec<AlgConfig> {
+    let mut configs = Vec::new();
+    for symmetric_prune in [false, true] {
+        for early_stop in [false, true] {
+            configs.push(AlgConfig {
+                symmetric_prune,
+                early_stop,
+                constraint: constraint.map(|g| SimilarConstraint::same_command().compile(g)),
+            });
+        }
+    }
+    configs
+}
+
+fn assert_equivalent(
+    view: &MaskedGraph<'_>,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+    cfg: &AlgConfig,
+    label: &str,
+) {
+    let seq_bit = similar_alg::<FixedBitSet>(view, vsrc, vdst, cfg);
+    let seq_cbm = similar_alg::<CompressedBitmap>(view, vsrc, vdst, cfg);
+    // batch_min = 0 forces the chunked fan-out/merge path on every round,
+    // even on graphs whose frontiers never reach the production threshold.
+    for threads in THREADS {
+        let par_bit =
+            similar_alg_par_with_batch_min::<FixedBitSet>(view, vsrc, vdst, cfg, threads, 0);
+        assert_eq!(par_bit.answer, seq_bit.answer, "bitset answer diverged: t={threads} {label}");
+        assert_eq!(par_bit.stats.work, seq_bit.stats.work, "bitset work: t={threads} {label}");
+        let par_cbm =
+            similar_alg_par_with_batch_min::<CompressedBitmap>(view, vsrc, vdst, cfg, threads, 0);
+        assert_eq!(par_cbm.answer, seq_cbm.answer, "cbm answer diverged: t={threads} {label}");
+        assert_eq!(par_cbm.stats.work, seq_cbm.stats.work, "cbm work: t={threads} {label}");
+    }
+}
+
+fn query_picks(
+    graph: &ProvGraph,
+    src_pick: prop::sample::Index,
+    dst_pick: prop::sample::Index,
+) -> (Vec<VertexId>, Vec<VertexId>) {
+    let entities = graph.vertices_of_kind(VertexKind::Entity);
+    (vec![*src_pick.get(entities)], vec![*dst_pick.get(entities)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random `Pd` collaborative-project graphs, random entity queries.
+    #[test]
+    fn parallel_drain_matches_sequential_on_pd(
+        n in 60usize..240,
+        seed in 0u64..1_000,
+        se in 1.1f64..2.1,
+        lambda_in in 1.0f64..3.5,
+        src_pick in any::<prop::sample::Index>(),
+        dst_pick in any::<prop::sample::Index>(),
+    ) {
+        let params = PdParams { n, seed, se, lambda_in, ..PdParams::default() };
+        let graph = generate_pd(&params);
+        let idx = ProvIndex::build(&graph);
+        let view = MaskedGraph::unmasked(&idx);
+        let (vsrc, vdst) = query_picks(&graph, src_pick, dst_pick);
+        for cfg in all_configs(None) {
+            assert_equivalent(&view, &vsrc, &vdst, &cfg, &format!("Pd n={n} seed={seed} {cfg:?}"));
+        }
+    }
+
+    /// The paper's standard first/last-entity query on `Pd`, plus the
+    /// property-constrained variant (σ = same command).
+    #[test]
+    fn parallel_drain_matches_sequential_on_standard_and_constrained_queries(
+        n in 80usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let graph = generate_pd(&PdParams { n, seed, ..PdParams::default() });
+        let idx = ProvIndex::build(&graph);
+        let view = MaskedGraph::unmasked(&idx);
+        let (vsrc, vdst) = standard_query(&graph, 2);
+        for cfg in all_configs(None).into_iter().chain(all_configs(Some(&graph))) {
+            assert_equivalent(&view, &vsrc, &vdst, &cfg, &format!("Pd-std n={n} seed={seed} {cfg:?}"));
+        }
+    }
+
+    /// Random `Sd` Markov-chain segment sets (the PgSum workload shape).
+    #[test]
+    fn parallel_drain_matches_sequential_on_sd(
+        seed in 0u64..1_000,
+        k in 2usize..6,
+        segn in 5usize..15,
+        src_pick in any::<prop::sample::Index>(),
+        dst_pick in any::<prop::sample::Index>(),
+    ) {
+        let out = generate_sd(&SdParams { seed, k, n: segn, num_segments: 3, ..SdParams::default() });
+        let idx = ProvIndex::build(&out.graph);
+        let view = MaskedGraph::unmasked(&idx);
+        let (vsrc, vdst) = query_picks(&out.graph, src_pick, dst_pick);
+        for cfg in all_configs(None) {
+            assert_equivalent(&view, &vsrc, &vdst, &cfg, &format!("Sd seed={seed} k={k} {cfg:?}"));
+        }
+    }
+}

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use prov_model::{EdgeKind, VertexId};
 use prov_store::ProvGraph;
 use prov_summary::merge_reference::merge_reference;
-use prov_summary::simulation::{simulation, simulation_naive, SimDirection};
+use prov_summary::simulation::{simulation, simulation_naive, simulation_par, SimDirection};
 use prov_summary::simulation_reference::simulation_reference;
 use prov_summary::{build_g0, merge, PgSumQuery, PropertyAggregation, SegmentRef, G0};
 
@@ -116,6 +116,32 @@ proptest! {
                             frozen.le(v, u),
                             "vs reference: dir={:?} v={} u={}", dir, v, u
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    /// ISSUE 6: the chunk-parallel sweep (frozen-counter detection plus a
+    /// synchronized remove-set reduction) must reach the same greatest
+    /// simulation as the sequential counting loop, at every thread count.
+    #[test]
+    fn parallel_simulation_matches_sequential(
+        plans in proptest::collection::vec(segment_plan(3), 1..5),
+    ) {
+        for g0 in g0s(&plans) {
+            for dir in [SimDirection::Out, SimDirection::In] {
+                let seq = simulation(&g0, dir);
+                for threads in [1usize, 2, 4, 8] {
+                    let par = simulation_par(&g0, dir, threads);
+                    for v in 0..g0.len() as u32 {
+                        for u in 0..g0.len() as u32 {
+                            prop_assert_eq!(
+                                par.le(v, u),
+                                seq.le(v, u),
+                                "dir={:?} threads={} v={} u={}", dir, threads, v, u
+                            );
+                        }
                     }
                 }
             }

@@ -1,0 +1,38 @@
+# Common dev loops. `just --list` shows this menu.
+
+# Tier-1 verify: exactly what CI's build-and-test job runs first.
+verify:
+    cargo build --release && cargo test -q
+
+# Everything: workspace suites + the vendored executor shim's own tests.
+test:
+    cargo test --workspace -q
+    cd vendor/rayon-core && cargo test -q
+
+# The workspace suite at a pinned executor width (try widths=1, 2, 8 —
+# ProvDb follows the pool width, so this drives the parallel kernels).
+test-threads widths="8":
+    PROV_THREADS={{widths}} cargo test --workspace -q
+
+# Lints exactly as CI runs them.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --check
+
+# Public docs with rustdoc warnings denied.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# Regenerate all committed BENCH_*.json trajectories (thread sweeps
+# included); pass "--full" for paper scale.
+bench-sweep *args:
+    scripts/bench-sweep.sh {{args}}
+
+# Gate fresh quick runs against the committed baselines, like CI.
+bench-gate:
+    cargo run -q -p prov-bench --release --bin figure -- --quick \
+        --json BENCH_fig5.new.json --baseline BENCH_fig5.json
+    cargo run -q -p prov-bench --release --bin figure -- --quick fig6 \
+        --json BENCH_fig6.new.json --baseline BENCH_fig6.json
+    cargo run -q -p prov-bench --release --bin figure -- --quick fig7 \
+        --json BENCH_fig7.new.json --baseline BENCH_fig7.json

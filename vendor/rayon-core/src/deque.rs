@@ -1,0 +1,57 @@
+//! Work-stealing deque used by the pool workers.
+//!
+//! Owner semantics are LIFO (`push`/`pop` operate on the back); thieves take
+//! from the front (`steal`), so stolen work is the oldest — the classic
+//! work-stealing discipline that keeps owners cache-hot while thieves pick up
+//! coarse, long-lived tasks. The implementation is a mutex-guarded ring
+//! buffer rather than a lock-free Chase-Lev deque: the workloads layered on
+//! top push chunk-granularity jobs (hundreds of microseconds each), so the
+//! uncontended lock is noise, and the mutex keeps the shim trivially sound
+//! under ThreadSanitizer.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A deque with an owner end (back, LIFO) and a thief end (front, FIFO).
+///
+/// All methods take `&self`; any thread may act as owner or thief. The
+/// owner/thief distinction is a usage convention enforced by the pool, not by
+/// the type.
+pub struct StealDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> StealDeque<T> {
+    pub fn new() -> Self {
+        StealDeque { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Owner end: push onto the back.
+    pub fn push(&self, value: T) {
+        self.inner.lock().unwrap().push_back(value);
+    }
+
+    /// Owner end: pop the most recently pushed item (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_back()
+    }
+
+    /// Thief end: steal the oldest item (FIFO).
+    pub fn steal(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+}
+
+impl<T> Default for StealDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

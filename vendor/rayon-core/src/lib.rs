@@ -1,0 +1,111 @@
+//! Offline shim of the `rayon-core` API subset this workspace uses.
+//!
+//! The build environment has no registry access, so this crate implements —
+//! from scratch, against the std synchronization primitives only — the small
+//! executor surface the `prov-*` kernels need:
+//!
+//! - [`ThreadPool`]: a fixed pool of workers with per-worker work-stealing
+//!   deques ([`StealDeque`]) and a shared injector. The [`global_pool`] is
+//!   sized by the `PROV_THREADS` environment variable (falling back to
+//!   `available_parallelism`) and lives for the process.
+//! - [`scope`] / [`Scope::spawn`]: structured tasks that may borrow stack
+//!   data; the scope call blocks (helping run pool jobs) until all spawned
+//!   tasks finish, and re-throws the first captured panic.
+//! - [`join`]: two-way fork/join built on `scope`.
+//! - [`par_for`] / [`chunk_ranges`]: chunked data-parallel loops.
+//!
+//! There is deliberately no registry, no `spawn` without a scope, and no
+//! dynamic pool resizing — the kernels size their chunk counts explicitly so
+//! an N-way computation behaves identically on any pool.
+
+mod deque;
+mod pool;
+mod scope;
+
+pub use deque::StealDeque;
+pub use pool::{configured_num_threads, current_num_threads, global_pool, ThreadPool};
+pub use scope::{chunk_ranges, join, par_for, scope, Scope};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_for_covers_every_index() {
+        let pool = ThreadPool::new(4);
+        let n = 1000;
+        let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.par_for(n, 8, |_, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must stay usable after a task panic.
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn chunk_ranges_partition() {
+        let ranges = chunk_ranges(10, 4);
+        let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert_eq!(chunk_ranges(3, 8).len(), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Fixed-size worker pool with per-worker work-stealing deques.
+//!
+//! Layout mirrors rayon-core's registry at a much smaller scale: one global
+//! injector deque for jobs pushed from outside the pool, one `StealDeque`
+//! per worker for jobs pushed from inside a worker (owner pops LIFO, other
+//! workers steal FIFO), and a generation-counted condvar for parking idle
+//! workers without lost wakeups. There is no registry access and no dynamic
+//! resizing: the pool is sized once, at construction, from `PROV_THREADS`
+//! (or `available_parallelism` when unset) for the global pool.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+use crate::deque::StealDeque;
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct Inner {
+    /// Jobs pushed from threads outside the pool.
+    injector: StealDeque<Job>,
+    /// One deque per worker; worker `i` owns `deques[i]`.
+    deques: Vec<StealDeque<Job>>,
+    /// Generation counter bumped on every push; workers park against it so a
+    /// push between "scan found nothing" and "wait" is never lost.
+    generation: Mutex<u64>,
+    wake: Condvar,
+    stop: AtomicBool,
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` for pool worker threads; `None` on
+    /// external threads. Identity is the `Arc<Inner>` pointer so a thread
+    /// belonging to one pool does not push into another pool's deques.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+impl Inner {
+    fn key(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    pub(crate) fn notify(&self) {
+        let mut generation = self.generation.lock().unwrap();
+        *generation = generation.wrapping_add(1);
+        drop(generation);
+        self.wake.notify_all();
+    }
+
+    /// Push a job: onto the current worker's own deque when called from
+    /// inside this pool, onto the injector otherwise.
+    pub(crate) fn push(self: &Arc<Self>, job: Job) {
+        match WORKER.with(|w| w.get()) {
+            Some((key, idx)) if key == self.key() => self.deques[idx].push(job),
+            _ => self.injector.push(job),
+        }
+        self.notify();
+    }
+
+    /// Locate a runnable job: own deque (LIFO) first, then the injector,
+    /// then steal from the other workers (FIFO).
+    pub(crate) fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(idx) = me {
+            if let Some(job) = self.deques[idx].pop() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.steal() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |idx| idx + 1);
+        for offset in 0..n {
+            let victim = (start + offset) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].steal() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// The current thread's worker index, if it is a worker of this pool.
+    pub(crate) fn current_worker(self: &Arc<Self>) -> Option<usize> {
+        match WORKER.with(|w| w.get()) {
+            Some((key, idx)) if key == self.key() => Some(idx),
+            _ => None,
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, idx: usize) {
+    WORKER.with(|w| w.set(Some((inner.key(), idx))));
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(job) = inner.find_job(Some(idx)) {
+            job();
+            continue;
+        }
+        // Park: re-scan with the generation lock held, so any push (which
+        // bumps the generation under the same lock) either lands before the
+        // scan or wakes us after we wait.
+        let mut generation = inner.generation.lock().unwrap();
+        loop {
+            if inner.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(job) = inner.find_job(Some(idx)) {
+                drop(generation);
+                job();
+                break;
+            }
+            generation = inner.wake.wait(generation).unwrap();
+        }
+    }
+}
+
+/// A fixed pool of worker threads. See [`crate::scope`] for the task API.
+pub struct ThreadPool {
+    pub(crate) inner: Arc<Inner>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            injector: StealDeque::new(),
+            deques: (0..threads).map(|_| StealDeque::new()).collect(),
+            generation: Mutex::new(0),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        for idx in 0..threads {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name(format!("prov-worker-{idx}"))
+                .spawn(move || worker_loop(inner, idx))
+                .expect("failed to spawn pool worker");
+        }
+        ThreadPool { inner, threads }
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.notify();
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Number of workers the global pool uses: `PROV_THREADS` when set to a
+/// positive integer, the machine's available parallelism otherwise.
+fn threads_from_env() -> usize {
+    std::env::var("PROV_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The process-wide pool, created on first use and never torn down.
+pub fn global_pool() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(threads_from_env()))
+}
+
+/// Worker count of the global pool.
+pub fn current_num_threads() -> usize {
+    global_pool().num_threads()
+}
+
+/// The width the global pool has — or *would* have — without instantiating
+/// it. Lets callers size chunk counts (and decide whether parallelism is
+/// worth anything at all) before a single worker thread is spawned.
+pub fn configured_num_threads() -> usize {
+    match GLOBAL.get() {
+        Some(pool) => pool.num_threads(),
+        None => threads_from_env(),
+    }
+}

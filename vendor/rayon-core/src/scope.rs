@@ -1,0 +1,225 @@
+//! Scoped tasks: `scope`, `join`, and `par_for` on top of the pool.
+//!
+//! The lifetime story follows rayon-core's `Scope<'scope>`: spawned closures
+//! may borrow data outliving the `scope()` call because `scope()` does not
+//! return until every spawned task has completed (a counting latch tracks
+//! in-flight tasks). The closure box is lifetime-erased to `'static` before
+//! entering the pool queues; that erasure is sound precisely because of the
+//! completion barrier. While waiting on the latch, the calling thread *helps*
+//! — it runs queued pool jobs — so nested scopes on a small pool cannot
+//! deadlock on their own tasks.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::pool::{global_pool, Inner, Job, ThreadPool};
+
+/// Counts in-flight tasks of one scope and holds the first captured panic.
+struct Latch {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            pending: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn increment(&self) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn decrement(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the lock before notifying so a waiter between its pending
+            // check and `wait()` cannot miss the wakeup.
+            let _guard = self.lock.lock().unwrap();
+            self.done.notify_all();
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// Handle passed to the `scope()` closure; `spawn` enqueues tasks that may
+/// borrow anything outliving `'scope`.
+pub struct Scope<'scope> {
+    pool: Arc<Inner>,
+    latch: Arc<Latch>,
+    // Invariant over 'scope (mirrors rayon): prevents the region from being
+    // shortened to exclude the completion barrier.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.increment();
+        let latch = Arc::clone(&self.latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                latch.store_panic(payload);
+            }
+            latch.decrement();
+        });
+        // SAFETY: the box only erases the `'scope` region to `'static`; the
+        // enclosing `scope()` call blocks until `latch.pending == 0`, so the
+        // closure (and every borrow inside it) is dropped before `'scope`
+        // data can go out of scope.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.pool.push(job);
+    }
+}
+
+/// Wait for `latch` to reach zero, running queued pool jobs in the meantime.
+fn wait_helping(pool: &Arc<Inner>, latch: &Latch) {
+    let me = pool.current_worker();
+    loop {
+        if latch.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        if let Some(job) = pool.find_job(me) {
+            job();
+            continue;
+        }
+        // Nothing runnable: park on the latch. The timeout is a safety net —
+        // it bounds how long we can ignore pool work that was enqueued after
+        // the scan above — correctness never depends on it.
+        let guard = latch.lock.lock().unwrap();
+        if latch.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let _ = latch.done.wait_timeout(guard, Duration::from_millis(10)).unwrap();
+    }
+}
+
+impl ThreadPool {
+    /// Run `op` with a [`Scope`] handle; returns once `op` and every task it
+    /// spawned (transitively) have finished. Panics from tasks are captured
+    /// and re-thrown here, task panics taking precedence over `op`'s.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        let latch = Arc::new(Latch::new());
+        let scope =
+            Scope { pool: Arc::clone(&self.inner), latch: Arc::clone(&latch), marker: PhantomData };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        wait_helping(&self.inner, &latch);
+        if let Some(payload) = latch.take_panic() {
+            panic::resume_unwind(payload);
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Run two closures, potentially in parallel, returning both results.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb = None;
+        let ra = self.scope(|s| {
+            s.spawn(|| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("join: spawned side did not run"))
+    }
+
+    /// Apply `f` to `0..n` split into at most `chunks` contiguous ranges;
+    /// each invocation gets `(chunk_index, range)`. Chunk 0 may run on the
+    /// calling thread.
+    pub fn par_for<F>(&self, n: usize, chunks: usize, f: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Send + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let chunks = chunks.clamp(1, n);
+        if chunks == 1 {
+            f(0, 0..n);
+            return;
+        }
+        let ranges = chunk_ranges(n, chunks);
+        let f = &f;
+        self.scope(|s| {
+            for (idx, range) in ranges.into_iter().enumerate() {
+                s.spawn(move || f(idx, range));
+            }
+        });
+    }
+}
+
+/// Split `0..n` into at most `parts` contiguous, near-equal ranges.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let chunk = n.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// [`ThreadPool::scope`] on the global pool.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    global_pool().scope(op)
+}
+
+/// [`ThreadPool::join`] on the global pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    global_pool().join(a, b)
+}
+
+/// [`ThreadPool::par_for`] on the global pool.
+pub fn par_for<F>(n: usize, chunks: usize, f: F)
+where
+    F: Fn(usize, std::ops::Range<usize>) + Send + Sync,
+{
+    global_pool().par_for(n, chunks, f)
+}
