@@ -110,6 +110,7 @@ impl<S: FastSet> PairTable<S> {
             }
         };
         self.len += newly as usize;
+        self.paranoid_check();
         newly
     }
 
@@ -132,6 +133,7 @@ impl<S: FastSet> PairTable<S> {
             self.len += 1;
             out.push(w | out_tag);
         }
+        self.paranoid_check();
         newly
     }
 
@@ -176,6 +178,7 @@ impl<S: FastSet> PairTable<S> {
             }
         }
         self.len += added;
+        self.paranoid_check();
     }
 
     /// Append every partner of `r` (both orientations) to `out`, sorted and
@@ -224,6 +227,61 @@ impl<S: FastSet> PairTable<S> {
             Repr::Rows(rows) => Box::new(rows.iter().enumerate().flat_map(|(i, row)| {
                 row.iter().flat_map(move |s| s.iter_elems().map(move |j| (i as u32, j)))
             })),
+        }
+    }
+
+    /// Check the fact table's structural invariants, naming the first
+    /// violated one in the error.
+    ///
+    /// The catalog (see DESIGN.md §8): the layout matches the universe (flat
+    /// iff it fits [`FLAT_PAIR_UNIVERSE_MAX`], one lazy row slot per rank
+    /// otherwise), every stored cell/column is inside the universe, and the
+    /// cached `len` equals a recount of the backing sets. `O(universe)` plus
+    /// the recount — wired to run after every insert under the `paranoid`
+    /// feature.
+    pub fn validate(&self) -> Result<(), String> {
+        let u = self.universe;
+        let stored = match &self.repr {
+            Repr::Flat(s) => {
+                if u > FLAT_PAIR_UNIVERSE_MAX {
+                    return Err(format!("flat layout over universe {u} > FLAT_PAIR_UNIVERSE_MAX"));
+                }
+                if let Some(cell) = s.iter_elems().find(|&c| c as usize >= u * u) {
+                    return Err(format!("flat cell {cell} outside the {u}x{u} universe"));
+                }
+                s.len()
+            }
+            Repr::Rows(rows) => {
+                if u <= FLAT_PAIR_UNIVERSE_MAX {
+                    return Err(format!("row layout under universe {u} <= FLAT_PAIR_UNIVERSE_MAX"));
+                }
+                if rows.len() != u {
+                    return Err(format!("{} row slots over universe {u}", rows.len()));
+                }
+                let mut count = 0usize;
+                for (i, row) in rows.iter().enumerate() {
+                    let Some(row) = row else { continue };
+                    if let Some(j) = row.iter_elems().find(|&j| j as usize >= u) {
+                        return Err(format!("row {i} holds column {j} outside universe {u}"));
+                    }
+                    count += row.len();
+                }
+                count
+            }
+        };
+        if stored != self.len {
+            return Err(format!("cached len {} but {stored} pairs stored", self.len));
+        }
+        Ok(())
+    }
+
+    /// Under the `paranoid` feature, panic on any violated table invariant;
+    /// compiled to nothing otherwise.
+    #[inline]
+    fn paranoid_check(&self) {
+        #[cfg(feature = "paranoid")]
+        if let Err(violation) = self.validate() {
+            panic!("paranoid pair-table validation failed: {violation}");
         }
     }
 
@@ -298,6 +356,42 @@ mod tests {
     fn pair_table_over_compressed_bitmap() {
         exercise::<CompressedBitmap>(10);
         exercise::<CompressedBitmap>(FLAT_PAIR_UNIVERSE_MAX + 1);
+    }
+
+    #[test]
+    fn validate_catches_hand_corrupted_tables() {
+        // Pristine tables of both layouts pass.
+        let mut flat: PairTable<FixedBitSet> = PairTable::new(10);
+        flat.insert(1, 2);
+        flat.validate().expect("pristine flat table");
+        let mut rows: PairTable<FixedBitSet> = PairTable::new(FLAT_PAIR_UNIVERSE_MAX + 1);
+        rows.insert(1, 2);
+        rows.validate().expect("pristine row table");
+
+        // Cached len drifting from the backing sets is caught and named.
+        flat.len += 1;
+        let violation = flat.validate().expect_err("len drift must be caught");
+        assert!(violation.contains("cached len"), "unexpected message {violation:?}");
+        rows.len = 0;
+        assert!(rows.validate().expect_err("len drift").contains("cached len"));
+
+        // A repr that disagrees with its universe is caught and named.
+        let wrong = PairTable::<FixedBitSet> {
+            repr: Repr::Flat(FixedBitSet::with_universe(4)),
+            universe: FLAT_PAIR_UNIVERSE_MAX + 1,
+            len: 0,
+        };
+        assert!(wrong.validate().expect_err("layout mismatch").contains("flat layout"));
+        let wrong =
+            PairTable::<FixedBitSet> { repr: Repr::Rows(vec![None; 3]), universe: 3, len: 0 };
+        assert!(wrong.validate().expect_err("layout mismatch").contains("row layout"));
+
+        // A dropped row slot is caught and named.
+        let mut rows: PairTable<FixedBitSet> = PairTable::new(FLAT_PAIR_UNIVERSE_MAX + 1);
+        if let Repr::Rows(slots) = &mut rows.repr {
+            slots.pop();
+        }
+        assert!(rows.validate().expect_err("slot count").contains("row slots"));
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn readers_and_writer_interleave_without_torn_snapshots() {
             let db = Arc::clone(&db);
             let stop = Arc::clone(&stop);
             let progress = Arc::clone(&progress);
+            // lint-ok(thread-spawn): smoke test deliberately drives the store from raw OS threads.
             std::thread::spawn(move || {
                 let mut queries = 0usize;
                 while !stop.load(Ordering::Relaxed) {

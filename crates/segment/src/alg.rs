@@ -212,6 +212,7 @@ impl RankAdjacency {
             // Ascending rows let the pair loop split canonical pairs into a
             // constant-row suffix batch (see `PairTable::insert_row`).
             targets[start..].sort_unstable();
+            // lint-ok(narrowing-cast): rank adjacency holds ≤ |E| entries, bounded by u32 ids.
             offsets.push(targets.len() as u32);
         }
         RankAdjacency { offsets, targets }
@@ -292,7 +293,9 @@ pub fn similar_alg<S: FastSet>(
     while let Some(word) = worklist.pop() {
         pops += 1;
         let is_ee = word & EE_TAG != 0;
+        // lint-ok(narrowing-cast): deliberately unpacks the two u32 halves of a packed word.
         let lo = ((word >> 32) & HI_RANK_MASK) as u32;
+        // lint-ok(narrowing-cast): low half of the packed pair word.
         let hi = word as u32;
         if let Some((se, sa)) = &stale {
             let s = if is_ee { se } else { sa };

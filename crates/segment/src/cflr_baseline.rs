@@ -54,6 +54,7 @@ fn finish<S: FastSet>(
         }
         // All-pairs relations are symmetric here; read the column side too via
         // the transpose fact N(t, src).
+        // lint-ok(narrowing-cast): vertex ids are minted below u32::MAX by the store.
         for t in 0..idx.vertex_count() as u32 {
             if result.contains(start, t, src.raw()) {
                 marks[t as usize] = true;

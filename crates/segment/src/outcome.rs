@@ -47,6 +47,7 @@ impl SimilarOutcome {
 
 /// Collect a boolean vertex mark array into a sorted id list.
 pub(crate) fn marks_to_vec(marks: &[bool]) -> Vec<VertexId> {
+    // lint-ok(narrowing-cast): the mark array is indexed by u32-bounded vertex ids.
     marks.iter().enumerate().filter_map(|(i, &m)| m.then_some(VertexId::new(i as u32))).collect()
 }
 

@@ -71,7 +71,9 @@ fn push_candidate<S: FastSet>(ctx: &RoundCtx<'_, S>, out: &mut Vec<u64>, r1: u32
 /// candidate pairs into `out`. Pair-for-pair the same derivations as the
 /// sequential loop body.
 fn expand_word<S: FastSet>(ctx: &RoundCtx<'_, S>, word: u64, out: &mut Vec<u64>) {
+    // lint-ok(narrowing-cast): deliberately unpacks the two u32 halves of a packed word.
     let lo = ((word >> 32) & HI_RANK_MASK) as u32;
+    // lint-ok(narrowing-cast): low half of the packed pair word.
     let hi = word as u32;
     if let Some(stale) = ctx.stale {
         if stale[lo as usize] && stale[hi as usize] {

@@ -57,6 +57,7 @@ impl Default for TstConfig {
 /// `-1` = unknown; computed with an explicit stack (the graph is a DAG).
 fn ext_of(view: &MaskedGraph<'_>, start: VertexId, memo: &mut [i64]) -> u32 {
     if memo[start.index()] >= 0 {
+        // lint-ok(narrowing-cast): memo holds DAG path lengths < n, far below u32::MAX.
         return memo[start.index()] as u32;
     }
     let mut stack: Vec<VertexId> = vec![start];
@@ -81,6 +82,7 @@ fn ext_of(view: &MaskedGraph<'_>, start: VertexId, memo: &mut [i64]) -> u32 {
             stack.pop();
         }
     }
+    // lint-ok(narrowing-cast): memo holds DAG path lengths < n, far below u32::MAX.
     memo[start.index()] as u32
 }
 

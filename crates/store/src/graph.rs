@@ -94,11 +94,13 @@ impl<'g> GraphDelta<'g> {
 
     /// Ids of the vertices added since the cursor, in creation order.
     pub fn new_vertices(&self) -> impl Iterator<Item = VertexId> + 'g {
+        // lint-ok(narrowing-cast): check_capacity keeps every dense id below u32::MAX.
         (self.from.vertices..self.graph.vertex_count() as u32).map(VertexId::new)
     }
 
     /// Ids of the edges added since the cursor, in creation order.
     pub fn new_edges(&self) -> impl Iterator<Item = EdgeId> + 'g {
+        // lint-ok(narrowing-cast): check_capacity keeps every dense id below u32::MAX.
         (self.from.edges..self.graph.edge_count() as u32).map(EdgeId::new)
     }
 
@@ -139,6 +141,7 @@ impl ProvGraph {
     /// [`DeltaCursor`]). Snapshots record the cursor they were frozen at;
     /// equality of cursors is the freshness test.
     pub fn cursor(&self) -> DeltaCursor {
+        // lint-ok(narrowing-cast): check_capacity bounds both logs at u32::MAX entries.
         DeltaCursor { vertices: self.vertices.len() as u32, edges: self.edges.len() as u32 }
     }
 
@@ -201,6 +204,7 @@ impl ProvGraph {
     /// every prior holder remains reachable via [`ProvGraph::versions_of`].
     pub fn add_vertex(&mut self, kind: VertexKind, name: Option<&str>) -> StoreResult<VertexId> {
         Self::check_capacity(self.vertices.len(), "vertex")?;
+        // lint-ok(narrowing-cast): check_capacity above just proved len < u32::MAX.
         let id = VertexId::new(self.vertices.len() as u32);
         let name_arc: Option<Arc<str>> = name.map(Arc::from);
         if let Some(n) = &name_arc {
@@ -216,6 +220,7 @@ impl ProvGraph {
         self.out_adj.push(Vec::new());
         self.in_adj.push(Vec::new());
         self.by_kind[kind.as_index()].push(id);
+        self.paranoid_check();
         Ok(id)
     }
 
@@ -293,6 +298,7 @@ impl ProvGraph {
 
     /// Iterate all vertex ids.
     pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        // lint-ok(narrowing-cast): check_capacity keeps every dense id below u32::MAX.
         (0..self.vertices.len() as u32).map(VertexId::new)
     }
 
@@ -311,10 +317,12 @@ impl ProvGraph {
         let src_kind = self.try_vertex(src)?.kind;
         let dst_kind = self.try_vertex(dst)?.kind;
         check_edge_types(kind, src_kind, dst_kind)?;
+        // lint-ok(narrowing-cast): check_capacity above just proved len < u32::MAX.
         let id = EdgeId::new(self.edges.len() as u32);
         self.edges.push(EdgeRecord { kind, src, dst, props: PropMap::new() });
         self.out_adj[src.index()].push(id);
         self.in_adj[dst.index()].push(id);
+        self.paranoid_check();
         Ok(id)
     }
 
@@ -340,6 +348,7 @@ impl ProvGraph {
 
     /// Iterate all edge ids.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        // lint-ok(narrowing-cast): check_capacity keeps every dense id below u32::MAX.
         (0..self.edges.len() as u32).map(EdgeId::new)
     }
 
@@ -495,6 +504,158 @@ impl ProvGraph {
     // ------------------------------------------------------------------
     // Validation
     // ------------------------------------------------------------------
+
+    /// Check every structural invariant of the store, naming the first
+    /// violated one in the error.
+    ///
+    /// The catalog (see DESIGN.md §8):
+    ///
+    /// * adjacency columns are as long as the vertex column, every row entry
+    ///   names an existing edge anchored at that vertex, rows stay in edge-id
+    ///   (insertion) order, and each direction covers every edge exactly once;
+    /// * births are strictly increasing and the clock sits beyond the last;
+    /// * every edge satisfies the PROV domain/range rule it was admitted
+    ///   under;
+    /// * the kind index partitions the vertices (right kind, creation order,
+    ///   all `n` covered);
+    /// * the name index is exactly the named vertices: versions in creation
+    ///   order, each entry carrying the name it is filed under.
+    ///
+    /// `O(|V| + |E|)`. Under the `paranoid` feature it runs automatically
+    /// after every mutation. This checks *representation* invariants;
+    /// acyclicity (a property of the data, not the encoding) stays a
+    /// separate, on-demand check ([`ProvGraph::validate_acyclic`]).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.vertices.len();
+        if self.out_adj.len() != n || self.in_adj.len() != n {
+            return Err(format!(
+                "adjacency columns disagree with {n} vertices: {} out rows, {} in rows",
+                self.out_adj.len(),
+                self.in_adj.len()
+            ));
+        }
+        if let Some(i) = (1..n).find(|&i| self.vertices[i - 1].birth >= self.vertices[i].birth) {
+            return Err(format!(
+                "births not strictly increasing at vertex {i} ({} then {})",
+                self.vertices[i - 1].birth,
+                self.vertices[i].birth
+            ));
+        }
+        if let Some(last) = self.vertices.last() {
+            if last.birth >= self.clock {
+                return Err(format!(
+                    "clock {} not beyond the last birth {}",
+                    self.clock, last.birth
+                ));
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src.index() >= n || e.dst.index() >= n {
+                return Err(format!(
+                    "edge {i} endpoints {} -> {} out of bounds (n = {n})",
+                    e.src, e.dst
+                ));
+            }
+            let (sk, dk) = (self.vertices[e.src.index()].kind, self.vertices[e.dst.index()].kind);
+            if check_edge_types(e.kind, sk, dk).is_err() {
+                return Err(format!(
+                    "edge {i} ({sk:?} -> {dk:?}) violates the {:?} domain/range rule",
+                    e.kind
+                ));
+            }
+        }
+        // Each adjacency direction: anchored entries in ascending edge-id
+        // order, totalling |E| — together a bijection onto the edge column.
+        for (dir, rows) in [("out_adj", &self.out_adj), ("in_adj", &self.in_adj)] {
+            let mut total = 0usize;
+            for (v, row) in rows.iter().enumerate() {
+                total += row.len();
+                for &eid in row {
+                    let anchor = match self.edges.get(eid.index()) {
+                        Some(e) if dir == "out_adj" => e.src,
+                        Some(e) => e.dst,
+                        None => {
+                            return Err(format!("{dir} row of vertex {v} names unknown edge {eid}"))
+                        }
+                    };
+                    if anchor.index() != v {
+                        return Err(format!(
+                            "{dir} row of vertex {v} holds edge {eid} anchored at {anchor}"
+                        ));
+                    }
+                }
+                if row.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!("{dir} row of vertex {v} not in edge-id order"));
+                }
+            }
+            if total != self.edges.len() {
+                return Err(format!(
+                    "{dir} rows hold {total} entries for {} edges",
+                    self.edges.len()
+                ));
+            }
+        }
+        // Kind index: a partition of the vertices in creation order.
+        let mut covered = 0usize;
+        for kind in VertexKind::ALL {
+            let members = &self.by_kind[kind.as_index()];
+            covered += members.len();
+            if members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("by_kind[{kind:?}] not in creation order"));
+            }
+            for &v in members {
+                if v.index() >= n {
+                    return Err(format!("by_kind[{kind:?}] member {v} out of bounds"));
+                }
+                if self.vertices[v.index()].kind != kind {
+                    return Err(format!(
+                        "by_kind[{kind:?}] member {v} has kind {:?}",
+                        self.vertices[v.index()].kind
+                    ));
+                }
+            }
+        }
+        if covered != n {
+            return Err(format!("by_kind covers {covered} of {n} vertices"));
+        }
+        // Name index: exactly the named vertices, versions in creation order.
+        let mut filed = 0usize;
+        for (name, ids) in &self.by_name {
+            if ids.is_empty() {
+                return Err(format!("by_name[{name:?}] is empty"));
+            }
+            if ids.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("versions of {name:?} not in creation order"));
+            }
+            filed += ids.len();
+            for &v in ids {
+                if v.index() >= n {
+                    return Err(format!("by_name[{name:?}] member {v} out of bounds"));
+                }
+                if self.vertices[v.index()].name.as_deref() != Some(&**name) {
+                    return Err(format!(
+                        "by_name[{name:?}] member {v} is named {:?}",
+                        self.vertices[v.index()].name
+                    ));
+                }
+            }
+        }
+        let named = self.vertices.iter().filter(|v| v.name.is_some()).count();
+        if filed != named {
+            return Err(format!("name index files {filed} entries for {named} named vertices"));
+        }
+        Ok(())
+    }
+
+    /// Under the `paranoid` feature, panic on any violated store invariant;
+    /// compiled to nothing otherwise.
+    #[inline]
+    fn paranoid_check(&self) {
+        #[cfg(feature = "paranoid")]
+        if let Err(violation) = self.validate() {
+            panic!("paranoid graph validation failed: {violation}");
+        }
+    }
 
     /// Check acyclicity (Definition 1 requires a DAG) via Kahn's algorithm.
     pub fn validate_acyclic(&self) -> StoreResult<()> {
@@ -788,6 +949,98 @@ mod tests {
         for eid in g.edge_ids() {
             let e = g.edge(eid);
             assert!(pos[&e.src] < pos[&e.dst], "edge {eid} out of order");
+        }
+    }
+
+    /// Hand-corrupt private store state and check `validate` names the
+    /// broken invariant (ISSUE 7 acceptance; the snapshot twin lives in
+    /// `snapshot::tests::corruption`).
+    mod corruption {
+        use super::*;
+
+        #[track_caller]
+        fn assert_names(g: &ProvGraph, needle: &str) {
+            let violation = g.validate().expect_err("corruption must be caught");
+            assert!(violation.contains(needle), "violation {violation:?} does not name {needle:?}");
+        }
+
+        #[test]
+        fn pristine_store_validates() {
+            let (g, ..) = tiny();
+            g.validate().expect("freshly built store is valid");
+            ProvGraph::new().validate().expect("empty store is valid");
+        }
+
+        #[test]
+        fn adjacency_column_truncated() {
+            let (mut g, ..) = tiny();
+            g.out_adj.pop();
+            assert_names(&g, "adjacency columns disagree");
+        }
+
+        #[test]
+        fn birth_order_swap() {
+            let (mut g, ..) = tiny();
+            let b0 = g.vertices[0].birth;
+            g.vertices[0].birth = g.vertices[1].birth;
+            g.vertices[1].birth = b0;
+            assert_names(&g, "births not strictly increasing");
+        }
+
+        #[test]
+        fn clock_behind_births() {
+            let (mut g, ..) = tiny();
+            g.clock = 0;
+            assert_names(&g, "clock");
+        }
+
+        #[test]
+        fn edge_retyped_against_prov_rule() {
+            let (mut g, ..) = tiny();
+            // Edge 0 is Used (Activity -> Entity); WasGeneratedBy requires
+            // Entity -> Activity.
+            g.edges[0].kind = EdgeKind::WasGeneratedBy;
+            assert_names(&g, "domain/range");
+        }
+
+        #[test]
+        fn adjacency_row_wrong_anchor() {
+            let (mut g, ..) = tiny();
+            // Move edge 0 out of its source's row into another vertex's.
+            let eid = g.out_adj[2].remove(0);
+            g.out_adj[0].push(eid);
+            assert_names(&g, "anchored at");
+        }
+
+        #[test]
+        fn adjacency_entry_lost() {
+            let (mut g, ..) = tiny();
+            g.in_adj[0].clear();
+            assert_names(&g, "in_adj rows hold");
+        }
+
+        #[test]
+        fn kind_index_mismatch() {
+            let (mut g, ..) = tiny();
+            // Vertex 0 is an entity; file it under agents instead.
+            let v = g.by_kind[VertexKind::Entity.as_index()].remove(0);
+            g.by_kind[VertexKind::Agent.as_index()].insert(0, v);
+            assert_names(&g, "has kind");
+        }
+
+        #[test]
+        fn name_index_stale_entry() {
+            let (mut g, ..) = tiny();
+            let ids = g.by_name.get_mut("alice").unwrap();
+            ids[0] = VertexId::new(0); // vertex 0 is named "data-v1"
+            assert_names(&g, "is named");
+        }
+
+        #[test]
+        fn name_index_dropped_version() {
+            let (mut g, ..) = tiny();
+            g.by_name.remove("alice");
+            assert_names(&g, "name index files");
         }
     }
 

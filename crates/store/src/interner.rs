@@ -26,6 +26,7 @@ impl KeyInterner {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
+        // lint-ok(narrowing-cast): property-key cardinality is tiny; ids stay far below u32::MAX.
         let id = PropKeyId::new(self.names.len() as u32);
         let arc: Arc<str> = Arc::from(name);
         self.names.push(arc.clone());
@@ -55,6 +56,7 @@ impl KeyInterner {
 
     /// Iterate `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (PropKeyId, &str)> {
+        // lint-ok(narrowing-cast): indexes of ids minted by `intern`, all below u32::MAX.
         self.names.iter().enumerate().map(|(i, s)| (PropKeyId::new(i as u32), s.as_ref()))
     }
 }

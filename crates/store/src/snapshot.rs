@@ -98,6 +98,57 @@ impl Csr {
         (self.offsets[v.index()] as usize, self.offsets[v.index() + 1] as usize)
     }
 
+    /// Check this CSR's structural invariants over a vertex space of `n`;
+    /// `name` labels the relation/direction in the violation message.
+    ///
+    /// The invariants are exactly what the traversal accessors assume — and
+    /// what `extend_tail`'s append-at-row-tail merge preserves: an offset
+    /// table of `n + 1` monotone non-decreasing entries starting at 0 and
+    /// closing at the adjacency length, in-bounds targets, and per-row
+    /// strictly ascending edge ids (insertion order; the tie-break `build`
+    /// sorts by and `extend_tail` relies on to append without comparing
+    /// against frozen entries).
+    fn validate(&self, name: &str, n: usize) -> Result<(), String> {
+        if self.offsets.len() != n + 1 {
+            return Err(format!(
+                "{name}: offset table holds {} entries, want n + 1 = {}",
+                self.offsets.len(),
+                n + 1
+            ));
+        }
+        if self.offsets[0] != 0 {
+            return Err(format!("{name}: offsets[0] = {}, want 0", self.offsets[0]));
+        }
+        if let Some(v) = (0..n).find(|&v| self.offsets[v] > self.offsets[v + 1]) {
+            return Err(format!(
+                "{name}: offsets decrease at vertex {v} ({} then {})",
+                self.offsets[v],
+                self.offsets[v + 1]
+            ));
+        }
+        let total = self.offsets[n] as usize;
+        if total != self.targets.len() || self.targets.len() != self.edge_ids.len() {
+            return Err(format!(
+                "{name}: closing offset {total} vs {} targets / {} edge ids",
+                self.targets.len(),
+                self.edge_ids.len()
+            ));
+        }
+        if let Some(t) = self.targets.iter().find(|t| t.index() >= n) {
+            return Err(format!("{name}: target {t} out of bounds (n = {n})"));
+        }
+        for v in 0..n {
+            let row = &self.edge_ids[self.offsets[v] as usize..self.offsets[v + 1] as usize];
+            if let Some(w) = row.windows(2).find(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "{name}: edge ids of vertex {v} not strictly ascending ({} then {})",
+                    w[0], w[1]
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Tail-merge `pairs` into the CSR and grow the vertex space to `n`.
     ///
     /// Requires every pair's edge id to exceed every frozen edge id (true by
@@ -216,6 +267,7 @@ impl TypedPairs {
     /// Dispatch the edges `[from_edge, graph.edge_count())` by kind.
     fn collect(graph: &ProvGraph, from_edge: u32) -> TypedPairs {
         let mut p = TypedPairs::default();
+        // lint-ok(narrowing-cast): the store's check_capacity bounds edge ids below u32::MAX.
         for raw in from_edge..graph.edge_count() as u32 {
             let eid = EdgeId::new(raw);
             let e = graph.edge(eid);
@@ -255,10 +307,12 @@ impl ProvIndex {
         let mut kind_members: [Vec<VertexId>; 3] = Default::default();
         for (i, &k) in kinds.iter().enumerate() {
             let members = &mut kind_members[k.as_index()];
+            // lint-ok(narrowing-cast): ranks index the vertex log, bounded by check_capacity.
             kind_rank[i] = members.len() as u32;
+            // lint-ok(narrowing-cast): i enumerates vertex ids already minted below u32::MAX.
             members.push(VertexId::new(i as u32));
         }
-        ProvIndex {
+        let index = ProvIndex {
             n,
             frozen: graph.cursor(),
             kinds,
@@ -279,7 +333,9 @@ impl ProvIndex {
                 graph.kind_count(VertexKind::Agent),
             ],
             edge_counts: pairs.edge_counts,
-        }
+        };
+        index.paranoid_check();
+        index
     }
 
     /// Freeze `graph` into a reference-counted snapshot ready to be stored in
@@ -328,6 +384,7 @@ impl ProvIndex {
         for v in delta.new_vertices() {
             let k = graph.vertex_kind(v);
             let members = &mut self.kind_members[k.as_index()];
+            // lint-ok(narrowing-cast): kind ranks are bounded by the u32 vertex-id space.
             self.kind_rank.push(members.len() as u32);
             members.push(v);
             self.kinds.push(k);
@@ -349,6 +406,7 @@ impl ProvIndex {
         self.deriv_out.extend_tail(n, &mut pairs.deriv);
         self.deriv_in.extend_tail(n, &mut pairs.deriv_rev);
         self.frozen = graph.cursor();
+        self.paranoid_check();
     }
 
     /// [`ProvIndex::refresh_in_place`] on a copy: clone the frozen columns
@@ -447,6 +505,125 @@ impl ProvIndex {
     #[inline]
     pub fn derivations_of(&self, e: VertexId) -> &[VertexId] {
         self.deriv_in.neighbors(e)
+    }
+
+    /// Check every structural invariant of the snapshot, naming the first
+    /// violated one in the error.
+    ///
+    /// The catalog (see DESIGN.md §8):
+    ///
+    /// * vertex columns (`kinds`, `birth`, `kind_rank`) are `n` long and the
+    ///   frozen cursor records exactly `n` vertices;
+    /// * births are strictly increasing (creation order — what the
+    ///   early-stopping rule assumes);
+    /// * `counts` match `kind_members` and the member/rank tables form a
+    ///   bijection (`kind_members[k][kind_rank[v]] == v` with matching kind)
+    ///   covering all `n` vertices;
+    /// * `edge_counts` balance against the cursor's edge watermark, and each
+    ///   of the eight CSRs holds exactly its relation's tally;
+    /// * every CSR satisfies [`Csr`]'s own invariants (monotone offsets
+    ///   closing at the adjacency length, in-bounds targets, per-row strictly
+    ///   ascending edge ids).
+    ///
+    /// `O(n + m)`. Under the `paranoid` feature it runs automatically after
+    /// every `build`/`refresh_in_place`.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n;
+        if self.kinds.len() != n || self.birth.len() != n || self.kind_rank.len() != n {
+            return Err(format!(
+                "vertex columns disagree with n = {n}: {} kinds, {} births, {} ranks",
+                self.kinds.len(),
+                self.birth.len(),
+                self.kind_rank.len()
+            ));
+        }
+        if self.frozen.vertices as usize != n {
+            return Err(format!(
+                "cursor records {} vertices but the snapshot holds {n}",
+                self.frozen.vertices
+            ));
+        }
+        if let Some(i) = (1..n).find(|&i| self.birth[i - 1] >= self.birth[i]) {
+            return Err(format!(
+                "births not strictly increasing at vertex {i} ({} then {})",
+                self.birth[i - 1],
+                self.birth[i]
+            ));
+        }
+        let mut covered = 0usize;
+        for kind in VertexKind::ALL {
+            let k = kind.as_index();
+            let members = &self.kind_members[k];
+            if self.counts[k] != members.len() {
+                return Err(format!(
+                    "counts[{kind:?}] = {} but kind_members holds {} vertices",
+                    self.counts[k],
+                    members.len()
+                ));
+            }
+            covered += members.len();
+            for (r, &v) in members.iter().enumerate() {
+                if v.index() >= n {
+                    return Err(format!("kind_members[{kind:?}][{r}] = {v} out of bounds"));
+                }
+                if self.kinds[v.index()] != kind {
+                    return Err(format!(
+                        "kind_members[{kind:?}][{r}] = {v} has kind {:?}",
+                        self.kinds[v.index()]
+                    ));
+                }
+                if self.kind_rank[v.index()] as usize != r {
+                    return Err(format!(
+                        "kind_rank of {v} is {} but it sits at rank {r} of {kind:?}",
+                        self.kind_rank[v.index()]
+                    ));
+                }
+            }
+        }
+        if covered != n {
+            return Err(format!("kind_members cover {covered} vertices, snapshot holds {n}"));
+        }
+        let tallied: usize = self.edge_counts.iter().sum();
+        if tallied != self.frozen.edges as usize {
+            return Err(format!(
+                "edge_counts sum to {tallied} but the cursor records {} edges",
+                self.frozen.edges
+            ));
+        }
+        let csrs: [(&str, &Csr, usize); 8] = [
+            ("used_out", &self.used_out, self.edge_counts[EdgeKind::Used.as_index()]),
+            ("used_in", &self.used_in, self.edge_counts[EdgeKind::Used.as_index()]),
+            ("gen_out", &self.gen_out, self.edge_counts[EdgeKind::WasGeneratedBy.as_index()]),
+            ("gen_in", &self.gen_in, self.edge_counts[EdgeKind::WasGeneratedBy.as_index()]),
+            (
+                "assoc_out",
+                &self.assoc_out,
+                self.edge_counts[EdgeKind::WasAssociatedWith.as_index()],
+            ),
+            ("attr_out", &self.attr_out, self.edge_counts[EdgeKind::WasAttributedTo.as_index()]),
+            ("deriv_out", &self.deriv_out, self.edge_counts[EdgeKind::WasDerivedFrom.as_index()]),
+            ("deriv_in", &self.deriv_in, self.edge_counts[EdgeKind::WasDerivedFrom.as_index()]),
+        ];
+        for (name, csr, tally) in csrs {
+            if csr.len() != tally {
+                return Err(format!(
+                    "{name} holds {} entries but edge_counts tallies {tally}",
+                    csr.len()
+                ));
+            }
+            csr.validate(name, n)?;
+        }
+        Ok(())
+    }
+
+    /// Under the `paranoid` feature, panic on any violated snapshot
+    /// invariant; compiled to nothing otherwise.
+    #[inline]
+    fn paranoid_check(&self) {
+        #[cfg(feature = "paranoid")]
+        if let Err(violation) = self.validate() {
+            panic!("paranoid snapshot validation failed: {violation}");
+        }
     }
 
     /// Raw CSR accessors (with edge ids) for boundary-aware traversal.
@@ -699,6 +876,140 @@ mod tests {
         }
         // Round 0 used `d` twice (prev == d), later rounds once each.
         assert_eq!(idx.users_of(d).len(), 6);
+    }
+
+    /// Hand-corrupt one private field at a time and check that `validate`
+    /// rejects the snapshot *naming the broken invariant* (ISSUE 7
+    /// acceptance). In-module so the corruption can reach private fields.
+    mod corruption {
+        use super::*;
+
+        fn built() -> ProvIndex {
+            let (g, _) = chain();
+            ProvIndex::build(&g)
+        }
+
+        #[track_caller]
+        fn assert_names(idx: &ProvIndex, needle: &str) {
+            let violation = idx.validate().expect_err("corruption must be caught");
+            assert!(violation.contains(needle), "violation {violation:?} does not name {needle:?}");
+        }
+
+        #[test]
+        fn pristine_snapshots_validate() {
+            let (mut g, _) = chain();
+            let mut idx = ProvIndex::build(&g);
+            idx.validate().expect("reference build is valid");
+            let t9 = g.add_activity("t9");
+            g.add_edge(EdgeKind::Used, t9, g.vertex_by_name("d").unwrap()).unwrap();
+            idx.refresh_in_place(&g);
+            idx.validate().expect("refreshed snapshot is valid");
+        }
+
+        #[test]
+        fn truncated_vertex_column() {
+            let mut idx = built();
+            idx.kinds.pop();
+            assert_names(&idx, "vertex columns disagree");
+        }
+
+        #[test]
+        fn cursor_vertex_watermark_drift() {
+            let mut idx = built();
+            idx.frozen.vertices -= 1;
+            assert_names(&idx, "cursor records");
+        }
+
+        #[test]
+        fn birth_order_swap() {
+            let mut idx = built();
+            idx.birth.swap(0, 1);
+            assert_names(&idx, "births not strictly increasing");
+        }
+
+        #[test]
+        fn kind_count_off_by_one() {
+            let mut idx = built();
+            idx.counts[VertexKind::Entity.as_index()] += 1;
+            assert_names(&idx, "counts[Entity]");
+        }
+
+        #[test]
+        fn kind_rank_bijection_break() {
+            let mut idx = built();
+            idx.kind_rank[0] = 2; // vertex 0 (entity d) actually sits at rank 0
+            assert_names(&idx, "kind_rank");
+        }
+
+        #[test]
+        fn kind_member_wrong_kind() {
+            let mut idx = built();
+            // Replace the first entity member with an activity vertex.
+            idx.kind_members[VertexKind::Entity.as_index()][0] = VertexId::new(1);
+            assert_names(&idx, "has kind");
+        }
+
+        #[test]
+        fn edge_counter_imbalance() {
+            let mut idx = built();
+            idx.edge_counts[EdgeKind::Used.as_index()] += 1;
+            assert_names(&idx, "edge_counts sum");
+        }
+
+        #[test]
+        fn csr_length_vs_tally() {
+            let mut idx = built();
+            idx.used_out = Csr::default();
+            assert_names(&idx, "used_out holds 0 entries");
+        }
+
+        #[test]
+        fn csr_offset_table_truncated() {
+            let mut idx = built();
+            idx.gen_out.offsets.pop();
+            assert_names(&idx, "gen_out: offset table");
+        }
+
+        #[test]
+        fn csr_offsets_nonzero_start() {
+            let mut idx = built();
+            idx.used_in.offsets[0] = 1;
+            assert_names(&idx, "used_in: offsets[0]");
+        }
+
+        #[test]
+        fn csr_offsets_decrease() {
+            let mut idx = built();
+            // Bump a middle offset above its successor.
+            let last = *idx.used_in.offsets.last().unwrap();
+            idx.used_in.offsets[1] = last + 1;
+            assert_names(&idx, "used_in: offsets decrease");
+        }
+
+        #[test]
+        fn csr_adjacency_truncated() {
+            let mut idx = built();
+            // Popping a target trips the relation tally first; the parallel
+            // edge-id column reaches the closing-offset invariant itself.
+            idx.used_out.edge_ids.pop();
+            assert_names(&idx, "used_out: closing offset");
+        }
+
+        #[test]
+        fn csr_target_out_of_bounds() {
+            let mut idx = built();
+            idx.used_out.targets[0] = VertexId::new(99);
+            assert_names(&idx, "used_out: target");
+        }
+
+        #[test]
+        fn csr_row_edge_order_swap() {
+            let mut idx = built();
+            // t2's used row holds edge ids 2 then 3; swapping them breaks
+            // the per-row strictly-ascending (insertion order) invariant.
+            idx.used_out.edge_ids.swap(1, 2);
+            assert_names(&idx, "strictly ascending");
+        }
     }
 
     #[test]

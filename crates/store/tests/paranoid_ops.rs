@@ -1,0 +1,162 @@
+//! Randomized op-interleaving invariant test (ISSUE 7 satellite).
+//!
+//! A random sequence of ingest, property-write, snapshot-refresh and
+//! session-pin operations must keep every structural invariant intact after
+//! *every single step* — [`ProvGraph::validate`] for the mutable store,
+//! [`ProvIndex::validate`] for the maintained snapshot, and pinned session
+//! snapshots must stay frozen (same cursor, still valid) while the world
+//! moves on underneath them.
+//!
+//! Run under `--features paranoid` (the CI paranoid matrix does) the same
+//! sequences additionally self-check inside every mutation, so a violation
+//! panics at the exact op that introduced it instead of surfacing at the
+//! next explicit validate call.
+
+use proptest::prelude::*;
+use prov_model::{EdgeKind, VertexKind};
+use prov_store::{ProvGraph, ProvIndex, SharedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One pinned session: the snapshot handle plus the cursor it was frozen at.
+struct Pinned {
+    index: SharedIndex,
+    vertices: u32,
+}
+
+fn pick(g: &ProvGraph, rng: &mut StdRng, kind: VertexKind) -> Option<prov_model::VertexId> {
+    let of_kind = g.vertices_of_kind(kind);
+    if of_kind.is_empty() {
+        None
+    } else {
+        Some(of_kind[rng.gen_range(0..of_kind.len())])
+    }
+}
+
+/// Apply one random operation; returns a label for failure messages.
+fn apply_op(
+    g: &mut ProvGraph,
+    maintained: &mut ProvIndex,
+    pins: &mut Vec<Pinned>,
+    rng: &mut StdRng,
+    step: usize,
+) -> &'static str {
+    match rng.gen_range(0..12u32) {
+        0 => {
+            g.add_entity(&format!("e{step}"));
+            "add_entity"
+        }
+        1 => {
+            g.add_activity(&format!("a{step}"));
+            "add_activity"
+        }
+        2 => {
+            g.add_agent(&format!("u{step}"));
+            "add_agent"
+        }
+        3 => match (pick(g, rng, VertexKind::Activity), pick(g, rng, VertexKind::Entity)) {
+            (Some(a), Some(e)) => {
+                g.add_edge(EdgeKind::Used, a, e).unwrap();
+                "add_used"
+            }
+            _ => "skip",
+        },
+        4 => match (pick(g, rng, VertexKind::Entity), pick(g, rng, VertexKind::Activity)) {
+            (Some(e), Some(a)) => {
+                g.add_edge(EdgeKind::WasGeneratedBy, e, a).unwrap();
+                "add_generated"
+            }
+            _ => "skip",
+        },
+        5 => match (pick(g, rng, VertexKind::Activity), pick(g, rng, VertexKind::Agent)) {
+            (Some(a), Some(u)) => {
+                g.add_edge(EdgeKind::WasAssociatedWith, a, u).unwrap();
+                "add_associated"
+            }
+            _ => "skip",
+        },
+        6 => match (pick(g, rng, VertexKind::Entity), pick(g, rng, VertexKind::Entity)) {
+            (Some(d1), Some(d2)) => {
+                g.add_edge(EdgeKind::WasDerivedFrom, d1, d2).unwrap();
+                "add_derived"
+            }
+            _ => "skip",
+        },
+        7 => {
+            if let Some(v) = pick(g, rng, VertexKind::Entity) {
+                g.set_vprop(v, "tag", format!("t{step}"));
+            }
+            "set_vprop"
+        }
+        8 => {
+            maintained.refresh_in_place(g);
+            "refresh_in_place"
+        }
+        9 => {
+            *maintained = maintained.refreshed(g);
+            "refresh_cloned"
+        }
+        10 => {
+            // Pin the current maintained state as a live session would.
+            pins.push(Pinned {
+                index: std::sync::Arc::new(maintained.clone()),
+                vertices: maintained.cursor().vertices,
+            });
+            "pin_session"
+        }
+        _ => {
+            // A pinned session refreshes privately (clone-extend), leaving
+            // its original pin untouched.
+            if let Some(p) = pins.last() {
+                let refreshed = p.index.refreshed(g);
+                assert!(refreshed.is_fresh(g));
+            }
+            "pinned_refresh"
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every structural invariant holds after every op, and pinned session
+    /// snapshots stay frozen and valid while the graph grows.
+    #[test]
+    fn random_op_interleavings_keep_all_invariants(
+        seed in 0u64..100_000,
+        steps in 1usize..80,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = ProvGraph::new();
+        let e0 = g.add_entity("seed-e");
+        let a0 = g.add_activity("seed-a");
+        g.add_agent("seed-u");
+        g.add_edge(EdgeKind::Used, a0, e0).unwrap();
+
+        let mut maintained = ProvIndex::build(&g);
+        let mut pins: Vec<Pinned> = Vec::new();
+
+        for step in 0..steps {
+            let op = apply_op(&mut g, &mut maintained, &mut pins, &mut rng, step);
+            let store = g.validate();
+            prop_assert!(store.is_ok(), "step {} ({}): store invariant broken: {:?}", step, op, store);
+            let snap = maintained.validate();
+            prop_assert!(snap.is_ok(), "step {} ({}): snapshot invariant broken: {:?}", step, op, snap);
+            for (i, p) in pins.iter().enumerate() {
+                prop_assert_eq!(
+                    p.index.cursor().vertices, p.vertices,
+                    "pin {} moved at step {} ({})", i, step, op
+                );
+                let pinned = p.index.validate();
+                prop_assert!(
+                    pinned.is_ok(),
+                    "step {} ({}): pinned snapshot {} broken: {:?}", step, op, i, pinned
+                );
+            }
+        }
+
+        // End state: a final refresh converges on the reference build.
+        maintained.refresh_in_place(&g);
+        prop_assert_eq!(&maintained, &ProvIndex::build(&g));
+    }
+}

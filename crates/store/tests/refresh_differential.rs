@@ -129,6 +129,14 @@ proptest! {
             let reference = ProvIndex::build(&g);
             prop_assert_eq!(&maintained, &reference, "batch {} diverged", batch);
             prop_assert!(maintained.is_fresh(&g));
+            // Structural invariants hold at every query point, for both the
+            // mutable store and the incrementally maintained snapshot.
+            prop_assert!(g.validate().is_ok(), "store invariants: {:?}", g.validate());
+            prop_assert!(
+                maintained.validate().is_ok(),
+                "snapshot invariants: {:?}",
+                maintained.validate()
+            );
         }
 
         // Multi-batch delta in one refresh: same answer.

@@ -17,7 +17,7 @@ use crate::merge::MergeResult;
 use crate::simulation::{SimDirection, SimRelation};
 use crate::simulation_reference::simulation_reference;
 use crate::union::{G0Node, G0};
-use prov_store::hash::FxHashSet;
+use prov_store::hash::{FxHashMap, FxHashSet};
 
 /// The seed union-find: no size/rank heuristic, unions in caller direction.
 struct Dsu {
@@ -88,9 +88,9 @@ fn quotient(g0: &G0, group_of: &[u32], group_count: usize) -> G0 {
     }
 }
 
-/// Seed copy of the dense remap (first-appearance order, `std` HashMap).
+/// Seed copy of the dense remap (first-appearance order).
 fn densify(group_of: &mut [u32]) -> usize {
-    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
     for g in group_of.iter_mut() {
         let next = remap.len() as u32;
         *g = *remap.entry(*g).or_insert(next);

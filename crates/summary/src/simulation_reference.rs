@@ -15,6 +15,7 @@
 use crate::simulation::{SimDirection, SimRelation};
 use crate::union::G0;
 use prov_bitset::{FastSet, FixedBitSet};
+use prov_store::hash::FxHashMap;
 
 /// Compute the simulation preorder over `g0` with the seed sweep fixpoint.
 #[allow(clippy::needless_range_loop)] // v indexes three parallel arrays
@@ -37,8 +38,7 @@ pub fn simulation_reference(g0: &G0, direction: SimDirection) -> SimRelation {
     }
 
     // Init: sim[v] = all nodes with v's class.
-    let mut by_class: std::collections::HashMap<crate::union::ClassId, FixedBitSet> =
-        std::collections::HashMap::new();
+    let mut by_class: FxHashMap<crate::union::ClassId, FixedBitSet> = FxHashMap::default();
     for v in 0..n as u32 {
         by_class.entry(g0.class(v)).or_insert_with(|| FixedBitSet::new(n)).insert(v);
     }

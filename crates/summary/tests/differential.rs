@@ -11,6 +11,7 @@
 
 use proptest::prelude::*;
 use prov_model::{EdgeKind, VertexId};
+use prov_store::hash::FxHashMap;
 use prov_store::ProvGraph;
 use prov_summary::merge_reference::merge_reference;
 use prov_summary::simulation::{simulation, simulation_naive, simulation_par, SimDirection};
@@ -82,7 +83,7 @@ fn g0s(plans: &[SegmentPlan]) -> Vec<G0> {
 /// Normalize a partition labeling to first-appearance order, so two
 /// partitions compare equal iff they group the same nodes together.
 fn normalize(group_of: &[u32]) -> Vec<u32> {
-    let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
     group_of
         .iter()
         .map(|&g| {

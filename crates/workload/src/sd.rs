@@ -176,13 +176,13 @@ mod tests {
     #[test]
     fn segments_are_disjoint_subgraphs() {
         let out = generate_sd(&SdParams { num_segments: 4, ..SdParams::default() });
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = prov_store::hash::FxHashSet::default();
         for seg in &out.segments {
             for &v in &seg.vertices {
                 assert!(seen.insert(v), "segments must not share vertices");
             }
             // Every edge endpoint is inside the segment.
-            let vset: std::collections::HashSet<_> = seg.vertices.iter().collect();
+            let vset: prov_store::hash::FxHashSet<_> = seg.vertices.iter().collect();
             for &e in &seg.edges {
                 let rec = out.graph.edge(e);
                 assert!(vset.contains(&rec.src) && vset.contains(&rec.dst));
@@ -202,7 +202,7 @@ mod tests {
                 seed: 7,
                 ..SdParams::default()
             });
-            let mut cmds = std::collections::HashSet::new();
+            let mut cmds = prov_store::hash::FxHashSet::default();
             for seg in &out.segments {
                 for &v in &seg.vertices {
                     if out.graph.vertex_kind(v) == VertexKind::Activity {

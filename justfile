@@ -18,6 +18,26 @@ test-threads widths="8":
 lint:
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --check
+    cargo run -q -p prov-check
+
+# The repo's own lint gate alone (std collections in hot paths, raw
+# thread::spawn, unexplained narrowing casts, Relaxed orderings in the
+# executor). Justify real exceptions with `// lint-ok(<rule>): <reason>`.
+lint-strict:
+    cargo run -q -p prov-check
+
+# Model-check the vendored executor: loom-lite's own suite, then the three
+# executor properties under every interleaving (`--cfg prov_loom` swaps the
+# sync primitives for the checker's doubles).
+model-check:
+    cd vendor/loom-lite && cargo test -q
+    cd vendor/rayon-core && RUSTFLAGS="--cfg prov_loom -D warnings" cargo test --test loom -q
+
+# Re-validate every structural invariant after each mutation while running
+# the store/bitset/core suites (the CI concurrency matrix runs this too).
+paranoid-test:
+    cargo test -q -p prov-store -p prov-bitset -p prov-core \
+        --features prov-store/paranoid,prov-bitset/paranoid,prov-core/paranoid
 
 # Public docs with rustdoc warnings denied.
 doc:

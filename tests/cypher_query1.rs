@@ -39,7 +39,7 @@ fn cypher_query1(graph: &ProvGraph, vsrc: &[VertexId], vdst: &[VertexId]) -> Vec
     // only U|G edges the node/edge label sequences of alternating ancestry
     // paths are determined by the hop count, so the extract(...) = extract(...)
     // comparison reduces to (anchor, length) equality.
-    let accepted: std::collections::HashSet<(VertexId, usize)> = p1
+    let accepted: prov_store::hash::FxHashSet<(VertexId, usize)> = p1
         .paths()
         .iter()
         .map(|p| (*p.vertices.last().expect("p1 ends at the anchor"), p.len()))

@@ -1,0 +1,48 @@
+//! Known-answer exploration counts for DFS validation.
+use loom_lite::sync::atomic::{AtomicUsize, Ordering};
+use loom_lite::sync::Arc;
+use loom_lite::Builder;
+
+fn main() {
+    // 2 threads x 2 stores to the SAME atomic: all ops dependent, no valid
+    // pruning. Distinct schedules = C(4,2) = 6.
+    let r = Builder::new().check(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = loom_lite::thread::spawn(move || {
+            a2.store(1, Ordering::SeqCst);
+            a2.store(2, Ordering::SeqCst);
+        });
+        a.store(3, Ordering::SeqCst);
+        a.store(4, Ordering::SeqCst);
+        t.join().unwrap();
+    });
+    println!("2x2 same-object stores: {r:?} (want schedules=6, pruned=0)");
+
+    // 2 threads x 1 store each, same object: C(2,1) = 2.
+    let r = Builder::new().check(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = loom_lite::thread::spawn(move || {
+            a2.store(1, Ordering::SeqCst);
+        });
+        a.store(3, Ordering::SeqCst);
+        t.join().unwrap();
+    });
+    println!("1x1 same-object stores: {r:?} (want schedules=2)");
+
+    // 3 threads x 1 store each, same object: 3! = 6.
+    let r = Builder::new().check(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let hs: Vec<_> = (0..3)
+            .map(|i| {
+                let a = Arc::clone(&a);
+                loom_lite::thread::spawn(move || a.store(i, Ordering::SeqCst))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+    });
+    println!("3x1 same-object stores: {r:?} (want schedules=6)");
+}

@@ -1,0 +1,792 @@
+//! The execution engine: one cooperative scheduler driving modeled threads.
+//!
+//! A *model* runs the same closure many times, once per schedule. Modeled
+//! threads are real OS threads, but a baton protocol guarantees at most one
+//! of them executes user code at any instant: every operation on a modeled
+//! primitive first *pauses* the thread at a yield point and asks the
+//! scheduler who commits next. The scheduler therefore sees every
+//! interleaving of primitive operations as an explicit decision sequence,
+//! which it explores by depth-first search:
+//!
+//! * **Replay determinism** — given the same decision prefix, an execution
+//!   is bit-identical (only one thread runs at a time, and every scheduling
+//!   input is recorded). The driver re-runs the model from scratch for each
+//!   schedule, replaying the shared prefix and diverging at the deepest
+//!   decision with unexplored alternatives.
+//! * **Bounded preemption** — switching away from a thread that could have
+//!   continued costs one unit of a preemption budget (CHESS-style). With the
+//!   budget exhausted, only the running thread may be chosen while it stays
+//!   enabled. Most concurrency bugs manifest within 2–3 preemptions, so a
+//!   small bound explores the high-yield corner of an otherwise exponential
+//!   tree. `None` disables the bound (full exhaustion).
+//! * **Sleep sets (DPOR-style)** — after fully exploring choice `t` at a
+//!   node, `t` *sleeps* in the sibling subtrees until some scheduled
+//!   operation is dependent with `t`'s pending operation (same object, at
+//!   least one write). A node whose every enabled choice sleeps is provably
+//!   a reordering of an explored schedule and is pruned.
+//!
+//! Blocking is modeled by *enabledness*, not by OS blocking: a thread whose
+//! pending operation cannot commit (lock of a held mutex, join of a live
+//! thread) is simply never chosen; a condvar waiter leaves the candidate set
+//! entirely until a notify re-arms it as a mutex re-acquisition. If no
+//! thread is enabled and none can time out, the schedule is a deadlock and
+//! the checker reports it with the full trace — which is exactly how a lost
+//! wakeup surfaces. Timed waits only fire their timeout at quiescence (when
+//! nothing else can run), modeling "the timeout is a safety net, never a
+//! correctness dependency".
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+pub(crate) type Tid = usize;
+
+/// A pending primitive operation — the label on a scheduler decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First scheduling of a thread (commits nothing).
+    Start,
+    /// Explicit `yield_now` (commits nothing).
+    Yield,
+    Lock(usize),
+    Unlock(usize),
+    CvWait { cv: usize, mutex: usize, timed: bool },
+    CvNotify { cv: usize, all: bool },
+    Load(usize),
+    Store(usize, u64),
+    Rmw(usize, RmwKind, u64),
+    Join(Tid),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RmwKind {
+    Add,
+    Sub,
+    Swap,
+    Or,
+    And,
+}
+
+impl Op {
+    /// `(object, is_write)` footprint, for the dependency relation.
+    fn accesses(self) -> [Option<(usize, bool)>; 2] {
+        match self {
+            Op::Start | Op::Yield | Op::Join(_) => [None, None],
+            Op::Lock(m) | Op::Unlock(m) => [Some((m, true)), None],
+            Op::CvWait { cv, mutex, .. } => [Some((cv, true)), Some((mutex, true))],
+            Op::CvNotify { cv, .. } => [Some((cv, true)), None],
+            Op::Load(a) => [Some((a, false)), None],
+            Op::Store(a, _) | Op::Rmw(a, ..) => [Some((a, true)), None],
+        }
+    }
+}
+
+/// Two operations are dependent when they touch a common object and at
+/// least one writes it. Commuting independent operations yields an
+/// equivalent execution, which is what sleep-set pruning exploits.
+fn dependent(a: Op, b: Op) -> bool {
+    for (oa, wa) in a.accesses().into_iter().flatten() {
+        for (ob, wb) in b.accesses().into_iter().flatten() {
+            if oa == ob && (wa || wb) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[derive(Debug)]
+pub(crate) enum ObjState {
+    Mutex { locked: bool },
+    Condvar,
+    Atomic { value: u64 },
+}
+
+pub(crate) enum TState {
+    /// At a yield point, waiting to be granted its pending op.
+    Paused(Op),
+    /// Currently holding the baton, executing user code.
+    Running,
+    /// Committed a `CvWait`; leaves the candidate set until notified.
+    CvWaiting { cv: usize, mutex: usize, timed: bool },
+    Finished,
+}
+
+pub(crate) struct ThreadSlot {
+    pub(crate) state: TState,
+    pub(crate) name: Option<String>,
+    /// Result of the thread closure, for `JoinHandle::join`.
+    pub(crate) result: Option<Box<dyn Any + Send>>,
+    /// Value produced by the last committed op (atomic load/rmw result).
+    pub(crate) op_result: u64,
+    /// Set when a timed wait was released by the quiescence timeout.
+    pub(crate) timed_out: bool,
+    pub(crate) os: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One decision point of the schedule tree, persisted across executions.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// Enabled threads at this node (ascending tid), with their pending ops.
+    pub(crate) candidates: Vec<(Tid, Op)>,
+    /// Sleep set on entry.
+    pub(crate) sleep: Vec<Tid>,
+    /// Choices whose subtrees are fully explored.
+    pub(crate) explored: Vec<Tid>,
+    pub(crate) chosen: Tid,
+    /// Thread that was running immediately before this node (preemption
+    /// accounting: choosing someone else while it stays enabled costs one).
+    pub(crate) arriving: Option<Tid>,
+    pub(crate) preemptions_before: usize,
+}
+
+impl Node {
+    fn op_of(&self, t: Tid) -> Op {
+        self.candidates.iter().find(|(c, _)| *c == t).map(|(_, op)| *op).expect("candidate op")
+    }
+
+    /// Candidate list after the preemption-bound restriction.
+    pub(crate) fn restricted(&self, bound: usize) -> Vec<Tid> {
+        if self.preemptions_before >= bound {
+            if let Some(a) = self.arriving {
+                if self.candidates.iter().any(|(t, _)| *t == a) {
+                    return vec![a];
+                }
+            }
+        }
+        self.candidates.iter().map(|(t, _)| *t).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct TraceEvent {
+    pub(crate) tid: Tid,
+    pub(crate) what: String,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadSlot>,
+    pub(crate) objects: Vec<ObjState>,
+    /// The DFS path: prefix replayed, suffix appended as discovered.
+    pub(crate) plan: Vec<Node>,
+    /// Nodes processed so far this execution.
+    pub(crate) step: usize,
+    pub(crate) cur_sleep: Vec<Tid>,
+    pub(crate) preemptions: usize,
+    pub(crate) bound: usize,
+    pub(crate) max_steps: usize,
+    pub(crate) active: Option<Tid>,
+    pub(crate) last_running: Option<Tid>,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) failure: Option<String>,
+    pub(crate) pruned: bool,
+    pub(crate) aborting: bool,
+    pub(crate) exited: usize,
+}
+
+pub(crate) struct Shared {
+    pub(crate) m: Mutex<ExecState>,
+    pub(crate) cv: Condvar,
+}
+
+/// Panic payload used to unwind modeled threads when an execution aborts
+/// (failure or sleep-set prune). Swallowed by the thread wrappers and by the
+/// process panic hook.
+pub(crate) struct AbortToken;
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Shared>, Tid)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Shared>, Tid) -> R) -> R {
+    CTX.with(|c| {
+        let ctx = c.borrow();
+        let (shared, tid) = ctx
+            .as_ref()
+            .expect("loom-lite primitive used outside a model — wrap the code in loom_lite::model");
+        f(shared, *tid)
+    })
+}
+
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, ExecState> {
+    // The scheduler lock may be poisoned by an aborting thread unwinding
+    // through it; the state stays consistent (every mutation is complete
+    // before any panic), so poisoning is ignored.
+    shared.m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ExecState {
+    fn enabled(&self, op: Op) -> bool {
+        match op {
+            Op::Lock(m) => !matches!(self.objects[m], ObjState::Mutex { locked: true }),
+            Op::Join(t) => matches!(self.threads[t].state, TState::Finished),
+            _ => true,
+        }
+    }
+
+    fn candidates(&self) -> Vec<(Tid, Op)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, slot)| match slot.state {
+                TState::Paused(op) if self.enabled(op) => Some((tid, op)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn thread_label(&self, tid: Tid) -> String {
+        match &self.threads[tid].name {
+            Some(n) => format!("t{tid}({n})"),
+            None => format!("t{tid}"),
+        }
+    }
+
+    fn push_trace(&mut self, tid: Tid, what: String) {
+        self.trace.push(TraceEvent { tid, what });
+    }
+
+    pub(crate) fn format_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str("schedule trace (one committed op per line):\n");
+        for (i, ev) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  #{:04} {:<14} {}\n", i, self.thread_label(ev.tid), ev.what));
+        }
+        out
+    }
+
+    fn describe_op(&self, op: Op) -> String {
+        match op {
+            Op::Start => "start".into(),
+            Op::Yield => "yield".into(),
+            Op::Lock(m) => format!("lock(obj{m})"),
+            Op::Unlock(m) => format!("unlock(obj{m})"),
+            Op::CvWait { cv, mutex, timed } => {
+                format!("cv{}.wait(obj{mutex}){}", cv, if timed { " [timed]" } else { "" })
+            }
+            Op::CvNotify { cv, all } => {
+                format!("cv{}.notify_{}", cv, if all { "all" } else { "one" })
+            }
+            Op::Load(a) => format!("load(obj{a})"),
+            Op::Store(a, v) => format!("store(obj{a}, {v})"),
+            Op::Rmw(a, k, v) => format!("{k:?}(obj{a}, {v})").to_lowercase(),
+            Op::Join(t) => format!("join(t{t})"),
+        }
+    }
+
+    /// Record a failure and begin aborting the execution.
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(format!("{msg}\n{}", self.format_trace()));
+        }
+        self.aborting = true;
+    }
+
+    fn live_summary(&self) -> String {
+        let mut out = String::new();
+        for (tid, slot) in self.threads.iter().enumerate() {
+            let state = match &slot.state {
+                TState::Paused(op) => format!("paused, wants {}", self.describe_op(*op)),
+                TState::Running => "running".into(),
+                TState::CvWaiting { cv, timed, .. } => {
+                    format!("waiting on cv{cv}{}", if *timed { " [timed]" } else { "" })
+                }
+                TState::Finished => "finished".into(),
+            };
+            out.push_str(&format!("  {:<14} {state}\n", self.thread_label(tid)));
+        }
+        out
+    }
+
+    /// Apply the effect of `op` for `chosen`. Returns true when the thread
+    /// keeps the baton (runs user code next), false when the commit puts it
+    /// to sleep (condvar wait).
+    fn commit(&mut self, chosen: Tid, op: Op) -> bool {
+        let what = self.describe_op(op);
+        self.push_trace(chosen, what);
+        match op {
+            Op::Start | Op::Yield | Op::Join(_) => true,
+            Op::Lock(m) => {
+                let ObjState::Mutex { locked } = &mut self.objects[m] else {
+                    unreachable!("lock on non-mutex object")
+                };
+                debug_assert!(!*locked, "scheduled a lock on a held mutex");
+                *locked = true;
+                true
+            }
+            Op::Unlock(m) => {
+                let ObjState::Mutex { locked } = &mut self.objects[m] else {
+                    unreachable!("unlock on non-mutex object")
+                };
+                *locked = false;
+                true
+            }
+            Op::CvWait { cv, mutex, timed } => {
+                // Atomically release the mutex and sleep on the condvar —
+                // the thread leaves the candidate set until a notify (or the
+                // quiescence timeout, when timed) re-arms it.
+                let ObjState::Mutex { locked } = &mut self.objects[mutex] else {
+                    unreachable!("cv wait with non-mutex object")
+                };
+                *locked = false;
+                self.threads[chosen].timed_out = false;
+                self.threads[chosen].state = TState::CvWaiting { cv, mutex, timed };
+                false
+            }
+            Op::CvNotify { cv, all } => {
+                // Waiters become pending re-acquisitions of their mutex.
+                // `notify_one` wakes the lowest-tid waiter (deterministic
+                // shim policy; the checked code only uses `notify_all`).
+                let mut woken = Vec::new();
+                for (tid, slot) in self.threads.iter().enumerate() {
+                    if let TState::CvWaiting { cv: c, mutex, .. } = slot.state {
+                        if c == cv {
+                            woken.push((tid, mutex));
+                            if !all {
+                                break;
+                            }
+                        }
+                    }
+                }
+                for (tid, mutex) in woken {
+                    self.threads[tid].state = TState::Paused(Op::Lock(mutex));
+                }
+                true
+            }
+            Op::Load(a) => {
+                let ObjState::Atomic { value } = self.objects[a] else {
+                    unreachable!("load on non-atomic object")
+                };
+                self.threads[chosen].op_result = value;
+                true
+            }
+            Op::Store(a, v) => {
+                let ObjState::Atomic { value } = &mut self.objects[a] else {
+                    unreachable!("store on non-atomic object")
+                };
+                *value = v;
+                true
+            }
+            Op::Rmw(a, kind, operand) => {
+                let ObjState::Atomic { value } = &mut self.objects[a] else {
+                    unreachable!("rmw on non-atomic object")
+                };
+                let old = *value;
+                *value = match kind {
+                    RmwKind::Add => old.wrapping_add(operand),
+                    RmwKind::Sub => old.wrapping_sub(operand),
+                    RmwKind::Swap => operand,
+                    RmwKind::Or => old | operand,
+                    RmwKind::And => old & operand,
+                };
+                self.threads[chosen].op_result = old;
+                true
+            }
+        }
+    }
+}
+
+/// The scheduling decision loop. Called (with the state lock held) whenever
+/// the active thread pauses or finishes; commits pending operations until
+/// some thread is granted the baton, the execution completes, or it aborts.
+pub(crate) fn advance(st: &mut ExecState) {
+    loop {
+        if st.aborting {
+            return;
+        }
+        if st.step >= st.max_steps {
+            st.fail(format!(
+                "schedule exceeded {} steps — livelock or runaway model",
+                st.max_steps
+            ));
+            return;
+        }
+        let cands = st.candidates();
+        if cands.is_empty() {
+            if st.threads.iter().all(|t| matches!(t.state, TState::Finished)) {
+                // Execution complete; driver notices via the exit count.
+                st.active = None;
+                return;
+            }
+            // Quiescence: fire timed waits before declaring deadlock — a
+            // timeout may only ever fire when nothing else can run, so a
+            // schedule that *needs* it to fire sooner still deadlocks here
+            // unless the timeout genuinely restores progress.
+            let timed: Vec<(Tid, usize)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(tid, s)| match s.state {
+                    TState::CvWaiting { timed: true, mutex, .. } => Some((tid, mutex)),
+                    _ => None,
+                })
+                .collect();
+            if !timed.is_empty() {
+                for (tid, mutex) in timed {
+                    st.threads[tid].timed_out = true;
+                    st.threads[tid].state = TState::Paused(Op::Lock(mutex));
+                    st.push_trace(tid, "wait timeout fires (quiescence)".into());
+                }
+                continue;
+            }
+            let summary = st.live_summary();
+            st.fail(format!(
+                "deadlock: no thread is runnable and none can time out\n{summary}"
+            ));
+            return;
+        }
+
+        // Decision point: replay the stored choice or open a new node.
+        let chosen = if st.step < st.plan.len() {
+            let node = &st.plan[st.step];
+            if node.candidates != cands {
+                let stored = node.candidates.clone();
+                st.fail(format!(
+                    "non-deterministic replay at step {}: stored candidates {stored:?}, \
+                     recomputed {cands:?} — the model must be deterministic given the schedule",
+                    st.step
+                ));
+                return;
+            }
+            node.chosen
+        } else {
+            let probe = Node {
+                candidates: cands.clone(),
+                sleep: st.cur_sleep.clone(),
+                explored: Vec::new(),
+                chosen: 0,
+                arriving: st.last_running,
+                preemptions_before: st.preemptions,
+            };
+            let avail: Vec<Tid> = probe
+                .restricted(st.bound)
+                .into_iter()
+                .filter(|t| !st.cur_sleep.contains(t))
+                .collect();
+            let Some(&first) = avail.first() else {
+                // Every enabled choice sleeps: this schedule is a reordering
+                // of one already explored. Prune.
+                st.pruned = true;
+                st.aborting = true;
+                return;
+            };
+            let mut node = probe;
+            node.chosen = first;
+            st.plan.push(node);
+            first
+        };
+
+        let op = st.plan[st.step].op_of(chosen);
+        // Preemption accounting (replay recomputes the same values).
+        if let Some(arr) = st.last_running {
+            if arr != chosen && cands.iter().any(|(t, _)| *t == arr) {
+                st.preemptions += 1;
+            }
+        }
+        // Child sleep set: siblings explored before this choice join the
+        // inherited set; anything dependent with the chosen op wakes up.
+        let mut sleep: Vec<Tid> = st.plan[st.step].sleep.clone();
+        for &t in &st.plan[st.step].explored {
+            if !sleep.contains(&t) {
+                sleep.push(t);
+            }
+        }
+        sleep.retain(|&t| {
+            t != chosen
+                && match st.threads[t].state {
+                    // A sleeper's pending op wakes it when the chosen op is
+                    // dependent with it; a sleeper that somehow lost its
+                    // pending op (no longer paused) is dropped outright.
+                    TState::Paused(top) => !dependent(top, op),
+                    _ => false,
+                }
+        });
+        st.cur_sleep = sleep;
+        st.step += 1;
+
+        if st.commit(chosen, op) {
+            st.threads[chosen].state = TState::Running;
+            st.active = Some(chosen);
+            st.last_running = Some(chosen);
+            return;
+        }
+        // Commit put the thread to sleep (cv wait): decide again.
+        st.last_running = None;
+    }
+}
+
+/// Block the calling modeled thread until it holds the baton.
+fn park_until_granted(shared: &Shared, tid: Tid) {
+    let mut st = lock_state(shared);
+    loop {
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        if st.active == Some(tid) {
+            return;
+        }
+        st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// Pause at a yield point with `op` pending; returns the op's result value
+/// once the scheduler has committed it and granted the thread the baton.
+pub(crate) fn yield_point(op: Op) -> u64 {
+    if std::thread::panicking() {
+        // An op issued while unwinding (a `Drop` impl touching a modeled
+        // primitive) cannot pause: re-raising `AbortToken` here would nest a
+        // panic and abort the process. Apply it best-effort instead.
+        return silent_op(op);
+    }
+    with_ctx(|shared, tid| {
+        {
+            let mut st = lock_state(shared);
+            if st.aborting {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            st.threads[tid].state = TState::Paused(op);
+            st.active = None;
+            st.last_running = Some(tid);
+            advance(&mut st);
+            if st.active == Some(tid) {
+                return st.threads[tid].op_result;
+            }
+            shared.cv.notify_all();
+        }
+        park_until_granted(shared, tid);
+        let st = lock_state(shared);
+        st.threads[tid].op_result
+    })
+}
+
+/// Commit a condvar wait (atomically releasing `mutex`); returns once the
+/// thread has been notified (or timed out at quiescence) *and* re-acquired
+/// the mutex. The returned flag reports whether the quiescence timeout fired.
+pub(crate) fn cv_wait(cv: usize, mutex: usize, timed: bool) -> bool {
+    if std::thread::panicking() {
+        // Treat a wait during unwind as an immediate spurious wake.
+        return false;
+    }
+    with_ctx(|shared, tid| {
+        {
+            let mut st = lock_state(shared);
+            if st.aborting {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            st.threads[tid].state = TState::Paused(Op::CvWait { cv, mutex, timed });
+            st.active = None;
+            st.last_running = Some(tid);
+            advance(&mut st);
+            debug_assert_ne!(st.active, Some(tid), "cv wait cannot grant immediately");
+            shared.cv.notify_all();
+        }
+        park_until_granted(shared, tid);
+        let st = lock_state(shared);
+        st.threads[tid].timed_out
+    })
+}
+
+/// Best-effort unlock without a scheduling decision, used when a mutex guard
+/// drops during a panic unwind (a nested panic from a yield point would
+/// abort the process). The missed interleaving point is harmless: aborts
+/// discard the execution, and assertion-failure unwinds already carry their
+/// schedule in the trace.
+pub(crate) fn silent_unlock(mutex: usize) {
+    silent_op(Op::Unlock(mutex));
+}
+
+/// Apply an op's effect without a scheduling decision — only ever reached
+/// while the calling thread is unwinding, where mutual-exclusion invariants
+/// no longer matter (the execution is being discarded, or its failure and
+/// trace are already recorded).
+fn silent_op(op: Op) -> u64 {
+    if !in_model() {
+        return 0;
+    }
+    with_ctx(|shared, _tid| {
+        let mut st = lock_state(shared);
+        let value = match op {
+            Op::Lock(m) => {
+                if let ObjState::Mutex { locked } = &mut st.objects[m] {
+                    *locked = true;
+                }
+                0
+            }
+            Op::Unlock(m) => {
+                if let ObjState::Mutex { locked } = &mut st.objects[m] {
+                    *locked = false;
+                }
+                0
+            }
+            Op::Store(a, v) => {
+                if let ObjState::Atomic { value } = &mut st.objects[a] {
+                    *value = v;
+                }
+                0
+            }
+            Op::Load(a) => match st.objects[a] {
+                ObjState::Atomic { value } => value,
+                _ => 0,
+            },
+            Op::Rmw(a, kind, operand) => {
+                if let ObjState::Atomic { value } = &mut st.objects[a] {
+                    let old = *value;
+                    *value = match kind {
+                        RmwKind::Add => old.wrapping_add(operand),
+                        RmwKind::Sub => old.wrapping_sub(operand),
+                        RmwKind::Swap => operand,
+                        RmwKind::Or => old | operand,
+                        RmwKind::And => old & operand,
+                    };
+                    old
+                } else {
+                    0
+                }
+            }
+            Op::CvNotify { cv, all } => {
+                let mut woken = Vec::new();
+                for (tid, slot) in st.threads.iter().enumerate() {
+                    if let TState::CvWaiting { cv: c, mutex, .. } = slot.state {
+                        if c == cv {
+                            woken.push((tid, mutex));
+                            if !all {
+                                break;
+                            }
+                        }
+                    }
+                }
+                for (tid, mutex) in woken {
+                    st.threads[tid].state = TState::Paused(Op::Lock(mutex));
+                }
+                0
+            }
+            Op::Start | Op::Yield | Op::Join(_) | Op::CvWait { .. } => 0,
+        };
+        drop(st);
+        shared.cv.notify_all();
+        value
+    })
+}
+
+/// Allocate a primitive object in the current execution.
+pub(crate) fn register_object(obj: ObjState) -> usize {
+    with_ctx(|shared, _tid| {
+        let mut st = lock_state(shared);
+        st.objects.push(obj);
+        st.objects.len() - 1
+    })
+}
+
+/// Register a modeled thread and spawn its OS carrier. Not a decision point:
+/// the child simply joins the candidate set at the parent's next yield.
+pub(crate) fn spawn_thread(
+    name: Option<String>,
+    body: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>,
+) -> Tid {
+    with_ctx(|shared, parent| {
+        let tid = {
+            let mut st = lock_state(shared);
+            st.threads.push(ThreadSlot {
+                state: TState::Paused(Op::Start),
+                name,
+                result: None,
+                op_result: 0,
+                timed_out: false,
+                os: None,
+            });
+            let tid = st.threads.len() - 1;
+            let label = st.thread_label(tid);
+            st.push_trace(parent, format!("spawn {label}"));
+            tid
+        };
+        let shared2 = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-lite-{tid}"))
+            .spawn(move || run_modeled(shared2, tid, body))
+            .expect("failed to spawn modeled thread");
+        lock_state(shared).threads[tid].os = Some(handle);
+        tid
+    })
+}
+
+/// Body of every modeled OS thread (including tid 0, the model closure).
+pub(crate) fn run_modeled(
+    shared: Arc<Shared>,
+    tid: Tid,
+    body: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>,
+) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared), tid)));
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        park_until_granted(&shared, tid);
+        body()
+    }));
+    let mut st = lock_state(&shared);
+    match outcome {
+        Ok(result) => {
+            st.threads[tid].result = Some(result);
+            st.threads[tid].state = TState::Finished;
+            st.push_trace(tid, "finish".into());
+            st.active = None;
+            st.last_running = None;
+            advance(&mut st);
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<AbortToken>().is_none() {
+                let msg = panic_message(payload.as_ref());
+                let label = st.thread_label(tid);
+                st.fail(format!("modeled thread {label} panicked: {msg}"));
+            }
+            st.threads[tid].state = TState::Finished;
+            st.aborting = true;
+        }
+    }
+    st.exited += 1;
+    drop(st);
+    shared.cv.notify_all();
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Join a modeled thread and take its closure result.
+pub(crate) fn join_thread(tid: Tid) -> Box<dyn Any + Send> {
+    yield_point(Op::Join(tid));
+    with_ctx(|shared, _me| {
+        let mut st = lock_state(shared);
+        st.threads[tid].result.take().expect("modeled thread joined twice")
+    })
+}
+
+/// Advance the DFS to the next unexplored schedule. Returns false when the
+/// tree is exhausted.
+pub(crate) fn next_schedule(plan: &mut Vec<Node>, bound: usize) -> bool {
+    while let Some(node) = plan.last_mut() {
+        node.explored.push(node.chosen);
+        let next = node
+            .restricted(bound)
+            .into_iter()
+            .find(|t| !node.explored.contains(t) && !node.sleep.contains(t));
+        if let Some(t) = next {
+            node.chosen = t;
+            return true;
+        }
+        plan.pop();
+    }
+    false
+}

@@ -1,0 +1,38 @@
+//! loom-lite — a schedule-exhaustive model checker for the executor shim.
+//!
+//! Offline stand-in for the `loom` crate (seventh shim in the `vendor/`
+//! pattern): doubles for `Mutex`, `Condvar`, atomics, and `thread::spawn`
+//! whose every operation is a yield point, plus a cooperative scheduler that
+//! re-runs a closure under *every* interleaving of those yield points —
+//! depth-first search with CHESS-style bounded preemption and DPOR-style
+//! sleep-set pruning. Deadlocks (including lost wakeups), panics, and
+//! assertion failures are reported with the exact schedule trace that
+//! produced them, and the same trace replays deterministically.
+//!
+//! ```
+//! use loom_lite::sync::atomic::{AtomicUsize, Ordering};
+//! use loom_lite::sync::Arc;
+//!
+//! let report = loom_lite::model(|| {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let c2 = Arc::clone(&counter);
+//!     let t = loom_lite::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     counter.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+//!
+//! `vendor/rayon-core` routes its sync primitives through a facade that
+//! swaps to these doubles under `--cfg prov_loom`; its `tests/loom.rs`
+//! carries the executor's model-checked properties.
+
+mod exec;
+mod model;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder, Report};

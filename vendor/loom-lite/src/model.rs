@@ -1,0 +1,200 @@
+//! The model driver: re-runs a closure once per schedule until the DFS over
+//! interleavings is exhausted (or a bound is hit), reporting failures with
+//! the exact committed-op trace that produced them.
+
+use crate::exec::{self, ExecState, Node, Shared, ThreadSlot, TState};
+use std::any::Any;
+use std::panic;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+/// Exploration parameters. The defaults exhaust the full schedule tree up to
+/// a generous per-schedule step limit; set [`Builder::preemption_bound`] to
+/// focus on the low-preemption corner of large models.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// CHESS-style budget: how many times the scheduler may switch away from
+    /// a thread that could have continued. `None` = unbounded (full DFS).
+    pub preemption_bound: Option<usize>,
+    /// Stop after this many executions (completed + pruned), marking the
+    /// report incomplete — a safety net for accidentally huge models.
+    pub max_schedules: usize,
+    /// Per-execution committed-op limit; exceeding it fails the check
+    /// (livelock or runaway model).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self { preemption_bound: None, max_schedules: 1_000_000, max_steps: 20_000 }
+    }
+}
+
+/// What an exploration did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Executions run to completion (distinct schedules witnessed).
+    pub schedules: usize,
+    /// Executions cut short by sleep-set pruning (provably redundant).
+    pub pruned: usize,
+    /// True when the DFS exhausted the tree within `max_schedules`.
+    pub complete: bool,
+}
+
+impl Builder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explore every schedule of `f`; panics with the failing schedule's
+    /// trace on the first assertion failure, deadlock, or lost wakeup.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check_result(f) {
+            Ok(report) => report,
+            Err(msg) => panic!("loom-lite model check failed\n{msg}"),
+        }
+    }
+
+    /// Like [`Builder::check`], but returns the failure report instead of
+    /// panicking — for asserting that a seeded bug *is* caught, trace
+    /// included.
+    pub fn check_result<F>(&self, f: F) -> Result<Report, String>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        install_abort_hook();
+        let f = Arc::new(f);
+        let bound = self.preemption_bound.unwrap_or(usize::MAX);
+        let mut plan: Vec<Node> = Vec::new();
+        let mut schedules = 0usize;
+        let mut pruned = 0usize;
+        loop {
+            let (failure, was_pruned, next_plan) =
+                run_one(&f, std::mem::take(&mut plan), bound, self.max_steps);
+            plan = next_plan;
+            if let Some(msg) = failure {
+                return Err(msg);
+            }
+            if was_pruned {
+                pruned += 1;
+            } else {
+                schedules += 1;
+            }
+            if schedules + pruned >= self.max_schedules {
+                return Ok(Report { schedules, pruned, complete: false });
+            }
+            if !exec::next_schedule(&mut plan, bound) {
+                return Ok(Report { schedules, pruned, complete: true });
+            }
+        }
+    }
+}
+
+/// Exhaustively model-check `f` with default bounds. See [`Builder`].
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, ExecState> {
+    shared.m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run one execution following (then extending) `plan`. Returns the failure
+/// message if any, whether the execution was sleep-set pruned, and the plan
+/// as grown/consumed by this execution.
+fn run_one<F>(
+    f: &Arc<F>,
+    plan: Vec<Node>,
+    bound: usize,
+    max_steps: usize,
+) -> (Option<String>, bool, Vec<Node>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let shared = Arc::new(Shared {
+        m: Mutex::new(ExecState {
+            threads: vec![ThreadSlot {
+                state: TState::Paused(exec::Op::Start),
+                name: Some("model".into()),
+                result: None,
+                op_result: 0,
+                timed_out: false,
+                os: None,
+            }],
+            objects: Vec::new(),
+            plan,
+            step: 0,
+            cur_sleep: Vec::new(),
+            preemptions: 0,
+            bound,
+            max_steps,
+            active: None,
+            last_running: None,
+            trace: Vec::new(),
+            failure: None,
+            pruned: false,
+            aborting: false,
+            exited: 0,
+        }),
+        cv: Condvar::new(),
+    });
+
+    let f2 = Arc::clone(f);
+    let body: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send> = Box::new(move || {
+        f2();
+        Box::new(())
+    });
+    let shared2 = Arc::clone(&shared);
+    let handle = std::thread::Builder::new()
+        .name("loom-lite-0".into())
+        .spawn(move || exec::run_modeled(shared2, 0, body))
+        .expect("failed to spawn model thread");
+
+    {
+        let mut st = lock_state(&shared);
+        st.threads[0].os = Some(handle);
+        exec::advance(&mut st);
+    }
+    shared.cv.notify_all();
+
+    // Wait for every modeled OS thread (the set can grow while we wait) to
+    // exit its wrapper, then join the carriers.
+    let handles = {
+        let mut st = lock_state(&shared);
+        while st.exited < st.threads.len() {
+            st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.threads.iter_mut().filter_map(|slot| slot.os.take()).collect::<Vec<_>>()
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let mut st = lock_state(&shared);
+    let failure = st.failure.take();
+    let was_pruned = st.pruned;
+    let plan = std::mem::take(&mut st.plan);
+    (failure, was_pruned, plan)
+}
+
+/// Process-wide panic hook that silences the `AbortToken` unwinds used to
+/// tear down modeled threads when an execution aborts (failure or prune);
+/// every other panic goes to the previously installed hook.
+fn install_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<exec::AbortToken>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

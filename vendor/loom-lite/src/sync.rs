@@ -1,0 +1,159 @@
+//! Modeled doubles for the `std::sync` surface the executor uses.
+//!
+//! Every type here is a thin handle onto an object registered with the
+//! current execution's scheduler: the data lives in an [`UnsafeCell`] guarded
+//! by the *model's* mutual-exclusion invariant (the scheduler never grants a
+//! `lock` on a held mutex), and every operation is a yield point the
+//! scheduler interleaves exhaustively.
+//!
+//! All primitives must be created *inside* the model closure — object ids
+//! are per-execution, and construction outside a model panics with a
+//! diagnostic. `Ordering` arguments on atomics are accepted for source
+//! compatibility and ignored: the model executes every atomic access
+//! sequentially-consistently, which over-approximates nothing the checked
+//! code relies on (the facade swap in `vendor/rayon-core` also upgrades its
+//! orderings to `SeqCst` so the model and the real build agree).
+
+use crate::exec::{self, ObjState, Op};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::LockResult;
+use std::time::Duration;
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+/// Modeled mutex: locking is a scheduler decision, never an OS block.
+pub struct Mutex<T> {
+    id: usize,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler's baton protocol guarantees at most one thread
+// executes between yield points, and a `lock` op is only ever granted on a
+// free mutex — so `&mut T` handed out by the guard is exclusive.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            id: exec::register_object(ObjState::Mutex { locked: false }),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        exec::yield_point(Op::Lock(self.id));
+        Ok(MutexGuard { lock: self })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the model mutex is held for the guard's whole lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above; the guard is the unique accessor.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Unwinding through a yield point would double-panic and abort
+            // the process; release the model mutex without a decision.
+            exec::silent_unlock(self.lock.id);
+        } else {
+            exec::yield_point(Op::Unlock(self.lock.id));
+        }
+    }
+}
+
+/// Modeled condvar. `wait` leaves the candidate set entirely until a notify
+/// re-arms the thread as a pending re-acquisition of its mutex; a *timed*
+/// wait may additionally be released at quiescence (when no thread can run),
+/// which models "the timeout is a safety net, never a correctness
+/// dependency" — a schedule that needs the timeout to fire *earlier* than
+/// total quiescence still deadlocks and fails the check.
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { id: exec::register_object(ObjState::Condvar) }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        // The CvWait op releases the mutex atomically inside the scheduler;
+        // the guard must not run its Unlock yield point.
+        std::mem::forget(guard);
+        exec::cv_wait(self.id, lock.id, false);
+        Ok(MutexGuard { lock })
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let lock = guard.lock;
+        std::mem::forget(guard);
+        let timed_out = exec::cv_wait(self.id, lock.id, true);
+        Ok((MutexGuard { lock }, WaitTimeoutResult(timed_out)))
+    }
+
+    pub fn notify_all(&self) {
+        exec::yield_point(Op::CvNotify { cv: self.id, all: true });
+    }
+
+    pub fn notify_one(&self) {
+        exec::yield_point(Op::CvNotify { cv: self.id, all: false });
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").field("id", &self.id).finish()
+    }
+}
+
+/// Mirror of `std::sync::WaitTimeoutResult` (which is not constructible
+/// outside std). The facade re-exports whichever one matches the build.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}

@@ -1,0 +1,75 @@
+//! Modeled atomics. Every access is a scheduler decision; all orderings
+//! execute sequentially consistently (the `Ordering` argument is accepted
+//! for source compatibility and ignored).
+
+use crate::exec::{self, ObjState, Op, RmwKind};
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_int {
+    ($name:ident, $ty:ty) => {
+        pub struct $name {
+            id: usize,
+        }
+
+        impl $name {
+            pub fn new(value: $ty) -> Self {
+                Self { id: exec::register_object(ObjState::Atomic { value: value as u64 }) }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $ty {
+                exec::yield_point(Op::Load(self.id)) as $ty
+            }
+
+            pub fn store(&self, value: $ty, _order: Ordering) {
+                exec::yield_point(Op::Store(self.id, value as u64));
+            }
+
+            pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                exec::yield_point(Op::Rmw(self.id, RmwKind::Swap, value as u64)) as $ty
+            }
+
+            pub fn fetch_add(&self, value: $ty, _order: Ordering) -> $ty {
+                exec::yield_point(Op::Rmw(self.id, RmwKind::Add, value as u64)) as $ty
+            }
+
+            pub fn fetch_sub(&self, value: $ty, _order: Ordering) -> $ty {
+                exec::yield_point(Op::Rmw(self.id, RmwKind::Sub, value as u64)) as $ty
+            }
+
+            pub fn fetch_or(&self, value: $ty, _order: Ordering) -> $ty {
+                exec::yield_point(Op::Rmw(self.id, RmwKind::Or, value as u64)) as $ty
+            }
+
+            pub fn fetch_and(&self, value: $ty, _order: Ordering) -> $ty {
+                exec::yield_point(Op::Rmw(self.id, RmwKind::And, value as u64)) as $ty
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, usize);
+atomic_int!(AtomicU64, u64);
+atomic_int!(AtomicU32, u32);
+
+pub struct AtomicBool {
+    id: usize,
+}
+
+impl AtomicBool {
+    pub fn new(value: bool) -> Self {
+        Self { id: exec::register_object(ObjState::Atomic { value: value as u64 }) }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        exec::yield_point(Op::Load(self.id)) != 0
+    }
+
+    pub fn store(&self, value: bool, _order: Ordering) {
+        exec::yield_point(Op::Store(self.id, value as u64));
+    }
+
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        exec::yield_point(Op::Rmw(self.id, RmwKind::Swap, value as u64)) != 0
+    }
+}

@@ -1,0 +1,57 @@
+//! Modeled threads: real OS threads under the scheduler's baton protocol.
+
+use crate::exec::{self, Op, Tid};
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Spawn a modeled thread. Not itself a decision point — the child simply
+/// joins the candidate set at the parent's next yield.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_inner(None, f)
+}
+
+/// [`spawn`] with a thread name, used in traces and failure reports.
+pub fn spawn_named<F, T>(name: impl Into<String>, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_inner(Some(name.into()), f)
+}
+
+fn spawn_inner<F, T>(name: Option<String>, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = exec::spawn_thread(name, Box::new(move || Box::new(f()) as Box<dyn Any + Send>));
+    JoinHandle { tid, _marker: PhantomData }
+}
+
+/// An explicit yield point with no effect — exposes a pure scheduling
+/// decision, useful for widening exploration around lock-free sections.
+pub fn yield_now() {
+    exec::yield_point(Op::Yield);
+}
+
+pub struct JoinHandle<T> {
+    tid: Tid,
+    _marker: PhantomData<T>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Join the modeled thread. Enabled only once the target has finished,
+    /// so a join cycle surfaces as a model deadlock rather than a hang.
+    ///
+    /// Always `Ok` in the model: a panic inside a modeled thread aborts the
+    /// whole execution and is reported as a check failure with its schedule
+    /// trace, which subsumes std's per-thread `Err` propagation.
+    pub fn join(self) -> std::thread::Result<T> {
+        let boxed = exec::join_thread(self.tid);
+        Ok(*boxed.downcast::<T>().expect("modeled thread result has the joined type"))
+    }
+}

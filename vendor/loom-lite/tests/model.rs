@@ -1,0 +1,233 @@
+//! Self-tests for the model checker: it must catch the classic bugs (with a
+//! trace), pass the correct variants, prune redundant interleavings, and
+//! explore deterministically.
+
+use loom_lite::sync::atomic::{AtomicUsize, Ordering};
+use loom_lite::sync::{Arc, Condvar, Mutex};
+use loom_lite::{Builder, Report};
+
+fn explore(f: impl Fn() + Send + Sync + 'static) -> Report {
+    Builder::new().check(f)
+}
+
+#[test]
+fn racy_load_then_store_is_caught() {
+    // The textbook lost update: two threads do read-modify-write as two
+    // separate atomic ops. Some schedule interleaves them and the final
+    // count is 1, not 2 — the checker must find it.
+    let err = Builder::new()
+        .check_result(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = loom_lite::thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .expect_err("the lost update must be found");
+    assert!(err.contains("lost update"), "failure names the assertion: {err}");
+    assert!(err.contains("schedule trace"), "failure carries the schedule: {err}");
+}
+
+#[test]
+fn atomic_rmw_counter_is_correct_and_exploration_completes() {
+    let report = explore(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = loom_lite::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        counter.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete, "tiny model must exhaust: {report:?}");
+    assert!(report.schedules >= 2, "both orders witnessed: {report:?}");
+}
+
+#[test]
+fn mutex_guards_critical_section() {
+    // The same lost update, but under a mutex: every schedule must agree.
+    let report = explore(|| {
+        let counter = Arc::new(Mutex::new(0u64));
+        let c2 = Arc::clone(&counter);
+        let t = loom_lite::thread::spawn(move || {
+            let mut g = c2.lock().unwrap();
+            *g += 1;
+        });
+        {
+            let mut g = counter.lock().unwrap();
+            *g += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn condvar_handoff_has_no_lost_wakeup() {
+    // Correct predicate-loop handoff: the waiter re-checks the flag under
+    // the lock, so notify-before-wait schedules still terminate.
+    let report = explore(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = loom_lite::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock().unwrap();
+            *ready = true;
+            drop(ready);
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 2);
+}
+
+#[test]
+fn naked_wait_without_predicate_deadlocks_and_is_reported() {
+    // Bug: waiting without re-checking a predicate. In the schedule where
+    // the notify commits before the wait, the waiter sleeps forever — a
+    // lost wakeup, which the model reports as a deadlock with the trace.
+    let err = Builder::new()
+        .check_result(|| {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = loom_lite::thread::spawn(move || {
+                let (_m, cv) = &*p2;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let g = m.lock().unwrap();
+            let g = cv.wait(g).unwrap();
+            drop(g);
+            t.join().unwrap();
+        })
+        .expect_err("the lost wakeup must be found");
+    assert!(err.contains("deadlock"), "reported as deadlock: {err}");
+    assert!(err.contains("waiting on cv"), "live summary shows the stuck waiter: {err}");
+}
+
+#[test]
+fn timed_wait_fires_only_at_quiescence() {
+    // The same naked wait, but timed: the quiescence timeout releases the
+    // waiter instead of deadlocking — the safety-net semantics wait_timeout
+    // relies on in the executor's parking loop.
+    let report = explore(|| {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = loom_lite::thread::spawn(move || {
+            let (_m, cv) = &*p2;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let g = m.lock().unwrap();
+        let (g, _res) = cv.wait_timeout(g, std::time::Duration::from_millis(10)).unwrap();
+        drop(g);
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn sleep_sets_prune_independent_interleavings() {
+    // Two threads touching two *different* atomics: all interleavings are
+    // equivalent, so DPOR should explore far fewer than the naive 6-over-3
+    // shuffle product — and prune at least one redundant execution.
+    let report = explore(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = loom_lite::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::SeqCst);
+            a2.fetch_add(1, Ordering::SeqCst);
+        });
+        b.fetch_add(1, Ordering::SeqCst);
+        b.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+        assert_eq!(b.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete);
+    assert!(report.pruned > 0, "independent ops must prune: {report:?}");
+}
+
+#[test]
+fn preemption_bound_zero_shrinks_exploration() {
+    let run = |bound: Option<usize>| {
+        let mut b = Builder::new();
+        b.preemption_bound = bound;
+        b.check(|| {
+            let c = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&c);
+            let t = loom_lite::thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+            c.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+        })
+    };
+    let full = run(None);
+    let bounded = run(Some(0));
+    assert!(full.complete && bounded.complete);
+    assert!(
+        bounded.schedules < full.schedules,
+        "bound 0 must explore strictly less: bounded {bounded:?} vs full {full:?}"
+    );
+}
+
+#[test]
+fn failure_replay_is_deterministic() {
+    let check = || {
+        Builder::new().check_result(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = loom_lite::thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        })
+    };
+    let first = check().expect_err("bug found");
+    let second = check().expect_err("bug found again");
+    assert_eq!(first, second, "same DFS order, same failing schedule, same trace");
+}
+
+#[test]
+fn three_threads_exhaust() {
+    let report = explore(|| {
+        let c = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                loom_lite::thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 3);
+    });
+    assert!(report.complete);
+    assert!(report.schedules >= 6, "3! orders at minimum: {report:?}");
+}

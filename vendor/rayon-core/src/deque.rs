@@ -10,7 +10,8 @@
 //! under ThreadSanitizer.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+
+use crate::sync::Mutex;
 
 /// A deque with an owner end (back, LIFO) and a thief end (front, FIFO).
 ///

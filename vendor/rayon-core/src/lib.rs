@@ -17,16 +17,24 @@
 //! There is deliberately no registry, no `spawn` without a scope, and no
 //! dynamic pool resizing — the kernels size their chunk counts explicitly so
 //! an N-way computation behaves identically on any pool.
+//!
+//! Every synchronization primitive is imported through the [`mod@sync`]
+//! facade, which swaps to the `loom-lite` model-checking doubles under
+//! `--cfg prov_loom`; `tests/loom.rs` proves the executor's load-bearing
+//! properties over every thread interleaving. See DESIGN.md §8.
 
 mod deque;
 mod pool;
 mod scope;
+mod sync;
 
 pub use deque::StealDeque;
 pub use pool::{configured_num_threads, current_num_threads, global_pool, ThreadPool};
 pub use scope::{chunk_ranges, join, par_for, scope, Scope};
 
-#[cfg(test)]
+// The std-mode unit tests exercise real OS scheduling; under the loom cfg
+// the whole module is compiled out (tests/loom.rs replaces it).
+#[cfg(all(test, not(prov_loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,11 +46,11 @@ mod tests {
         pool.scope(|s| {
             for _ in 0..64 {
                 s.spawn(|| {
-                    hits.fetch_add(1, Ordering::Relaxed);
+                    hits.fetch_add(1, Ordering::SeqCst);
                 });
             }
         });
-        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
     }
 
     #[test]
@@ -55,14 +63,14 @@ mod tests {
                     pool.scope(|inner| {
                         for _ in 0..4 {
                             inner.spawn(|| {
-                                hits.fetch_add(1, Ordering::Relaxed);
+                                hits.fetch_add(1, Ordering::SeqCst);
                             });
                         }
                     });
                 });
             }
         });
-        assert_eq!(hits.load(Ordering::Relaxed), 16);
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
     }
 
     #[test]
@@ -80,10 +88,10 @@ mod tests {
         let marks: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         pool.par_for(n, 8, |_, range| {
             for i in range {
-                marks[i].fetch_add(1, Ordering::Relaxed);
+                marks[i].fetch_add(1, Ordering::SeqCst);
             }
         });
-        assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+        assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1));
     }
 
     #[test]

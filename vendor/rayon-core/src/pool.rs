@@ -9,11 +9,11 @@
 //! (or `available_parallelism` when unset) for the global pool.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread;
+use std::sync::OnceLock;
 
 use crate::deque::StealDeque;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{spawn_named, Arc, Condvar, Mutex};
 
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -139,10 +139,7 @@ impl ThreadPool {
         });
         for idx in 0..threads {
             let inner = Arc::clone(&inner);
-            thread::Builder::new()
-                .name(format!("prov-worker-{idx}"))
-                .spawn(move || worker_loop(inner, idx))
-                .expect("failed to spawn pool worker");
+            spawn_named(format!("prov-worker-{idx}"), move || worker_loop(inner, idx));
         }
         ThreadPool { inner, threads }
     }
@@ -168,7 +165,7 @@ fn threads_from_env() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// The process-wide pool, created on first use and never torn down.

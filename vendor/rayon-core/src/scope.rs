@@ -12,11 +12,11 @@
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use crate::pool::{global_pool, Inner, Job, ThreadPool};
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Condvar, Mutex};
 
 /// Counts in-flight tasks of one scope and holds the first captured panic.
 struct Latch {

@@ -1,0 +1,42 @@
+//! The synchronization facade: every primitive the executor touches is
+//! imported through this module, never from `std::sync` directly.
+//!
+//! In a normal build the re-exports are the std types with zero overhead. A
+//! model-checking build (`RUSTFLAGS="--cfg prov_loom"`) swaps all of them
+//! for the `loom-lite` doubles, whose every operation is a yield point of a
+//! schedule-exhaustive cooperative scheduler — `tests/loom.rs` then proves
+//! the executor's load-bearing properties over *all* interleavings instead
+//! of the ones the OS happens to produce.
+//!
+//! Keeping the swap at the import layer (rather than sprinkling
+//! `cfg(prov_loom)` through the executor) means the checked code is
+//! byte-for-byte the code that ships; only this module differs.
+//!
+//! Atomics note: loom-lite models every atomic access as sequentially
+//! consistent, so executor sync code sticks to `SeqCst`/`AcqRel`/`Acquire`/
+//! `Release` orderings — `Ordering::Relaxed` here would let the real build
+//! be weaker than the model checker verifies, and the workspace lint gate
+//! (`prov-check`, rule `relaxed-ordering`) bans it.
+
+#[cfg(not(prov_loom))]
+pub(crate) use std::sync::{atomic, Arc, Condvar, Mutex};
+
+#[cfg(prov_loom)]
+pub(crate) use loom_lite::sync::{atomic, Arc, Condvar, Mutex};
+
+/// Spawn a named detached thread (std) or a modeled thread (loom build).
+#[cfg(not(prov_loom))]
+pub(crate) fn spawn_named<F>(name: String, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new().name(name).spawn(f).expect("failed to spawn thread");
+}
+
+#[cfg(prov_loom)]
+pub(crate) fn spawn_named<F>(name: String, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    loom_lite::thread::spawn_named(name, f);
+}
