@@ -124,6 +124,36 @@ impl From<prov_core::SnapshotCounters> for SnapshotActivity {
     }
 }
 
+/// Query-IR evaluation counters (wire twin of [`prov_store::QueryStats`]
+/// plus the service's cumulative cursor-resumption count). Meaningful on
+/// [`QueryResponse`] stats; all-zero elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryActivity {
+    /// Pipeline steps evaluated (start materialization included).
+    pub steps: u32,
+    /// Rows inspected across all steps (frontier vertices + filtered rows).
+    pub rows_scanned: u64,
+    /// Largest BFS frontier any traverse step held.
+    pub frontier_peak: u32,
+    /// Cursor resumptions served by this service so far (cumulative, like
+    /// [`SnapshotActivity`]): paginated clients make it grow, one-shot
+    /// clients leave it flat.
+    pub resumptions: u64,
+}
+
+impl QueryActivity {
+    /// Wrap the evaluator's counters, stamping the service-level
+    /// resumption count.
+    pub fn from_stats(stats: prov_store::QueryStats, resumptions: u64) -> Self {
+        QueryActivity {
+            steps: stats.steps,
+            rows_scanned: stats.rows_scanned,
+            frontier_peak: stats.frontier_peak,
+            resumptions,
+        }
+    }
+}
+
 /// Per-response measurement envelope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Stats {
@@ -138,6 +168,10 @@ pub struct Stats {
     /// wires: deserializes to all-zero.
     #[serde(default)]
     pub snapshot: SnapshotActivity,
+    /// Query-IR evaluation counters (set on query responses). Absent on old
+    /// wires: deserializes to all-zero.
+    #[serde(default)]
+    pub query: QueryActivity,
 }
 
 impl Stats {
@@ -365,6 +399,50 @@ pub struct LineageRequest {
     pub max_hops: Option<u32>,
 }
 
+/// What a [`QueryRequest`] evaluates: a query-IR pipeline directly, or a
+/// Cypher-flavoured path pattern. Patterns in the lowerable family (single
+/// unbounded star, see [`prov_store::lower_pattern`]) compile onto the IR
+/// and gain its cursors; the rest fall back to the materializing pattern
+/// engine and report truncation via [`QueryResponse::is_complete`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuerySpec {
+    /// A query-IR pipeline (`StartSet → (Traverse | Filter | Limit)* →
+    /// Project`), evaluated as-is.
+    Pipeline(prov_store::Pipeline),
+    /// A path pattern, lowered onto the IR when possible.
+    Pattern(prov_store::PathPattern),
+}
+
+/// Evaluate a composable query, optionally paginated with a resumable
+/// cursor and optionally pinned to a live session's snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// The query to evaluate.
+    pub query: QuerySpec,
+    /// Pin evaluation to this session's frozen graph/index snapshot. Pinned
+    /// queries are byte-stable across pages even while the live store
+    /// ingests; unpinned queries evaluate over the current snapshot, where
+    /// the cursor's rank watermark keeps *structure* stable but property
+    /// edits between pages can show through (property writes do not move
+    /// the store's delta cursor).
+    #[serde(default)]
+    pub session: Option<SessionId>,
+    /// Rows per page. Unset returns everything in one shot (no cursor).
+    #[serde(default)]
+    pub page_size: Option<usize>,
+    /// Resume token from a previous page's [`QueryResponse::cursor`].
+    #[serde(default)]
+    pub cursor: Option<prov_store::QueryCursor>,
+    /// Pattern-fallback budget: maximum search-tree expansions (default:
+    /// the library's [`prov_store::Budget`] default). Ignored for IR
+    /// pipelines and lowerable patterns.
+    #[serde(default)]
+    pub max_expansions: Option<u64>,
+    /// Pattern-fallback budget: maximum materialized paths.
+    #[serde(default)]
+    pub max_paths: Option<usize>,
+}
+
 /// Export the store as PROV-JSON-style interchange.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExportRequest {}
@@ -400,6 +478,8 @@ pub enum Request {
     Summarize(SummarizeRequest),
     /// Ancestry closure of one entity.
     Lineage(LineageRequest),
+    /// Composable query (IR pipeline or pattern), cursor-paginable.
+    Query(QueryRequest),
     /// Export the store.
     Export(ExportRequest),
     /// Replace the store.
@@ -637,6 +717,26 @@ pub struct LineageResponse {
     pub stats: Stats,
 }
 
+/// Outcome (one page) of a composable query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// This page's rows. **Order contract**: ascending by dense vertex id,
+    /// like every read path the IR unified.
+    pub rows: Vec<VertexId>,
+    /// Total result rows at the cursor's watermark (the whole result, not
+    /// this page; what `Project::Count` returns with no rows).
+    pub count: u64,
+    /// False when a pattern fell back to the materializing engine and its
+    /// budget ran out before the search finished: `rows` is a *truncated*
+    /// answer. IR-evaluated queries are always complete.
+    pub is_complete: bool,
+    /// Resume token for the next page; absent on the last (or only) page.
+    #[serde(default)]
+    pub cursor: Option<prov_store::QueryCursor>,
+    /// Measurement envelope (query counters in `stats.query`).
+    pub stats: Stats,
+}
+
 /// Outcome of an export.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DocumentResponse {
@@ -674,6 +774,8 @@ pub enum Response {
     Summary(SummaryResponse),
     /// A lineage closure.
     Lineage(LineageResponse),
+    /// One page of a composable query.
+    Query(QueryResponse),
     /// An exported document.
     Document(DocumentResponse),
     /// The store was replaced.
@@ -693,6 +795,7 @@ impl Response {
             Response::Closed(r) => Some(&mut r.stats),
             Response::Summary(r) => Some(&mut r.stats),
             Response::Lineage(r) => Some(&mut r.stats),
+            Response::Query(r) => Some(&mut r.stats),
             Response::Document(r) => Some(&mut r.stats),
             Response::Imported(r) => Some(&mut r.stats),
         }

@@ -6,8 +6,9 @@
 //!
 //! * [`envelope`] — the serde [`Request`]/[`Response`] envelope covering the
 //!   whole facade (ingest, segment open/expand/restrict/close, summarize,
-//!   lineage, JSON interchange), with [`EntityRef`] addressing (id *or*
-//!   versioned name) and a per-response [`Stats`] envelope;
+//!   lineage, composable queries with resumable cursors, JSON interchange),
+//!   with [`EntityRef`] addressing (id *or* versioned name) and a
+//!   per-response [`Stats`] envelope;
 //! * [`spec`] — [`BoundarySpec`], the declarative (closure-free) boundary
 //!   subset that can cross a wire;
 //! * [`service`] — [`ProvService`], the [`SessionId`]-keyed session registry
@@ -40,10 +41,11 @@ pub use envelope::{
     ActivityResponse, AddAgentRequest, AddArtifactRequest, CloseSessionRequest, ClosedResponse,
     DocumentResponse, EntityRef, ErrorResponse, EvaluatorSpec, ExpandRequest, ExportRequest,
     ImportRequest, ImportedResponse, LineageDir, LineageRequest, LineageResponse,
-    OpenSessionRequest, OutputSpecDto, PsgDto, PsgEdgeDto, PsgVertexDto, RecordActivityRequest,
-    Request, Response, RestrictRequest, SegmentDto, SegmentEdgeDto, SegmentOptions, SegmentRequest,
-    SegmentResponse, SegmentVertexDto, SessionId, SessionResponse, SnapshotActivity, Stats,
-    SummarizeRequest, SummaryResponse, VertexResponse,
+    OpenSessionRequest, OutputSpecDto, PsgDto, PsgEdgeDto, PsgVertexDto, QueryActivity,
+    QueryRequest, QueryResponse, QuerySpec, RecordActivityRequest, Request, Response,
+    RestrictRequest, SegmentDto, SegmentEdgeDto, SegmentOptions, SegmentRequest, SegmentResponse,
+    SegmentVertexDto, SessionId, SessionResponse, SnapshotActivity, Stats, SummarizeRequest,
+    SummaryResponse, VertexResponse,
 };
 pub use error::{ApiError, ApiResult, ErrorCode};
 pub use service::ProvService;

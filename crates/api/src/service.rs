@@ -26,6 +26,9 @@ pub struct ProvService {
     db: ProvDb,
     sessions: BTreeMap<SessionId, PgSegSession>,
     next_session: u64,
+    /// Cumulative count of query-cursor resumptions served (stamped into
+    /// [`crate::QueryActivity`] on every query response).
+    resumptions: u64,
     clock: Box<dyn Clock>,
 }
 
@@ -52,7 +55,13 @@ impl ProvService {
 
     /// Empty service on an injected clock.
     pub fn with_clock(clock: Box<dyn Clock>) -> Self {
-        ProvService { db: ProvDb::new(), sessions: BTreeMap::new(), next_session: 0, clock }
+        ProvService {
+            db: ProvDb::new(),
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            resumptions: 0,
+            clock,
+        }
     }
 
     /// Wrap an existing database.
@@ -132,6 +141,7 @@ impl ProvService {
             Request::CloseSession(r) => self.close_session(r),
             Request::Summarize(r) => self.summarize(r),
             Request::Lineage(r) => self.lineage(r),
+            Request::Query(r) => self.query(r),
             Request::Export(_) => self.export(),
             Request::Import(r) => self.import(r),
         }
@@ -319,6 +329,94 @@ impl ProvService {
         };
         let stats = Stats::sized(vertices.len(), 0);
         Ok(Response::Lineage(LineageResponse { entity, vertices, stats }))
+    }
+
+    /// Serve one composable query: lower it onto the query IR when possible
+    /// (IR pipelines as-is; patterns through [`prov_store::lower_pattern`]),
+    /// evaluate over the pinned session snapshot or the live store, and
+    /// paginate with the stable-cursor machinery. Non-lowerable patterns
+    /// fall back to the materializing pattern engine and surface budget
+    /// truncation as `is_complete = false` — never silently.
+    fn query(&mut self, r: &QueryRequest) -> ApiResult<Response> {
+        if r.cursor.is_some() {
+            self.resumptions += 1;
+        }
+        let resumptions = self.resumptions;
+        let threads = self.db.parallelism();
+        let lowered = match &r.query {
+            QuerySpec::Pipeline(p) => Some(p.clone()),
+            QuerySpec::Pattern(p) => prov_store::lower_pattern(p),
+        };
+
+        // Snapshot source: a session pins both graph and index, so paginated
+        // walks against it are byte-stable even for property-filtered
+        // pipelines; the live store relies on the cursor's rank watermark
+        // for structural stability.
+        let live_index;
+        let (graph, index): (&prov_store::ProvGraph, &prov_store::ProvIndex) = match r.session {
+            Some(id) => {
+                let session = self.sessions.get(&id).ok_or(ApiError::UnknownSession(id))?;
+                (session.graph(), session.index())
+            }
+            None => {
+                live_index = self.db.snapshot();
+                (self.db.graph(), &live_index)
+            }
+        };
+
+        let response = match lowered {
+            Some(pipeline) => {
+                let plan = prov_store::Plan::compile(pipeline)?;
+                // Resumptions replay the pipeline at the cursor's snapshot
+                // watermark (a watermark beyond the snapshot's log is
+                // rejected inside the evaluator as a stale cursor).
+                let watermark = match &r.cursor {
+                    Some(c) => c.watermark(),
+                    None => index.cursor(),
+                };
+                let output = prov_store::evaluate_at(graph, index, &plan, watermark, threads)?;
+                let page =
+                    prov_store::paginate(&output.rows, watermark, r.cursor.as_ref(), r.page_size);
+                let mut stats = Stats::sized(page.rows.len(), 0);
+                stats.query = QueryActivity::from_stats(output.stats, resumptions);
+                QueryResponse {
+                    rows: page.rows,
+                    count: output.count,
+                    is_complete: true,
+                    cursor: page.next,
+                    stats,
+                }
+            }
+            None => {
+                // Outside the lowerable family: materialize paths and return
+                // the distinct endpoint set (what the lowering would have
+                // produced), sorted ascending like every IR answer.
+                let QuerySpec::Pattern(pattern) = &r.query else {
+                    unreachable!("pipelines always lower to themselves")
+                };
+                let defaults = prov_store::Budget::default();
+                let budget = prov_store::Budget {
+                    max_expansions: r.max_expansions.unwrap_or(defaults.max_expansions),
+                    max_paths: r.max_paths.unwrap_or(defaults.max_paths),
+                };
+                let outcome = prov_store::pattern::match_paths(graph, pattern, budget);
+                let is_complete = outcome.is_complete();
+                let mut rows: Vec<prov_model::VertexId> = outcome
+                    .paths()
+                    .iter()
+                    .map(|p| *p.vertices.last().expect("paths hold at least the start"))
+                    .collect();
+                rows.sort_unstable();
+                rows.dedup();
+                let count = rows.len() as u64;
+                let page =
+                    prov_store::paginate(&rows, index.cursor(), r.cursor.as_ref(), r.page_size);
+                let mut stats = Stats::sized(page.rows.len(), 0);
+                stats.query = QueryActivity { resumptions, ..QueryActivity::default() };
+                QueryResponse { rows: page.rows, count, is_complete, cursor: page.next, stats }
+            }
+        };
+        Ok(Response::Query(response))
     }
 
     fn export(&mut self) -> ApiResult<Response> {

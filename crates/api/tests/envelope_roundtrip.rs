@@ -40,6 +40,7 @@ fn stats() -> Stats {
         vertices: 7,
         edges: 9,
         snapshot: SnapshotActivity { reuses: 40, refreshes: 2, rebuilds: 1 },
+        query: QueryActivity { steps: 3, rows_scanned: 250, frontier_peak: 17, resumptions: 2 },
     }
 }
 
@@ -101,6 +102,47 @@ fn every_request_variant_round_trips() {
         entity: EntityRef::Id(VertexId::new(3)),
         direction: LineageDir::Descendants,
         max_hops: Some(4),
+    }));
+    roundtrip_request(Request::Query(QueryRequest {
+        query: QuerySpec::Pipeline(
+            prov_store::Pipeline::from_ids(vec![VertexId::new(4)])
+                .traverse(
+                    &[
+                        (EdgeKind::WasGeneratedBy, prov_store::Direction::Out),
+                        (EdgeKind::Used, prov_store::Direction::Out),
+                    ],
+                    1,
+                    prov_store::Traverse::UNBOUNDED,
+                )
+                .filter(prov_store::PropFilter::of_kind(VertexKind::Entity))
+                .limit(100),
+        ),
+        session: Some(SessionId::new(2)),
+        page_size: Some(25),
+        cursor: Some(prov_store::QueryCursor { vertices: 40, edges: 55, after: 12 }),
+        max_expansions: None,
+        max_paths: None,
+    }));
+    roundtrip_request(Request::Query(QueryRequest {
+        query: QuerySpec::Pattern(
+            prov_store::PathPattern::node(
+                prov_store::NodeSpec::of_kind(VertexKind::Entity).with_ids(vec![VertexId::new(7)]),
+            )
+            .then(
+                prov_store::RelSpec::star(
+                    &[EdgeKind::Used, EdgeKind::WasGeneratedBy],
+                    prov_store::PatternDir::Forward,
+                    0,
+                    3,
+                ),
+                prov_store::NodeSpec::any().with_prop("acc", 0.7),
+            ),
+        ),
+        session: None,
+        page_size: None,
+        cursor: None,
+        max_expansions: Some(10_000),
+        max_paths: Some(500),
     }));
     roundtrip_request(Request::Export(ExportRequest {}));
     roundtrip_request(Request::Import(ImportRequest { json: "{\"entity\":{}}".into() }));
@@ -181,6 +223,13 @@ fn every_response_variant_round_trips() {
     roundtrip_response(Response::Lineage(LineageResponse {
         entity: VertexId::new(4),
         vertices: vec![VertexId::new(0), VertexId::new(2)],
+        stats: stats(),
+    }));
+    roundtrip_response(Response::Query(QueryResponse {
+        rows: vec![VertexId::new(1), VertexId::new(5)],
+        count: 9,
+        is_complete: false,
+        cursor: Some(prov_store::QueryCursor { vertices: 12, edges: 20, after: 5 }),
         stats: stats(),
     }));
     roundtrip_response(Response::Document(DocumentResponse {

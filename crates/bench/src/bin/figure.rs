@@ -17,6 +17,9 @@
 //!
 //! # The serving-loop trajectory (`fig7` shorthand for 7a 7b 7c):
 //! cargo run -p prov-bench --release -- --quick fig7 --json BENCH_fig7.json
+//!
+//! # The query-layer trajectory (`fig8` shorthand for 8a 8b 8t):
+//! cargo run -p prov-bench --release -- --quick fig8 --json BENCH_fig8.json
 //! ```
 //!
 //! With `--baseline`, the process exits non-zero when any matched series
@@ -27,7 +30,7 @@
 
 use prov_bench::{
     run_figure_with_caches, BenchReport, FigureResult, PdCache, Scale, SdCache, ALL_FIGURES,
-    BENCH_FIGURES, FIG6_FIGURES, FIG7_FIGURES,
+    BENCH_FIGURES, FIG6_FIGURES, FIG7_FIGURES, FIG8_FIGURES,
 };
 
 struct Cli {
@@ -73,12 +76,13 @@ fn main() {
     } else if cli.ids.iter().any(|i| i == "all") {
         ALL_FIGURES.iter().map(|s| s.to_string()).collect()
     } else {
-        // `fig6`/`fig7` expand to their trajectory subsets.
+        // `fig6`/`fig7`/`fig8` expand to their trajectory subsets.
         cli.ids
             .iter()
             .flat_map(|id| match id.as_str() {
                 "fig6" => FIG6_FIGURES.iter().map(|s| s.to_string()).collect(),
                 "fig7" => FIG7_FIGURES.iter().map(|s| s.to_string()).collect(),
+                "fig8" => FIG8_FIGURES.iter().map(|s| s.to_string()).collect(),
                 _ => vec![id.clone()],
             })
             .collect()
@@ -98,7 +102,8 @@ fn main() {
             }
             None => {
                 eprintln!(
-                    "unknown figure id {id:?}; valid: {ALL_FIGURES:?}, `fig6`, `fig7`, or `all`"
+                    "unknown figure id {id:?}; valid: {ALL_FIGURES:?}, `fig6`, `fig7`, `fig8`, \
+                     or `all`"
                 );
                 std::process::exit(2);
             }

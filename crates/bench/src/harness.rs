@@ -942,16 +942,19 @@ pub fn run_figure_with_caches(
         "7b" => crate::fig7::fig7b_cached(scale, pd),
         "7c" => crate::fig7::fig7c_cached(scale, pd),
         "7t" => crate::fig7::fig7t_cached(scale, pd),
+        "8a" => crate::fig8::fig8a_cached(scale, pd),
+        "8b" => crate::fig8::fig8b_cached(scale, pd),
+        "8t" => crate::fig8::fig8t_cached(scale, pd),
         _ => return None,
     })
 }
 
 /// All figure ids in paper order (plus the worklist ablation, the
-/// summarization runtime sweeps, the serving-loop sweeps, and the
-/// thread-scaling sweeps).
-pub const ALL_FIGURES: [&str; 18] = [
+/// summarization runtime sweeps, the serving-loop sweeps, the query-layer
+/// sweeps, and the thread-scaling sweeps).
+pub const ALL_FIGURES: [&str; 21] = [
     "5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "5t", "6a", "6b", "6c", "6t", "7a", "7b",
-    "7c", "7t",
+    "7c", "7t", "8a", "8b", "8t",
 ];
 
 /// The ids the JSON bench mode runs by default: the runtime sweeps
@@ -969,6 +972,11 @@ pub const FIG6_FIGURES: [&str; 4] = ["6a", "6b", "6c", "6t"];
 /// the lineage latency sweep (seed walk vs epoch-scratch BFS), the
 /// session-open acquisition sweep, and the lineage thread sweep.
 pub const FIG7_FIGURES: [&str; 4] = ["7a", "7b", "7c", "7t"];
+
+/// The query-layer trajectory committed as `BENCH_fig8.json`: IR pipeline
+/// latency by depth, the paginated cursor walk vs one-shot evaluation, and
+/// the chunked-frontier thread sweep.
+pub const FIG8_FIGURES: [&str; 3] = ["8a", "8b", "8t"];
 
 #[cfg(test)]
 mod tests {
@@ -1055,7 +1063,7 @@ mod tests {
             // Only check resolvability, not execution (expensive).
             assert!([
                 "5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "5t", "6a", "6b", "6c", "6t",
-                "7a", "7b", "7c", "7t"
+                "7a", "7b", "7c", "7t", "8a", "8b", "8t"
             ]
             .contains(&id));
         }
@@ -1067,6 +1075,9 @@ mod tests {
         }
         for id in FIG7_FIGURES {
             assert!(ALL_FIGURES.contains(&id), "fig7 subset must stay resolvable");
+        }
+        for id in FIG8_FIGURES {
+            assert!(ALL_FIGURES.contains(&id), "fig8 subset must stay resolvable");
         }
     }
 

@@ -9,10 +9,13 @@
 //! * [`fig7`] — the serving-loop sweeps (`7a`–`7c`: ingest/query
 //!   interleaving, lineage latency, session-open latency) driven over a live
 //!   `ProvDb`, committed as `BENCH_fig7.json`;
+//! * [`fig8`] — the query-layer sweeps (`8a`/`8b`/`8t`: IR pipeline latency
+//!   by depth, paginated cursor walk vs one-shot, chunked-frontier thread
+//!   scaling), committed as `BENCH_fig8.json`;
 //! * [`report`] — the `BENCH_fig5.json` / `BENCH_fig6.json` /
-//!   `BENCH_fig7.json` document model, the >2× regression gate CI applies
-//!   against the committed baselines, and the per-figure trajectory summary
-//!   table printed into the CI job log;
+//!   `BENCH_fig7.json` / `BENCH_fig8.json` document model, the >2×
+//!   regression gate CI applies against the committed baselines, and the
+//!   per-figure trajectory summary table printed into the CI job log;
 //! * `src/bin/figure.rs` — CLI that regenerates any figure
 //!   (`cargo run -p prov-bench --release --bin figure -- 5a`) and the JSON
 //!   bench mode (`cargo run -p prov-bench --release -- --quick --json
@@ -20,13 +23,15 @@
 //! * `benches/` — Criterion micro-benchmarks over the same kernels.
 
 pub mod fig7;
+pub mod fig8;
 pub mod harness;
 pub mod report;
 
 pub use fig7::{fig7a, fig7b, fig7c, fig7t};
+pub use fig8::{fig8a, fig8b, fig8t};
 pub use harness::{
     run_figure, run_figure_cached, run_figure_with_caches, FigureResult, PdCache, PdInstance,
     Point, Scale, SdCache, Series, ALL_FIGURES, BENCH_FIGURES, FIG6_FIGURES, FIG7_FIGURES,
-    THREAD_SWEEP,
+    FIG8_FIGURES, THREAD_SWEEP,
 };
 pub use report::{BenchReport, REGRESSION_FACTOR, REGRESSION_FLOOR_SECS};

@@ -35,20 +35,23 @@ impl TerminalEdges for IndexedProvGraph<'_> {
     fn for_each_edge(&self, t: Terminal, f: &mut dyn FnMut(u32, u32)) {
         match t {
             Terminal::Edge(kind, orientation) => {
-                let (csr, flip) = match orientation {
-                    Orientation::Forward => (self.index.csr(kind, Direction::Out), false),
+                let (dir, flip) = match orientation {
+                    Orientation::Forward => (Direction::Out, false),
                     // Inverse labels traverse dst -> src; the In CSR already
                     // stores that direction except for agent edges, where the
                     // In CSR is empty by construction (agents are sinks).
                     Orientation::Inverse => match kind {
                         EdgeKind::WasAssociatedWith | EdgeKind::WasAttributedTo => {
-                            (self.index.csr(kind, Direction::Out), true)
+                            (Direction::Out, true)
                         }
-                        _ => (self.index.csr(kind, Direction::In), false),
+                        _ => (Direction::In, false),
                     },
                 };
+                // lint-ok(csr-traversal): CFL terminal enumeration feeds the Datalog solver
+                let csr = self.index.csr(kind, dir);
                 for v in 0..self.index.vertex_count() as u32 {
                     let vid = VertexId::new(v);
+                    // lint-ok(csr-traversal): whole-relation scan, not an ad-hoc read path
                     for nbr in csr.neighbors(vid) {
                         if flip {
                             f(nbr.raw(), v);

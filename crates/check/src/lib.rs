@@ -1,6 +1,6 @@
 //! Repo-specific lint rules rustc and clippy cannot express (ISSUE 7).
 //!
-//! Four textual rules over the workspace sources, each encoding a decision
+//! Five textual rules over the workspace sources, each encoding a decision
 //! the codebase already made and a regression that would silently undo it:
 //!
 //! * [`STD_COLLECTIONS`] — hash containers must come through
@@ -20,6 +20,13 @@
 //! * [`RELAXED_ORDERING`] — no `Ordering::Relaxed` inside the vendored
 //!   executor: the loom-lite model checks it under sequential consistency,
 //!   so the real build must not run weaker than what was verified.
+//! * [`CSR_TRAVERSAL`] — no direct CSR adjacency walks (`.csr(...)`,
+//!   `.neighbors(...)`) outside the query engine
+//!   (`crates/store/src/query/eval.rs`) and the snapshot structure itself:
+//!   since ISSUE 8 every read path compiles into the query IR, and an
+//!   ad-hoc traversal would bypass the watermark/cursor semantics the wire
+//!   layer guarantees. The frozen differential references (seed lineage,
+//!   CFL views) carry justification markers.
 //!
 //! Detection runs on a *masked* copy of each file — comments and string
 //! literal contents blanked — so a rule name appearing in prose or a test
@@ -65,6 +72,9 @@ enum Scope {
     HotPaths,
     /// The vendored executor (the one vendor directory the walker enters).
     RayonCore,
+    /// Every workspace file except the query engine and the CSR structure —
+    /// the only two files allowed to walk adjacency lists directly.
+    CsrConsumers,
 }
 
 /// A lint rule: an identifier, a scope, and a line predicate over masked code.
@@ -115,8 +125,19 @@ pub const RELAXED_ORDERING: Rule = Rule {
     matches: |code| code.contains("Ordering::Relaxed"),
 };
 
+/// Ban direct CSR adjacency walks outside the query engine.
+pub const CSR_TRAVERSAL: Rule = Rule {
+    id: "csr-traversal",
+    description: "no direct .csr()/.neighbors() walks outside crates/store/src/query/eval.rs; \
+                  read paths go through the query IR (watermark/cursor semantics); justify \
+                  frozen differential references with a marker",
+    scope: Scope::CsrConsumers,
+    matches: |code| code.contains(".csr(") || code.contains(".neighbors("),
+};
+
 /// Every rule the gate enforces.
-pub const RULES: [&Rule; 4] = [&STD_COLLECTIONS, &THREAD_SPAWN, &NARROWING_CAST, &RELAXED_ORDERING];
+pub const RULES: [&Rule; 5] =
+    [&STD_COLLECTIONS, &THREAD_SPAWN, &NARROWING_CAST, &RELAXED_ORDERING, &CSR_TRAVERSAL];
 
 /// Does `code` contain a cast `as <ty>` as whole tokens (`has u32` or
 /// `alias u32x4` must not match)?
@@ -150,6 +171,11 @@ fn in_scope(scope: Scope, path: &Path) -> bool {
             p.starts_with("crates/store/src/") || p.starts_with("crates/segment/src/")
         }
         Scope::RayonCore => in_rayon_core && p.ends_with(".rs"),
+        Scope::CsrConsumers => {
+            !p.starts_with("vendor/")
+                && p != "crates/store/src/query/eval.rs"
+                && p != "crates/store/src/snapshot.rs"
+        }
     }
 }
 
@@ -467,6 +493,33 @@ mod tests {
         // counters; only the model-checked executor is pinned to SeqCst.
         assert!(at("crates/segment/src/par.rs", "hits.load(Ordering::Relaxed);\n").is_empty());
         assert!(at("vendor/rayon-core/src/pool.rs", "stop.load(Ordering::SeqCst);\n").is_empty());
+    }
+
+    // ---- csr-traversal ------------------------------------------------
+
+    #[test]
+    fn csr_traversal_violation_is_flagged() {
+        let hits = at("crates/x/src/lib.rs", "let adj = index.csr(kind, Direction::Out);\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "csr-traversal");
+        assert_eq!(at("crates/api/src/service.rs", "for v in csr.neighbors(u) {}\n").len(), 1);
+        // Tests are covered too: an ad-hoc walk there still bypasses the IR.
+        assert_eq!(at("crates/core/tests/t.rs", "idx.csr(k, d).neighbors(v);\n").len(), 1);
+    }
+
+    #[test]
+    fn csr_traversal_engine_and_markers_pass() {
+        // The single evaluation engine and the CSR structure itself.
+        let src = "let adj = index.csr(kind, dir);\nfor w in adj.neighbors(v) {}\n";
+        assert!(at("crates/store/src/query/eval.rs", src).is_empty());
+        assert!(at("crates/store/src/snapshot.rs", src).is_empty());
+        // Vendor stays out of scope; lookalike names don't trip the rule.
+        assert!(at("vendor/serde/src/lib.rs", src).is_empty());
+        assert!(at("crates/x/src/lib.rs", "let x = sparse_csr(a, b);\n").is_empty());
+        // Frozen differential references justify themselves with a marker.
+        let src = "// lint-ok(csr-traversal): frozen seed reference the IR is diffed against\n\
+                   let first = index.csr(EdgeKind::Used, Direction::Out);\n";
+        assert!(at("crates/core/src/lineage.rs", src).is_empty());
     }
 
     // ---- masking / engine mechanics -----------------------------------

@@ -25,7 +25,7 @@
 //! BFS discovery order is an implementation detail and never escapes.
 
 use prov_model::{EdgeKind, VertexId};
-use prov_store::{Direction, ProvIndex};
+use prov_store::{Direction, Pipeline, ProvIndex};
 use std::cell::RefCell;
 
 /// Which way a lineage traversal walks the ancestry relations.
@@ -120,16 +120,45 @@ fn step_csrs(
     index: &ProvIndex,
     direction: LineageDirection,
 ) -> (&prov_store::Csr, &prov_store::Csr) {
+    let [(first, fd), (second, sd)] = ancestry_edges(direction);
+    // lint-ok(csr-traversal): frozen seed engine, the IR evaluation's differential reference
+    (index.csr(first, fd), index.csr(second, sd))
+}
+
+/// The CSR selectors one ancestry hop unions, per direction — the
+/// `step_csrs` pairing as query-IR data. Upstream crosses `G` then `U`
+/// forward; downstream reverses both.
+pub fn ancestry_edges(direction: LineageDirection) -> [(EdgeKind, Direction); 2] {
     match direction {
-        LineageDirection::Ancestors => (
-            index.csr(EdgeKind::WasGeneratedBy, Direction::Out),
-            index.csr(EdgeKind::Used, Direction::Out),
-        ),
-        LineageDirection::Descendants => (
-            index.csr(EdgeKind::Used, Direction::In),
-            index.csr(EdgeKind::WasGeneratedBy, Direction::In),
-        ),
+        LineageDirection::Ancestors => {
+            [(EdgeKind::WasGeneratedBy, Direction::Out), (EdgeKind::Used, Direction::Out)]
+        }
+        LineageDirection::Descendants => {
+            [(EdgeKind::Used, Direction::In), (EdgeKind::WasGeneratedBy, Direction::In)]
+        }
     }
+}
+
+/// Lower a lineage query to a one-step query-IR pipeline (DESIGN.md §9).
+///
+/// The hop window translates the bound: the closure is depth `1..`, a
+/// `Within(d)` prefix is `1..=d`, and the `Exactly(d)` ring is `d..=d` —
+/// with the degenerate `d = 0` cases mapped to the empty window `1..=0`,
+/// matching the engines' "depth 0 is never emitted" contract. Evaluating
+/// the pipeline is byte-identical to [`lineage_over`] /
+/// [`lineage_over_par`], which stay alive as the differential references.
+pub fn compile_lineage(
+    start: VertexId,
+    direction: LineageDirection,
+    bound: LineageBound,
+) -> Pipeline {
+    let (min_hops, max_hops) = match bound {
+        LineageBound::Unbounded => (1, u32::MAX),
+        LineageBound::Within(d) => (1, d),
+        LineageBound::Exactly(0) => (1, 0),
+        LineageBound::Exactly(d) => (d, d),
+    };
+    Pipeline::from_ids(vec![start]).traverse(&ancestry_edges(direction), min_hops, max_hops)
 }
 
 /// Transitive ancestry walk over a frozen snapshot: the engine behind
@@ -169,6 +198,7 @@ pub fn lineage_over(
         while !frontier.is_empty() && depth < max_depth {
             depth += 1;
             for &v in &frontier {
+                // lint-ok(csr-traversal): frozen seed BFS, diffed against the IR engine
                 for &w in first.neighbors(v).iter().chain(second.neighbors(v)) {
                     if scratch.mark(w) {
                         if !ring_only || depth == max_depth {
@@ -262,6 +292,7 @@ pub fn lineage_over_par_with_frontier_min(
             if frontier.len() < frontier_min {
                 // Small level: the sequential step, verbatim.
                 for &v in &frontier {
+                    // lint-ok(csr-traversal): frozen seed BFS, diffed against the IR engine
                     for &w in first.neighbors(v).iter().chain(second.neighbors(v)) {
                         if scratch.mark(w) {
                             if !ring_only || depth == max_depth {
@@ -289,9 +320,11 @@ pub fn lineage_over_par_with_frontier_min(
                                 with_scratch(|local| {
                                     local.begin(n);
                                     for &v in chunk {
-                                        for &w in
-                                            first.neighbors(v).iter().chain(second.neighbors(v))
-                                        {
+                                        // lint-ok(csr-traversal): chunked twin of the seed BFS
+                                        let up = first.neighbors(v);
+                                        // lint-ok(csr-traversal): chunked twin of the seed BFS
+                                        let down = second.neighbors(v);
+                                        for &w in up.iter().chain(down) {
                                             if stamps[w.index()] != epoch && local.mark(w) {
                                                 buf.push(w);
                                             }

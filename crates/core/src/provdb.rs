@@ -5,12 +5,14 @@
 //! the query facilities (PgSeg segmentation, PgSum summarization, lineage and
 //! pattern matching) over the embedded property graph store.
 
-use crate::lineage::{lineage_over_par, LineageBound};
+use crate::lineage::{compile_lineage, LineageBound};
 pub use crate::lineage::{lineage_reference, LineageDirection};
 use prov_model::{PropValue, VertexId, VertexKind};
 use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
 use prov_store::hash::FxHashMap;
-use prov_store::{ProvGraph, ProvIndex, SharedIndex, StoreResult};
+use prov_store::{
+    DeltaCursor, Pipeline, Plan, ProvGraph, ProvIndex, QueryOutput, SharedIndex, StoreResult,
+};
 use prov_summary::{pgsum, PgSumQuery, Psg, SegmentRef};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -454,13 +456,7 @@ impl ProvDb {
     /// epoch-scratch engine ([`crate::lineage`]) and never escapes; callers
     /// and examples may rely on the sorted order.
     pub fn lineage(&self, e: VertexId, direction: LineageDirection) -> Vec<VertexId> {
-        lineage_over_par(
-            &self.snapshot(),
-            e,
-            direction,
-            LineageBound::Unbounded,
-            self.parallelism(),
-        )
+        self.lineage_ir(e, direction, LineageBound::Unbounded)
     }
 
     /// Depth-bounded lineage: every vertex within `max_hops` ancestry hops
@@ -472,25 +468,57 @@ impl ProvDb {
         direction: LineageDirection,
         max_hops: u32,
     ) -> Vec<VertexId> {
-        lineage_over_par(
-            &self.snapshot(),
-            e,
-            direction,
-            LineageBound::Within(max_hops),
-            self.parallelism(),
-        )
+        self.lineage_ir(e, direction, LineageBound::Within(max_hops))
     }
 
     /// The k-hop ring: only the vertices at *exactly* `hops` ancestry hops
     /// from `e` (BFS distance). Same order contract as [`ProvDb::lineage`].
     pub fn k_hop(&self, e: VertexId, direction: LineageDirection, hops: u32) -> Vec<VertexId> {
-        lineage_over_par(
-            &self.snapshot(),
-            e,
-            direction,
-            LineageBound::Exactly(hops),
-            self.parallelism(),
-        )
+        self.lineage_ir(e, direction, LineageBound::Exactly(hops))
+    }
+
+    /// Shared lineage path: lower to a one-step query-IR pipeline
+    /// ([`crate::lineage::compile_lineage`]) and evaluate it over the
+    /// current snapshot. `lineage_over_par` stays alive in `crate::lineage`
+    /// as the differential reference for this lowering.
+    fn lineage_ir(
+        &self,
+        e: VertexId,
+        direction: LineageDirection,
+        bound: LineageBound,
+    ) -> Vec<VertexId> {
+        self.query(compile_lineage(e, direction, bound))
+            .expect("lineage pipelines always compile and a fresh snapshot is never stale")
+            .rows
+    }
+
+    /// Evaluate a query-IR pipeline over the current snapshot.
+    ///
+    /// This is the unified read path every fixed-shape query compiles into
+    /// (DESIGN.md §9); `lineage`, `find_by_prop`, and lowerable patterns all
+    /// route through here. Returns the full (unpaginated) output; pair with
+    /// [`prov_store::paginate`] or the wire `Query` envelope for cursors.
+    pub fn query(&self, pipeline: Pipeline) -> StoreResult<QueryOutput> {
+        let plan = Plan::compile(pipeline)?;
+        prov_store::evaluate(&self.graph, &self.snapshot(), &plan, self.parallelism())
+    }
+
+    /// Evaluate a pipeline bounded to an older `watermark` — the replay mode
+    /// behind resumable cursors: only vertices and edges at ranks below the
+    /// watermark participate, so the answer matches what the snapshot looked
+    /// like when the watermark was taken.
+    pub fn query_at(&self, pipeline: Pipeline, watermark: DeltaCursor) -> StoreResult<QueryOutput> {
+        let plan = Plan::compile(pipeline)?;
+        prov_store::evaluate_at(&self.graph, &self.snapshot(), &plan, watermark, self.parallelism())
+    }
+
+    /// Vertices of `kind` carrying property `key == value`, ascending by id
+    /// — the IR route (`StartSet::Kind` + `PropFilter`), byte-identical to
+    /// the frozen [`ProvGraph::find_by_prop`] reference.
+    pub fn find_by_prop(&self, kind: VertexKind, key: &str, value: &PropValue) -> Vec<VertexId> {
+        self.query(Pipeline::find_by_prop(kind, key, value.clone()))
+            .expect("find_by_prop pipelines always compile")
+            .rows
     }
 
     /// All ancestors of an entity (transitive inputs through `U`/`G` edges).

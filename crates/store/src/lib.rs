@@ -11,6 +11,8 @@
 //!   adjacency used by the query operators.
 //! * [`pattern`] — Cypher-flavoured pattern/path matching with materialized
 //!   path variables (the "standard graph query model" baseline).
+//! * [`query`] — the composable query IR every read path compiles into:
+//!   step pipelines over CSR snapshots with resumable cursors.
 //! * [`json`] — PROV-JSON-style import/export.
 //! * [`hash`], [`interner`] — supporting infrastructure.
 
@@ -21,11 +23,16 @@ pub mod index;
 pub mod interner;
 pub mod json;
 pub mod pattern;
+pub mod query;
 pub mod snapshot;
 
 pub use error::{StoreError, StoreResult};
 pub use graph::{DeltaCursor, EdgeRecord, GraphDelta, GraphStats, ProvGraph, VertexRecord};
 pub use pattern::{
     Budget, MatchOutcome, MaterializedPath, NodeSpec, PathPattern, PatternDir, RelSpec,
+};
+pub use query::{
+    evaluate, evaluate_at, lower_pattern, paginate, Page, Pipeline, Plan, Project, PropFilter,
+    QueryCursor, QueryOutput, QueryStats, StartSet, Step, Traverse,
 };
 pub use snapshot::{Csr, Direction, ProvIndex, SharedIndex};

@@ -17,15 +17,22 @@ use crate::graph::ProvGraph;
 use prov_model::{EdgeId, EdgeKind, PropValue, VertexId, VertexKind};
 
 /// Node predicate of a pattern (`(x:Kind {key: value, ...})`).
-#[derive(Debug, Clone, Default)]
+///
+/// Serializable so patterns can ride the wire `Query` envelope; every field
+/// defaults so `{}` deserializes to the match-anything spec.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NodeSpec {
     /// Required vertex kind, if any.
+    #[serde(default)]
     pub kind: Option<VertexKind>,
     /// Required vertex name, if any.
+    #[serde(default)]
     pub name: Option<String>,
     /// Required property equalities.
+    #[serde(default)]
     pub props: Vec<(String, PropValue)>,
     /// Restrict to these ids (`where id(x) in [...]`), if set.
+    #[serde(default)]
     pub ids: Option<Vec<VertexId>>,
 }
 
@@ -74,7 +81,7 @@ impl NodeSpec {
 }
 
 /// Edge traversal direction in a pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum PatternDir {
     /// `-[...]->` — follow stored orientation.
     Forward,
@@ -86,7 +93,7 @@ pub enum PatternDir {
 
 /// Relationship predicate with optional variable length
 /// (`-[:U|G*min..max]->`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RelSpec {
     /// Allowed relationship kinds (empty = all kinds).
     pub kinds: Vec<EdgeKind>,
@@ -119,11 +126,12 @@ impl RelSpec {
 }
 
 /// A linear path pattern: `start (rel node)*`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PathPattern {
     /// Start node predicate.
     pub start: NodeSpec,
     /// Alternating relationship/node predicates.
+    #[serde(default)]
     pub steps: Vec<(RelSpec, NodeSpec)>,
 }
 

@@ -1,0 +1,152 @@
+//! Stable resumable cursors for paginated pipeline evaluation.
+//!
+//! A [`QueryCursor`] is two watermarks:
+//!
+//! * a **snapshot watermark** (`vertices`/`edges` — a [`DeltaCursor`]): the
+//!   log position the first page was evaluated at. Every resumption
+//!   re-evaluates the pipeline *at this watermark* via the engine's bounded
+//!   replay ([`crate::query::evaluate_at`]), so ingest between pages can
+//!   never add, remove, or reorder rows;
+//! * a **rank watermark** (`after`): the raw id of the last row already
+//!   delivered. Rows are always sorted ascending, so "the next page" is the
+//!   first `page_size` rows strictly above it — no offsets, no skips or
+//!   duplicates even if the caller retries a page.
+//!
+//! Invariants (DESIGN.md §9):
+//!
+//! 1. concatenating the pages of any cursor walk equals the one-shot answer
+//!    evaluated at the cursor's snapshot watermark, byte for byte;
+//! 2. the walk is insensitive to ingest concurrent with pagination: the
+//!    append-only log plus per-row ascending edge ids let the engine replay
+//!    the watermark prefix exactly (structural stability);
+//! 3. property *filters* read the live store — property writes do not move
+//!    the delta cursor — so full byte-stability of filtered pipelines
+//!    additionally needs the pinned graph of a session (the wire layer's
+//!    `session` field). Unfiltered pipelines are stable regardless;
+//! 4. a cursor is only meaningful against the database it came from: a
+//!    watermark beyond the snapshot's log is rejected as a stale cursor.
+
+use crate::graph::DeltaCursor;
+use prov_model::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A resumable position in a paginated query (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryCursor {
+    /// Snapshot watermark: vertices present at first evaluation.
+    pub vertices: u32,
+    /// Snapshot watermark: edges present at first evaluation.
+    pub edges: u32,
+    /// Rank watermark: raw id of the last row already delivered.
+    pub after: u32,
+}
+
+impl QueryCursor {
+    /// The snapshot watermark as a [`DeltaCursor`] (what
+    /// [`crate::query::evaluate_at`] replays).
+    pub fn watermark(&self) -> DeltaCursor {
+        DeltaCursor { vertices: self.vertices, edges: self.edges }
+    }
+}
+
+/// One page of a paginated result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// The page's rows (ascending).
+    pub rows: Vec<VertexId>,
+    /// Cursor for the next page; `None` when the walk is complete.
+    pub next: Option<QueryCursor>,
+}
+
+/// Slice the next page out of a full (sorted) row set evaluated at
+/// `watermark`.
+///
+/// `resume` is the cursor of the previous page, if any; `page_size = None`
+/// means "everything remaining" (and therefore never yields a next cursor).
+pub fn paginate(
+    rows: &[VertexId],
+    watermark: DeltaCursor,
+    resume: Option<&QueryCursor>,
+    page_size: Option<usize>,
+) -> Page {
+    let from = match resume {
+        Some(cursor) => rows.partition_point(|v| v.raw() <= cursor.after),
+        None => 0,
+    };
+    let remaining = &rows[from..];
+    let take = page_size.unwrap_or(remaining.len()).min(remaining.len());
+    let page = &remaining[..take];
+    let next = if take < remaining.len() {
+        page.last().map(|last| QueryCursor {
+            vertices: watermark.vertices,
+            edges: watermark.edges,
+            after: last.raw(),
+        })
+    } else {
+        None
+    };
+    Page { rows: page.to_vec(), next }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Vec<VertexId> {
+        raw.iter().copied().map(VertexId::new).collect()
+    }
+
+    #[test]
+    fn pages_concatenate_to_the_one_shot_answer() {
+        let rows = ids(&[2, 3, 5, 8, 13, 21, 34]);
+        let w = DeltaCursor { vertices: 40, edges: 17 };
+        for page_size in 1..=rows.len() + 1 {
+            let mut walked = Vec::new();
+            let mut cursor: Option<QueryCursor> = None;
+            let mut hops = 0;
+            loop {
+                let page = paginate(&rows, w, cursor.as_ref(), Some(page_size));
+                walked.extend_from_slice(&page.rows);
+                hops += 1;
+                assert!(hops <= rows.len() + 1, "walk must terminate");
+                match page.next {
+                    Some(next) => {
+                        assert_eq!(next.watermark(), w, "watermark rides along unchanged");
+                        cursor = Some(next);
+                    }
+                    None => break,
+                }
+            }
+            assert_eq!(walked, rows, "page size {page_size}");
+            assert_eq!(hops, rows.len().div_ceil(page_size).max(1));
+        }
+    }
+
+    #[test]
+    fn retrying_a_cursor_is_idempotent() {
+        let rows = ids(&[1, 2, 3, 4]);
+        let w = DeltaCursor { vertices: 5, edges: 0 };
+        let first = paginate(&rows, w, None, Some(2));
+        let again = paginate(&rows, w, None, Some(2));
+        assert_eq!(first, again);
+        let second = paginate(&rows, w, first.next.as_ref(), Some(2));
+        let second_again = paginate(&rows, w, first.next.as_ref(), Some(2));
+        assert_eq!(second, second_again);
+        assert!(second.next.is_none());
+    }
+
+    #[test]
+    fn unlimited_page_size_returns_everything_without_a_cursor() {
+        let rows = ids(&[7, 9]);
+        let w = DeltaCursor::default();
+        let page = paginate(&rows, w, None, None);
+        assert_eq!(page.rows, rows);
+        assert!(page.next.is_none());
+    }
+
+    #[test]
+    fn empty_result_paginates_to_one_empty_page() {
+        let page = paginate(&[], DeltaCursor::default(), None, Some(10));
+        assert!(page.rows.is_empty() && page.next.is_none());
+    }
+}

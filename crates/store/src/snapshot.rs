@@ -647,7 +647,12 @@ impl ProvIndex {
 }
 
 /// Traversal direction relative to stored edge orientation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serialized so the query IR ([`crate::query`]) can name CSR slices on the
+/// wire.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Direction {
     /// Follow edges as stored (src → dst).
     Out,

@@ -34,10 +34,24 @@ model-check:
     cd vendor/rayon-core && RUSTFLAGS="--cfg prov_loom -D warnings" cargo test --test loom -q
 
 # Re-validate every structural invariant after each mutation while running
-# the store/bitset/core suites (the CI concurrency matrix runs this too).
+# the store/bitset/core suites (the CI concurrency matrix runs this too),
+# plus the query suites whose crates have no paranoid feature of their own.
 paranoid-test:
     cargo test -q -p prov-store -p prov-bitset -p prov-core \
         --features prov-store/paranoid,prov-bitset/paranoid,prov-core/paranoid
+    cargo test -q -p prov-api --test query_cursor_stability \
+        --features prov-store/paranoid,prov-core/paranoid
+    cargo test -q -p prov --test cypher_query1 \
+        --features prov-store/paranoid,prov-core/paranoid
+
+# The query-IR differential suites alone: IR evaluation pinned byte-identical
+# to every frozen read path (lineage, find_by_prop, patterns, Cypher
+# Query-1), plus wire-level cursor stability under concurrent ingest.
+query-test:
+    cargo test -q -p prov-store --test query_ir_differential
+    cargo test -q -p prov-core --test lineage_differential
+    cargo test -q -p prov-api --test query_cursor_stability
+    cargo test -q -p prov --test cypher_query1
 
 # Public docs with rustdoc warnings denied.
 doc:
@@ -56,3 +70,5 @@ bench-gate:
         --json BENCH_fig6.new.json --baseline BENCH_fig6.json
     cargo run -q -p prov-bench --release --bin figure -- --quick fig7 \
         --json BENCH_fig7.new.json --baseline BENCH_fig7.json
+    cargo run -q -p prov-bench --release --bin figure -- --quick fig8 \
+        --json BENCH_fig8.new.json --baseline BENCH_fig8.json

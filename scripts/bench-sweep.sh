@@ -4,7 +4,7 @@
 # Runs the exact quick-scale invocations CI gates against, overwriting the
 # committed BENCH_*.json in place — run this when a PR intentionally moves a
 # perf point (the gate compares fresh runs against these files). The thread
-# sweeps (5t/6t/7t) record whatever parallelism the host has;
+# sweeps (5t/6t/7t/8t) record whatever parallelism the host has;
 # `host_threads` in each JSON says what the numbers mean (1 = the parallel
 # series measures pure fan-out overhead).
 #
@@ -30,5 +30,7 @@ run $scale --json BENCH_fig5.json
 run $scale fig6 --json BENCH_fig6.json
 # shellcheck disable=SC2086
 run $scale fig7 --json BENCH_fig7.json
+# shellcheck disable=SC2086
+run $scale fig8 --json BENCH_fig8.json
 
-echo "regenerated BENCH_fig5.json BENCH_fig6.json BENCH_fig7.json" >&2
+echo "regenerated BENCH_fig5.json BENCH_fig6.json BENCH_fig7.json BENCH_fig8.json" >&2

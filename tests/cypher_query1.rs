@@ -11,7 +11,7 @@ use prov_core::fig2;
 use prov_model::{EdgeKind, VertexId, VertexKind};
 use prov_segment::{evaluate_similarity, MaskedGraph, PgSegOptions};
 use prov_store::{Budget, NodeSpec, PathPattern, PatternDir, RelSpec};
-use prov_store::{ProvGraph, ProvIndex};
+use prov_store::{Direction, Pipeline, Plan, PropFilter, ProvGraph, ProvIndex};
 
 /// Execute the paper's Query 1 plan: enumerate both path variables and join.
 fn cypher_query1(graph: &ProvGraph, vsrc: &[VertexId], vdst: &[VertexId]) -> Vec<VertexId> {
@@ -53,6 +53,88 @@ fn cypher_query1(graph: &ProvGraph, vsrc: &[VertexId], vdst: &[VertexId]) -> Vec
     answer.sort_unstable();
     answer.dedup();
     answer
+}
+
+/// ISSUE 8: the same Query 1 plan re-expressed on the query IR, with the
+/// frozen pattern-engine plan above kept as the differential reference.
+///
+/// Each Cypher path variable becomes a family of pipelines rooted at the
+/// shared anchor `e1 = e2 ∈ Vdst`: `L` chained single-hop `Traverse` steps
+/// compute "reachable from the anchor by a path of exactly `L` ancestry
+/// edges" — on a DAG every walk is a path, so no edge-uniqueness
+/// bookkeeping is needed — and the node kind / id constraints of the
+/// pattern's `NodeSpec`s become IR `Filter` steps. The node-by-node
+/// `extract(...)` join then reduces, exactly as in the pattern plan, to
+/// joining the two families on (anchor, length).
+fn cypher_query1_ir(
+    graph: &ProvGraph,
+    index: &ProvIndex,
+    vsrc: &[VertexId],
+    vdst: &[VertexId],
+) -> Vec<VertexId> {
+    let ancestry = [(EdgeKind::WasGeneratedBy, Direction::Out), (EdgeKind::Used, Direction::Out)];
+    let walk = |anchor: VertexId, hops: usize| {
+        let mut p = Pipeline::from_ids(vec![anchor]);
+        for _ in 0..hops {
+            p = p.traverse(&ancestry, 1, 1);
+        }
+        p
+    };
+    let eval = |pipeline: Pipeline| {
+        let plan = Plan::compile(pipeline).expect("query1 pipelines compile");
+        prov_store::evaluate(graph, index, &plan, 1).expect("fresh snapshot is never stale").rows
+    };
+
+    let mut answer = Vec::new();
+    for &anchor in vdst {
+        // Both path variables anchor on an entity (e1:E, e2:E).
+        if graph.vertex_kind(anchor) != VertexKind::Entity {
+            continue;
+        }
+        for hops in 0.. {
+            let reach = eval(walk(anchor, hops));
+            if reach.is_empty() {
+                break; // longest ancestry path from this anchor exhausted
+            }
+            // p1 side: does a length-`hops` path end at a Vsrc entity (b:E)?
+            let hit = eval(walk(anchor, hops).filter(PropFilter {
+                kind: Some(VertexKind::Entity),
+                ids: Some(vsrc.to_vec()),
+                ..PropFilter::default()
+            }));
+            if !hit.is_empty() {
+                // p2 side at the joined length: every entity endpoint (c:E).
+                answer.extend(eval(
+                    walk(anchor, hops).filter(PropFilter::of_kind(VertexKind::Entity)),
+                ));
+            }
+        }
+    }
+    answer.sort_unstable();
+    answer.dedup();
+    answer
+}
+
+#[test]
+fn ir_pipelines_match_cypher_plan_and_operators() {
+    let ex = fig2::build();
+    let index = ProvIndex::build(&ex.graph);
+    let view = MaskedGraph::unmasked(&index);
+
+    let cases = [
+        (vec![ex.v("dataset-v1")], vec![ex.v("weight-v2")]),
+        (vec![ex.v("dataset-v1")], vec![ex.v("log-v3")]),
+        (vec![ex.v("model-v1")], vec![ex.v("weight-v3")]),
+        (vec![ex.v("solver-v1")], vec![ex.v("weight-v1"), ex.v("weight-v3")]),
+        (vec![ex.v("weight-v2")], vec![ex.v("weight-v2")]), // anchor ∈ Vsrc: L = 0 join
+    ];
+    for (vsrc, vdst) in cases {
+        let ir = cypher_query1_ir(&ex.graph, &index, &vsrc, &vdst);
+        let cypher = cypher_query1(&ex.graph, &vsrc, &vdst);
+        assert_eq!(ir, cypher, "IR join vs pattern plan on src={vsrc:?} dst={vdst:?}");
+        let operator = evaluate_similarity(&view, &vsrc, &vdst, &PgSegOptions::default());
+        assert_eq!(ir, operator.answer, "IR join vs SimProvTst on src={vsrc:?} dst={vdst:?}");
+    }
 }
 
 #[test]
