@@ -154,6 +154,39 @@ impl QueryActivity {
     }
 }
 
+/// Durable-storage activity counters (wire twin of
+/// [`prov_core::DurabilityCounters`]). Cumulative since the database was
+/// opened; all-zero for an in-memory database — `recoveries` is at least 1
+/// whenever durability is actually on, so clients can tell the two apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DurabilityActivity {
+    /// Batches appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Fsync calls issued (commit acknowledgements, snapshot writes).
+    pub fsyncs: u64,
+    /// Cold-start recoveries performed.
+    pub recoveries: u64,
+    /// Torn-tail bytes truncated during recovery.
+    pub truncated_tail_bytes: u64,
+    /// Snapshot images written by compaction.
+    pub snapshots_written: u64,
+    /// Committed batches replayed from the WAL during recovery.
+    pub batches_replayed: u64,
+}
+
+impl From<prov_core::DurabilityCounters> for DurabilityActivity {
+    fn from(c: prov_core::DurabilityCounters) -> Self {
+        DurabilityActivity {
+            wal_appends: c.wal_appends,
+            fsyncs: c.fsyncs,
+            recoveries: c.recoveries,
+            truncated_tail_bytes: c.truncated_tail_bytes,
+            snapshots_written: c.snapshots_written,
+            batches_replayed: c.batches_replayed,
+        }
+    }
+}
+
 /// Per-response measurement envelope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Stats {
@@ -172,6 +205,10 @@ pub struct Stats {
     /// wires: deserializes to all-zero.
     #[serde(default)]
     pub query: QueryActivity,
+    /// Durable-storage counters at response time (cumulative; all-zero for
+    /// in-memory databases). Absent on old wires: deserializes to all-zero.
+    #[serde(default)]
+    pub durability: DurabilityActivity,
 }
 
 impl Stats {
@@ -798,6 +835,23 @@ impl Response {
             Response::Query(r) => Some(&mut r.stats),
             Response::Document(r) => Some(&mut r.stats),
             Response::Imported(r) => Some(&mut r.stats),
+        }
+    }
+
+    /// The measurement envelope, read-only (everything but errors).
+    pub fn stats(&self) -> Option<&Stats> {
+        match self {
+            Response::Error(_) => None,
+            Response::Vertex(r) => Some(&r.stats),
+            Response::Activity(r) => Some(&r.stats),
+            Response::Segment(r) => Some(&r.stats),
+            Response::Session(r) => Some(&r.stats),
+            Response::Closed(r) => Some(&r.stats),
+            Response::Summary(r) => Some(&r.stats),
+            Response::Lineage(r) => Some(&r.stats),
+            Response::Query(r) => Some(&r.stats),
+            Response::Document(r) => Some(&r.stats),
+            Response::Imported(r) => Some(&r.stats),
         }
     }
 

@@ -32,6 +32,12 @@ pub enum ErrorCode {
     Import,
     /// The store's dense id space is exhausted.
     CapacityExceeded,
+    /// The durable storage engine cannot accept commits (I/O failure or a
+    /// poisoned engine after one); reopen the database to recover.
+    StorageUnavailable,
+    /// The on-disk log or snapshot is corrupt (checksum-valid bytes that do
+    /// not decode or replay) — recovery refused to guess.
+    CorruptLog,
 }
 
 /// Everything that can go wrong while serving a request.
@@ -58,6 +64,8 @@ impl ApiError {
             ApiError::Store(StoreError::Import(_)) => ErrorCode::Import,
             ApiError::Store(StoreError::InvalidQuery(_)) => ErrorCode::InvalidQuery,
             ApiError::Store(StoreError::CapacityExceeded { .. }) => ErrorCode::CapacityExceeded,
+            ApiError::Store(StoreError::StorageUnavailable(_)) => ErrorCode::StorageUnavailable,
+            ApiError::Store(StoreError::CorruptLog(_)) => ErrorCode::CorruptLog,
             ApiError::UnknownSession(_) => ErrorCode::UnknownSession,
             ApiError::UnknownEntity(_) => ErrorCode::UnknownEntity,
             ApiError::Malformed(_) => ErrorCode::MalformedRequest,
@@ -105,6 +113,10 @@ mod tests {
         assert_eq!(e.code(), ErrorCode::UnknownVertex);
         let e: ApiError = StoreError::CapacityExceeded { what: "vertex" }.into();
         assert_eq!(e.code(), ErrorCode::CapacityExceeded);
+        let e: ApiError = StoreError::StorageUnavailable("fsync failed".into()).into();
+        assert_eq!(e.code(), ErrorCode::StorageUnavailable);
+        let e: ApiError = StoreError::CorruptLog("bad seq".into()).into();
+        assert_eq!(e.code(), ErrorCode::CorruptLog);
         assert_eq!(ApiError::UnknownSession(SessionId::new(1)).code(), ErrorCode::UnknownSession);
         assert_eq!(ApiError::UnknownEntity("x".into()).code(), ErrorCode::UnknownEntity);
         assert_eq!(ApiError::Malformed("{".into()).code(), ErrorCode::MalformedRequest);

@@ -39,8 +39,8 @@ pub mod spec;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use envelope::{
     ActivityResponse, AddAgentRequest, AddArtifactRequest, CloseSessionRequest, ClosedResponse,
-    DocumentResponse, EntityRef, ErrorResponse, EvaluatorSpec, ExpandRequest, ExportRequest,
-    ImportRequest, ImportedResponse, LineageDir, LineageRequest, LineageResponse,
+    DocumentResponse, DurabilityActivity, EntityRef, ErrorResponse, EvaluatorSpec, ExpandRequest,
+    ExportRequest, ImportRequest, ImportedResponse, LineageDir, LineageRequest, LineageResponse,
     OpenSessionRequest, OutputSpecDto, PsgDto, PsgEdgeDto, PsgVertexDto, QueryActivity,
     QueryRequest, QueryResponse, QuerySpec, RecordActivityRequest, Request, Response,
     RestrictRequest, SegmentDto, SegmentEdgeDto, SegmentOptions, SegmentRequest, SegmentResponse,

@@ -112,6 +112,7 @@ impl ProvService {
         if let Some(stats) = response.stats_mut() {
             stats.elapsed_micros = elapsed;
             stats.snapshot = self.db.snapshot_counters().into();
+            stats.durability = self.db.durability_counters().unwrap_or_default().into();
         }
         response
     }

@@ -41,6 +41,14 @@ fn stats() -> Stats {
         edges: 9,
         snapshot: SnapshotActivity { reuses: 40, refreshes: 2, rebuilds: 1 },
         query: QueryActivity { steps: 3, rows_scanned: 250, frontier_peak: 17, resumptions: 2 },
+        durability: DurabilityActivity {
+            wal_appends: 31,
+            fsyncs: 33,
+            recoveries: 1,
+            truncated_tail_bytes: 11,
+            snapshots_written: 2,
+            batches_replayed: 5,
+        },
     }
 }
 
@@ -289,4 +297,25 @@ fn optional_request_fields_may_be_omitted() {
 fn unknown_variant_is_rejected_not_misrouted() {
     let err = serde_json::from_str::<Request>(r#"{"DropTables": {}}"#).unwrap_err();
     assert!(err.to_string().contains("DropTables"), "got {err}");
+}
+
+#[test]
+fn storage_error_codes_round_trip() {
+    for code in [ErrorCode::StorageUnavailable, ErrorCode::CorruptLog] {
+        let resp = Response::Error(ErrorResponse { code, message: "disk on fire".into() });
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains(&format!("{code:?}")), "got {json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, resp);
+    }
+}
+
+#[test]
+fn stats_without_durability_field_deserialize_to_zero() {
+    // An old-wire Stats (pre-durability) must still parse, with all-zero
+    // durability counters.
+    let json = r#"{"elapsed_micros": 5, "vertices": 1, "edges": 2}"#;
+    let stats: Stats = serde_json::from_str(json).unwrap();
+    assert_eq!(stats.durability, DurabilityActivity::default());
+    assert_eq!(stats.vertices, 1);
 }

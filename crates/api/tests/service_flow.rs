@@ -460,6 +460,69 @@ fn lineage_is_sorted_bounded_and_counter_stamped() {
 }
 
 #[test]
+fn durability_counters_balance_on_the_wire() {
+    use prov_core::{DurabilityPolicy, ProvDb};
+    use prov_store::storage::MemIo;
+
+    // In-memory services report all-zero durability (no storage attached).
+    let mut plain = ProvService::new();
+    let r = plain.handle(&Request::AddAgent(AddAgentRequest { name: "alice".into() }));
+    let stats = r.stats().expect("vertex responses carry stats");
+    assert_eq!(stats.durability, DurabilityActivity::default());
+
+    // A durable service stamps balanced counters on every response.
+    let disk = MemIo::new();
+    let db =
+        ProvDb::open_with_io(Box::new(disk.clone()), DurabilityPolicy::never_compact()).unwrap();
+    let mut service = ProvService::from_db(db);
+    ingest_pipeline(&mut service, 3);
+    // 2 agents + 1 artifact + 3 activities = 6 successful mutating requests,
+    // each committing exactly one WAL batch with one fsync.
+    let r = service.handle(&Request::Lineage(LineageRequest {
+        entity: "weights-v3".into(),
+        direction: LineageDir::Ancestors,
+        max_hops: None,
+    }));
+    let d = r.stats().expect("lineage responses carry stats").durability;
+    assert_eq!(d.wal_appends, 6, "one batch per mutating request: {d:?}");
+    assert_eq!(d.fsyncs, d.wal_appends, "fsync-on-commit: one fsync per batch");
+    assert_eq!(d.recoveries, 1, "opening the database is one recovery");
+    assert_eq!((d.truncated_tail_bytes, d.snapshots_written, d.batches_replayed), (0, 0, 0));
+
+    // A rejected mutation commits nothing: counters are unchanged.
+    let r = service.handle(&Request::RecordActivity(RecordActivityRequest {
+        command: "x".into(),
+        agent: Some("weights-v1".into()), // an entity, not an agent
+        inputs: vec![],
+        outputs: vec![],
+        props: vec![],
+    }));
+    assert!(r.is_error());
+    let r = service.handle(&Request::Export(ExportRequest {}));
+    assert_eq!(r.stats().unwrap().durability.wal_appends, 6);
+
+    // Reboot the service from the same disk: the replayed counters balance
+    // against what was committed, and the graph is intact on the wire.
+    let db2 =
+        ProvDb::open_with_io(Box::new(disk.clone()), DurabilityPolicy::never_compact()).unwrap();
+    let mut service2 = ProvService::from_db(db2);
+    let r = service2.handle(&Request::Lineage(LineageRequest {
+        entity: "weights-v3".into(),
+        direction: LineageDir::Ancestors,
+        max_hops: None,
+    }));
+    let (stats, n_ancestors) = match &r {
+        Response::Lineage(l) => (l.stats, l.vertices.len()),
+        other => panic!("expected lineage, got {other:?}"),
+    };
+    assert!(n_ancestors >= 4, "recovered lineage too small: {n_ancestors}");
+    let d2 = stats.durability;
+    assert_eq!(d2.batches_replayed, 6, "every committed batch replays on reopen");
+    assert_eq!(d2.recoveries, 1);
+    assert_eq!(d2.wal_appends, 0, "no new commits since reopen");
+}
+
+#[test]
 fn stats_snapshot_field_is_optional_on_the_wire() {
     // Old clients omit `snapshot` (and `max_hops`): both default.
     let stats: Stats =

@@ -945,6 +945,7 @@ pub fn run_figure_with_caches(
         "8a" => crate::fig8::fig8a_cached(scale, pd),
         "8b" => crate::fig8::fig8b_cached(scale, pd),
         "8t" => crate::fig8::fig8t_cached(scale, pd),
+        "cs" => crate::coldstart::figcs(scale),
         _ => return None,
     })
 }
@@ -952,9 +953,9 @@ pub fn run_figure_with_caches(
 /// All figure ids in paper order (plus the worklist ablation, the
 /// summarization runtime sweeps, the serving-loop sweeps, the query-layer
 /// sweeps, and the thread-scaling sweeps).
-pub const ALL_FIGURES: [&str; 21] = [
+pub const ALL_FIGURES: [&str; 22] = [
     "5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "5t", "6a", "6b", "6c", "6t", "7a", "7b",
-    "7c", "7t", "8a", "8b", "8t",
+    "7c", "7t", "8a", "8b", "8t", "cs",
 ];
 
 /// The ids the JSON bench mode runs by default: the runtime sweeps
@@ -977,6 +978,11 @@ pub const FIG7_FIGURES: [&str; 4] = ["7a", "7b", "7c", "7t"];
 /// latency by depth, the paginated cursor walk vs one-shot evaluation, and
 /// the chunked-frontier thread sweep.
 pub const FIG8_FIGURES: [&str; 3] = ["8a", "8b", "8t"];
+
+/// The cold-start trajectory committed as `BENCH_coldstart.json`: time back
+/// to a serving state after a restart — snapshot+tail recovery vs full WAL
+/// replay vs in-memory re-ingest (ISSUE 9).
+pub const COLDSTART_FIGURES: [&str; 1] = ["cs"];
 
 #[cfg(test)]
 mod tests {
@@ -1063,7 +1069,7 @@ mod tests {
             // Only check resolvability, not execution (expensive).
             assert!([
                 "5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "5t", "6a", "6b", "6c", "6t",
-                "7a", "7b", "7c", "7t", "8a", "8b", "8t"
+                "7a", "7b", "7c", "7t", "8a", "8b", "8t", "cs"
             ]
             .contains(&id));
         }
@@ -1078,6 +1084,9 @@ mod tests {
         }
         for id in FIG8_FIGURES {
             assert!(ALL_FIGURES.contains(&id), "fig8 subset must stay resolvable");
+        }
+        for id in COLDSTART_FIGURES {
+            assert!(ALL_FIGURES.contains(&id), "coldstart subset must stay resolvable");
         }
     }
 

@@ -12,6 +12,9 @@
 //! * [`fig8`] — the query-layer sweeps (`8a`/`8b`/`8t`: IR pipeline latency
 //!   by depth, paginated cursor walk vs one-shot, chunked-frontier thread
 //!   scaling), committed as `BENCH_fig8.json`;
+//! * [`coldstart`] — the cold-start recovery sweep (`cs`: snapshot+tail
+//!   recovery vs full WAL replay vs in-memory re-ingest), committed as
+//!   `BENCH_coldstart.json`;
 //! * [`report`] — the `BENCH_fig5.json` / `BENCH_fig6.json` /
 //!   `BENCH_fig7.json` / `BENCH_fig8.json` document model, the >2×
 //!   regression gate CI applies against the committed baselines, and the
@@ -22,16 +25,18 @@
 //!   BENCH_fig5.json`);
 //! * `benches/` — Criterion micro-benchmarks over the same kernels.
 
+pub mod coldstart;
 pub mod fig7;
 pub mod fig8;
 pub mod harness;
 pub mod report;
 
+pub use coldstart::figcs;
 pub use fig7::{fig7a, fig7b, fig7c, fig7t};
 pub use fig8::{fig8a, fig8b, fig8t};
 pub use harness::{
     run_figure, run_figure_cached, run_figure_with_caches, FigureResult, PdCache, PdInstance,
-    Point, Scale, SdCache, Series, ALL_FIGURES, BENCH_FIGURES, FIG6_FIGURES, FIG7_FIGURES,
-    FIG8_FIGURES, THREAD_SWEEP,
+    Point, Scale, SdCache, Series, ALL_FIGURES, BENCH_FIGURES, COLDSTART_FIGURES, FIG6_FIGURES,
+    FIG7_FIGURES, FIG8_FIGURES, THREAD_SWEEP,
 };
 pub use report::{BenchReport, REGRESSION_FACTOR, REGRESSION_FLOOR_SECS};

@@ -1,6 +1,6 @@
 //! Repo-specific lint rules rustc and clippy cannot express (ISSUE 7).
 //!
-//! Five textual rules over the workspace sources, each encoding a decision
+//! Six textual rules over the workspace sources, each encoding a decision
 //! the codebase already made and a regression that would silently undo it:
 //!
 //! * [`STD_COLLECTIONS`] — hash containers must come through
@@ -27,6 +27,13 @@
 //!   ad-hoc traversal would bypass the watermark/cursor semantics the wire
 //!   layer guarantees. The frozen differential references (seed lineage,
 //!   CFL views) carry justification markers.
+//! * [`RAW_IO`] — no direct `std::fs`/`File`/`OpenOptions` use outside
+//!   `crates/store/src/storage/` (ISSUE 9): every durable byte goes through
+//!   the [`Io`] trait so failpoints can intercept it and the kill-point
+//!   harness can prove recovery. A raw `std::fs` call is invisible to fault
+//!   injection and unordered with respect to the WAL's fsync protocol.
+//!   Non-durable tooling (the linter's own walker, the bench report writer)
+//!   carries justification markers.
 //!
 //! Detection runs on a *masked* copy of each file — comments and string
 //! literal contents blanked — so a rule name appearing in prose or a test
@@ -75,6 +82,9 @@ enum Scope {
     /// Every workspace file except the query engine and the CSR structure —
     /// the only two files allowed to walk adjacency lists directly.
     CsrConsumers,
+    /// Every workspace file except the storage engine's own directory — the
+    /// only place allowed to touch the filesystem directly.
+    StorageConsumers,
 }
 
 /// A lint rule: an identifier, a scope, and a line predicate over masked code.
@@ -135,9 +145,24 @@ pub const CSR_TRAVERSAL: Rule = Rule {
     matches: |code| code.contains(".csr(") || code.contains(".neighbors("),
 };
 
+/// Ban direct filesystem access outside the storage engine.
+pub const RAW_IO: Rule = Rule {
+    id: "raw-io",
+    description: "no direct std::fs/File/OpenOptions outside crates/store/src/storage/; \
+                  durable bytes go through the Io trait (failpoint-interceptable, \
+                  fsync-ordered); justify non-durable tooling with a marker",
+    scope: Scope::StorageConsumers,
+    matches: |code| {
+        code.contains("std::fs")
+            || code.contains("OpenOptions::new(")
+            || code.contains("File::open(")
+            || code.contains("File::create(")
+    },
+};
+
 /// Every rule the gate enforces.
-pub const RULES: [&Rule; 5] =
-    [&STD_COLLECTIONS, &THREAD_SPAWN, &NARROWING_CAST, &RELAXED_ORDERING, &CSR_TRAVERSAL];
+pub const RULES: [&Rule; 6] =
+    [&STD_COLLECTIONS, &THREAD_SPAWN, &NARROWING_CAST, &RELAXED_ORDERING, &CSR_TRAVERSAL, &RAW_IO];
 
 /// Does `code` contain a cast `as <ty>` as whole tokens (`has u32` or
 /// `alias u32x4` must not match)?
@@ -175,6 +200,9 @@ fn in_scope(scope: Scope, path: &Path) -> bool {
             !p.starts_with("vendor/")
                 && p != "crates/store/src/query/eval.rs"
                 && p != "crates/store/src/snapshot.rs"
+        }
+        Scope::StorageConsumers => {
+            !p.starts_with("vendor/") && !p.starts_with("crates/store/src/storage/")
         }
     }
 }
@@ -351,6 +379,7 @@ pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
+        // lint-ok(raw-io): the linter's own source walker, nothing durable.
         for entry in std::fs::read_dir(&dir)? {
             let path = entry?.path();
             let rel = path.strip_prefix(root).unwrap_or(&path);
@@ -384,6 +413,7 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
     for path in workspace_files(root)? {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        // lint-ok(raw-io): the linter reads sources, it stores nothing.
         let source = std::fs::read_to_string(&path)?;
         findings.extend(check_source(&rel, &source));
     }
@@ -520,6 +550,38 @@ mod tests {
         let src = "// lint-ok(csr-traversal): frozen seed reference the IR is diffed against\n\
                    let first = index.csr(EdgeKind::Used, Direction::Out);\n";
         assert!(at("crates/core/src/lineage.rs", src).is_empty());
+    }
+
+    // ---- raw-io -------------------------------------------------------
+
+    #[test]
+    fn raw_io_violation_is_flagged() {
+        let hits = at("crates/core/src/provdb.rs", "let data = std::fs::read(path)?;\n");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "raw-io");
+        // `use` statements, File, and OpenOptions are all ingress points.
+        assert_eq!(at("crates/api/src/service.rs", "use std::fs;\n").len(), 1);
+        assert_eq!(at("crates/bench/src/harness.rs", "let f = File::open(p)?;\n").len(), 1);
+        assert_eq!(at("src/x.rs", "OpenOptions::new().append(true).open(p)?;\n").len(), 1);
+        // Tests are covered too: a test writing files directly dodges the
+        // failpoint harness just as much as product code would.
+        assert_eq!(at("crates/core/tests/t.rs", "std::fs::write(p, b)?;\n").len(), 1);
+    }
+
+    #[test]
+    fn raw_io_storage_engine_and_markers_pass() {
+        // The storage directory IS the filesystem boundary.
+        assert!(at("crates/store/src/storage/io.rs", "std::fs::read(p)?;\n").is_empty());
+        assert!(at("crates/store/src/storage/wal.rs", "File::open(p)?;\n").is_empty());
+        // But the rest of prov-store is not exempt.
+        assert_eq!(at("crates/store/src/graph.rs", "std::fs::read(p)?;\n").len(), 1);
+        // Vendor shims and lookalike tokens stay out.
+        assert!(at("vendor/serde/src/lib.rs", "std::fs::read(p)?;\n").is_empty());
+        assert!(at("src/x.rs", "let profile = Profile::open(p);\n").is_empty());
+        // Justified non-durable tooling passes.
+        let src = "// lint-ok(raw-io): bench report writer, nothing durable flows here\n\
+                   std::fs::write(path, report.to_json())?;\n";
+        assert!(at("crates/bench/src/bin/figure.rs", src).is_empty());
     }
 
     // ---- masking / engine mechanics -----------------------------------

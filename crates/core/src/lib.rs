@@ -39,6 +39,10 @@ pub use provdb::{
     ActivityOutcome, ActivityRecord, OutputSpec, ProvDb, SnapshotCounters, SnapshotPolicy,
 };
 
+// Durability surface (re-exported so service/bench layers need not name
+// prov-store directly).
+pub use prov_store::storage::{DurabilityCounters, DurabilityPolicy};
+
 // Re-export the operator crates under one roof for downstream convenience.
 pub use prov_bitset as bitset;
 pub use prov_cfl as cfl;

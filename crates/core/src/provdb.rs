@@ -10,8 +10,12 @@ pub use crate::lineage::{lineage_reference, LineageDirection};
 use prov_model::{PropValue, VertexId, VertexKind};
 use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
 use prov_store::hash::FxHashMap;
+use prov_store::storage::{
+    DurabilityCounters, DurabilityPolicy, Io, Recovered, StdIo, Storage, WalStorage,
+};
 use prov_store::{
-    DeltaCursor, Pipeline, Plan, ProvGraph, ProvIndex, QueryOutput, SharedIndex, StoreResult,
+    DeltaCursor, Pipeline, Plan, ProvGraph, ProvIndex, QueryOutput, SharedIndex, StoreError,
+    StoreResult,
 };
 use prov_summary::{pgsum, PgSumQuery, Psg, SegmentRef};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -128,6 +132,11 @@ pub struct ProvDb {
     index: RwLock<Option<SharedIndex>>,
     /// Next version number per artifact name.
     versions: FxHashMap<String, u32>,
+    /// Durable backend, when opened through [`ProvDb::open`] /
+    /// [`ProvDb::open_with_io`]. `None` = purely in-memory (the default).
+    /// When present, the graph journals its mutations and every ingestion
+    /// call drains the journal into one committed WAL batch.
+    storage: Option<Box<dyn Storage>>,
     policy: SnapshotPolicy,
     /// Chunk count handed to the parallel query kernels; `0` means "track
     /// the pool width" (`PROV_THREADS` / hardware parallelism).
@@ -144,8 +153,103 @@ impl ProvDb {
     }
 
     /// Wrap an existing provenance graph.
+    ///
+    /// Version counters are rebuilt from the `name-vN` entities already in
+    /// the graph, so [`ProvDb::add_artifact_version`] continues numbering
+    /// where the wrapped history left off instead of colliding at `v1`.
     pub fn from_graph(graph: ProvGraph) -> Self {
-        ProvDb { graph: Arc::new(graph), ..ProvDb::default() }
+        let versions = Self::versions_from_graph(&graph);
+        ProvDb { graph: Arc::new(graph), versions, ..ProvDb::default() }
+    }
+
+    /// Open (or create) a durable database in `dir` with the default
+    /// [`DurabilityPolicy`]: recover the committed state from the snapshot +
+    /// WAL on disk, then journal and durably commit every future mutation.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> StoreResult<ProvDb> {
+        let io = StdIo::open(dir).map_err(|e| StoreError::StorageUnavailable(e.to_string()))?;
+        Self::open_with_io(Box::new(io), DurabilityPolicy::default())
+    }
+
+    /// [`ProvDb::open`] over an explicit [`Io`] backend and policy — how
+    /// tests run a durable database on a [`MemIo`](prov_store::storage::MemIo)
+    /// disk or behind a fault injector.
+    pub fn open_with_io(io: Box<dyn Io>, policy: DurabilityPolicy) -> StoreResult<ProvDb> {
+        let (storage, Recovered { mut graph, index }) = WalStorage::open(io, policy)?;
+        graph.set_journaling(true);
+        let versions = Self::versions_from_graph(&graph);
+        Ok(ProvDb {
+            graph: Arc::new(graph),
+            // Install the recovered index (snapshot base caught up with
+            // `refresh_in_place` over the replayed WAL suffix): the first
+            // snapshot acquisition after a cold start is a reuse, not a
+            // rebuild.
+            index: RwLock::new(Some(Arc::new(index))),
+            versions,
+            storage: Some(Box::new(storage)),
+            ..ProvDb::default()
+        })
+    }
+
+    /// Whether this database durably commits its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Durability activity counters (WAL appends, fsyncs, recoveries, ...);
+    /// `None` for an in-memory database.
+    pub fn durability_counters(&self) -> Option<DurabilityCounters> {
+        self.storage.as_ref().map(|s| s.counters())
+    }
+
+    /// Bytes in the current WAL generation; `None` for an in-memory database.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.storage.as_ref().map(|s| s.wal_bytes())
+    }
+
+    /// Force a compaction (snapshot the graph, start a fresh WAL generation).
+    /// Returns whether one ran (`false` for an in-memory database).
+    pub fn compact(&mut self) -> StoreResult<bool> {
+        match self.storage.as_mut() {
+            Some(storage) => {
+                storage.compact(&self.graph)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Drain the graph's op journal into one durably committed WAL batch.
+    /// No-op (and infallible) for in-memory databases and empty journals.
+    ///
+    /// Commit failures leave the in-memory graph ahead of the durable state
+    /// and poison the storage engine: this and every later commit fail with
+    /// [`StoreError::StorageUnavailable`] until the database is reopened,
+    /// which recovers the last durably committed prefix.
+    fn persist(&mut self) -> StoreResult<()> {
+        if self.storage.is_none() || self.graph.journal_len() == 0 {
+            return Ok(());
+        }
+        let ops = Arc::make_mut(&mut self.graph).take_journal();
+        let storage = self.storage.as_mut().expect("checked above");
+        storage.commit(&ops)?;
+        storage.maybe_compact(&self.graph)?;
+        Ok(())
+    }
+
+    /// Rebuild the per-artifact version counters from `filename`/`version`
+    /// properties — shared by JSON import and durable recovery.
+    fn versions_from_graph(graph: &ProvGraph) -> FxHashMap<String, u32> {
+        let mut versions = FxHashMap::default();
+        for v in graph.vertices_of_kind(VertexKind::Entity) {
+            if let (Some(name), Some(ver)) = (
+                graph.vprop(*v, "filename").and_then(|p| p.as_str().map(str::to_string)),
+                graph.vprop(*v, "version").and_then(|p| p.as_int()),
+            ) {
+                let slot = versions.entry(name).or_insert(0u32);
+                *slot = (*slot).max(ver as u32);
+            }
+        }
+        versions
     }
 
     /// The snapshot refresh-vs-rebuild policy in force.
@@ -278,8 +382,25 @@ impl ProvDb {
     /// Contract: the closure must only *append* (the store is an append-only
     /// log; [`ProvGraph`] offers nothing else). Swapping the graph wholesale
     /// breaks snapshot freshness tracking — replace the database instead.
+    ///
+    /// On a durable database the closure's mutations are committed as one
+    /// WAL batch. A commit failure cannot surface through this signature; it
+    /// poisons the storage engine, so the *next* fallible operation reports
+    /// [`StoreError::StorageUnavailable`]. Use [`ProvDb::try_with_graph_mut`]
+    /// to observe the commit result directly.
     pub fn with_graph_mut<R>(&mut self, f: impl FnOnce(&mut ProvGraph) -> R) -> R {
-        f(self.graph_mut())
+        let r = f(self.graph_mut());
+        let _ = self.persist(); // failure poisons storage; see doc comment
+        r
+    }
+
+    /// [`ProvDb::with_graph_mut`] that reports the durable commit result:
+    /// `Err` means the mutations are applied in memory but not durable (the
+    /// storage engine is poisoned until reopen).
+    pub fn try_with_graph_mut<R>(&mut self, f: impl FnOnce(&mut ProvGraph) -> R) -> StoreResult<R> {
+        let r = f(self.graph_mut());
+        self.persist()?;
+        Ok(r)
     }
 
     // ------------------------------------------------------------------
@@ -290,7 +411,9 @@ impl ProvDb {
     /// snapshot) when the vertex id space is exhausted.
     pub fn add_agent(&mut self, name: &str) -> StoreResult<VertexId> {
         self.graph.check_vertex_headroom(1)?;
-        Ok(self.graph_mut().add_agent(name))
+        let id = self.graph_mut().add_agent(name);
+        self.persist()?;
+        Ok(id)
     }
 
     /// Register a new version of an artifact (external addition, e.g. a
@@ -316,6 +439,7 @@ impl ProvDb {
         if let Some(agent) = attributed_to {
             graph.add_edge(prov_model::EdgeKind::WasAttributedTo, e, agent)?;
         }
+        self.persist()?;
         Ok(e)
     }
 
@@ -403,6 +527,7 @@ impl ProvDb {
             }
             outputs.push(e);
         }
+        self.persist()?;
         Ok(ActivityOutcome { activity: a, outputs })
     }
 
@@ -539,19 +664,7 @@ impl ProvDb {
     /// Import from the interchange format.
     pub fn import_json(data: &str) -> StoreResult<ProvDb> {
         let graph = prov_store::json::from_json_string(data)?;
-        let mut versions = FxHashMap::default();
-        for v in graph.vertices_of_kind(VertexKind::Entity) {
-            if let (Some(name), Some(ver)) = (
-                graph.vprop(*v, "filename").and_then(|p| p.as_str().map(str::to_string)),
-                graph.vprop(*v, "version").and_then(|p| p.as_int()),
-            ) {
-                let slot = versions.entry(name).or_insert(0u32);
-                *slot = (*slot).max(ver as u32);
-            }
-        }
-        let mut db = ProvDb::from_graph(graph);
-        db.versions = versions;
-        Ok(db)
+        Ok(ProvDb::from_graph(graph))
     }
 }
 
@@ -898,5 +1011,155 @@ mod tests {
         let (db, data, _) = small_project();
         assert_eq!(db.entity("dataset-v1"), Some(data));
         assert_eq!(db.entity("dataset-v9"), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Durability
+    // ------------------------------------------------------------------
+
+    use prov_store::storage::MemIo;
+
+    fn open_mem(disk: &MemIo) -> ProvDb {
+        ProvDb::open_with_io(Box::new(disk.clone()), DurabilityPolicy::never_compact()).unwrap()
+    }
+
+    /// Drive the same ingestion through a durable db and return it.
+    fn durable_project(disk: &MemIo) -> (ProvDb, VertexId, VertexId) {
+        let mut db = open_mem(disk);
+        let alice = db.add_agent("alice").unwrap();
+        let data = db.add_artifact_version("dataset", Some(alice)).unwrap();
+        let out = db
+            .record_activity(ActivityRecord {
+                command: "train".into(),
+                agent: Some(alice),
+                inputs: vec![data],
+                outputs: vec![
+                    OutputSpec::named("weights").with("acc", 0.7),
+                    OutputSpec::named("log"),
+                ],
+                props: vec![("opt".into(), "-gpu".into())],
+            })
+            .unwrap();
+        (db, data, out.outputs[0])
+    }
+
+    #[test]
+    fn durable_reopen_restores_graph_index_and_versions() {
+        let disk = MemIo::new();
+        let (db, ..) = durable_project(&disk);
+        assert!(db.is_durable());
+        let counters = db.durability_counters().unwrap();
+        assert_eq!(counters.wal_appends, 3, "one batch per ingestion call");
+        assert_eq!(counters.fsyncs, 3);
+        drop(db);
+
+        let mut db2 = open_mem(&disk);
+        let (reference, ..) = small_project();
+        assert_eq!(db2.graph(), reference.graph(), "recovered graph == in-memory twin");
+        // The recovered index is installed: the first acquisition reuses it
+        // and equals a from-scratch rebuild.
+        let snap = db2.snapshot();
+        assert_eq!(db2.snapshot_counters().reuses, 1);
+        assert_eq!(db2.snapshot_counters().rebuilds, 0);
+        assert_eq!(*snap, ProvIndex::build(db2.graph()));
+        // Version counters recovered: the next weights version is v2, and it
+        // derives from the recovered v1.
+        let out = db2
+            .record_activity(ActivityRecord {
+                command: "retrain".into(),
+                agent: None,
+                inputs: vec![],
+                outputs: vec![OutputSpec::named("weights")],
+                props: vec![],
+            })
+            .unwrap();
+        assert_eq!(db2.graph().vertex_name(out.outputs[0]), Some("weights-v2"));
+        assert_eq!(db2.durability_counters().unwrap().recoveries, 1);
+    }
+
+    #[test]
+    fn durable_with_graph_mut_commits_one_batch() {
+        let disk = MemIo::new();
+        let (mut db, data, _) = durable_project(&disk);
+        let appends_before = db.durability_counters().unwrap().wal_appends;
+        let v = db
+            .try_with_graph_mut(|g| {
+                let t = g.add_activity("bulk");
+                let w = g.add_entity("bulk-out");
+                g.add_edge(prov_model::EdgeKind::Used, t, data).unwrap();
+                g.add_edge(prov_model::EdgeKind::WasGeneratedBy, w, t).unwrap();
+                w
+            })
+            .unwrap();
+        assert_eq!(db.durability_counters().unwrap().wal_appends, appends_before + 1);
+        let db2 = open_mem(&disk);
+        assert_eq!(db2.graph(), db.graph());
+        assert!(db2.descendants_of(data).contains(&v));
+    }
+
+    #[test]
+    fn durable_compaction_is_transparent_to_reopen() {
+        let disk = MemIo::new();
+        let (mut db, data, _) = durable_project(&disk);
+        assert!(db.wal_bytes().unwrap() > 0);
+        assert!(db.compact().unwrap());
+        assert_eq!(db.wal_bytes().unwrap(), 0);
+        assert_eq!(db.durability_counters().unwrap().snapshots_written, 1);
+        // Post-compaction ingest lands in the new WAL generation.
+        db.add_artifact_version("dataset", None).unwrap();
+        let db2 = open_mem(&disk);
+        assert_eq!(db2.graph(), db.graph());
+        assert_eq!(db2.durability_counters().unwrap().batches_replayed, 1);
+        assert_eq!(db2.latest_version("dataset"), db.latest_version("dataset"));
+        assert!(db2.descendants_of(data).len() >= 2);
+    }
+
+    #[test]
+    fn durable_auto_compaction_follows_policy() {
+        let disk = MemIo::new();
+        let mut db = ProvDb::open_with_io(
+            Box::new(disk.clone()),
+            DurabilityPolicy { compact_after_wal_bytes: 256, ..DurabilityPolicy::default() },
+        )
+        .unwrap();
+        for _ in 0..20 {
+            db.add_artifact_version("blob", None).unwrap();
+        }
+        let counters = db.durability_counters().unwrap();
+        assert!(counters.snapshots_written >= 1, "auto-compaction never fired");
+        let db2 = open_mem(&disk);
+        assert_eq!(db2.graph(), db.graph());
+    }
+
+    #[test]
+    fn rejected_durable_activity_commits_nothing() {
+        let disk = MemIo::new();
+        let (mut db, data, _) = durable_project(&disk);
+        let appends = db.durability_counters().unwrap().wal_appends;
+        let before = db.graph().clone();
+        // `data` is an entity, not an agent — rejected up front.
+        assert!(db
+            .record_activity(ActivityRecord {
+                command: "x".into(),
+                agent: Some(data),
+                inputs: vec![],
+                outputs: vec![OutputSpec::named("m")],
+                props: vec![],
+            })
+            .is_err());
+        assert_eq!(db.durability_counters().unwrap().wal_appends, appends);
+        assert_eq!(db.graph(), &before);
+        let db2 = open_mem(&disk);
+        assert_eq!(db2.graph(), &before);
+    }
+
+    #[test]
+    fn in_memory_databases_have_no_durability_surface() {
+        let (mut db, ..) = small_project();
+        assert!(!db.is_durable());
+        assert_eq!(db.durability_counters(), None);
+        assert_eq!(db.wal_bytes(), None);
+        assert!(!db.compact().unwrap());
+        assert_eq!(db.graph().journal_len(), 0, "no journaling overhead in memory");
     }
 }

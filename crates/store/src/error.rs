@@ -30,6 +30,17 @@ pub enum StoreError {
         /// Which id space ran out (`"vertex"` or `"edge"`).
         what: &'static str,
     },
+    /// The durable storage backend failed (I/O error, failed fsync, or a
+    /// crash injected by the failpoint layer). Once a write-ahead-log engine
+    /// reports this it stays *poisoned*: the in-memory store may already be
+    /// ahead of the durable state, so further commits are refused until the
+    /// database is reopened through recovery.
+    StorageUnavailable(String),
+    /// Durable state failed integrity checks in a way recovery must not
+    /// paper over: a corrupt snapshot checksum, or a CRC-valid log record
+    /// whose decoded operation cannot be replayed. Distinct from a torn
+    /// *tail* (an interrupted append), which recovery truncates silently.
+    CorruptLog(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -46,6 +57,10 @@ impl std::fmt::Display for StoreError {
             StoreError::CapacityExceeded { what } => {
                 write!(f, "store capacity exceeded: dense u32 {what} id space is full")
             }
+            StoreError::StorageUnavailable(msg) => {
+                write!(f, "storage unavailable: {msg}")
+            }
+            StoreError::CorruptLog(msg) => write!(f, "corrupt log: {msg}"),
         }
     }
 }
@@ -83,5 +98,11 @@ mod tests {
         assert!(StoreError::CapacityExceeded { what: "vertex" }
             .to_string()
             .contains("vertex id space is full"));
+        assert!(StoreError::StorageUnavailable("fsync failed".into())
+            .to_string()
+            .contains("storage unavailable: fsync failed"));
+        assert!(StoreError::CorruptLog("bad snapshot crc".into())
+            .to_string()
+            .contains("corrupt log: bad snapshot crc"));
     }
 }

@@ -20,7 +20,7 @@ use prov_model::{check_edge_types, EdgeId, EdgeKind, PropMap, PropValue, VertexI
 use std::sync::Arc;
 
 /// A stored vertex.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexRecord {
     /// `λv(v)` — the vertex type.
     pub kind: VertexKind,
@@ -34,7 +34,7 @@ pub struct VertexRecord {
 }
 
 /// A stored edge.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeRecord {
     /// `λe(e)` — the relationship type.
     pub kind: EdgeKind,
@@ -114,6 +114,74 @@ impl<'g> GraphDelta<'g> {
     }
 }
 
+/// One logical store mutation, as written to the write-ahead log.
+///
+/// The [`DeltaCursor`] log only tracks structural growth (vertex/edge
+/// counts); durability needs every state transition, including property
+/// writes and index declarations. When journaling is enabled
+/// ([`ProvGraph::set_journaling`]) each successful mutator appends exactly
+/// one op here, and replaying a journal through [`ProvGraph::apply_wal_op`]
+/// on an empty graph reproduces the original graph *exactly* — same dense
+/// ids, same births (the clock only advances in `add_vertex`), same interner
+/// id assignment (interning happens in op order), same index contents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// [`ProvGraph::add_vertex`].
+    AddVertex {
+        /// Vertex type.
+        kind: VertexKind,
+        /// Optional name (versioned-name addressing).
+        name: Option<Arc<str>>,
+    },
+    /// [`ProvGraph::add_edge`].
+    AddEdge {
+        /// Relationship type.
+        kind: EdgeKind,
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+    /// [`ProvGraph::set_vprop`].
+    SetVProp {
+        /// Target vertex.
+        v: VertexId,
+        /// Property key name.
+        key: Arc<str>,
+        /// New value.
+        value: PropValue,
+    },
+    /// [`ProvGraph::unset_vprop`] (journaled only when a value was removed).
+    UnsetVProp {
+        /// Target vertex.
+        v: VertexId,
+        /// Property key name.
+        key: Arc<str>,
+    },
+    /// [`ProvGraph::set_eprop`].
+    SetEProp {
+        /// Target edge.
+        e: EdgeId,
+        /// Property key name.
+        key: Arc<str>,
+        /// New value.
+        value: PropValue,
+    },
+    /// [`ProvGraph::create_vprop_index`] (journaled only on fresh declaration).
+    CreateVPropIndex {
+        /// Indexed vertex kind.
+        kind: VertexKind,
+        /// Indexed property key name.
+        key: Arc<str>,
+    },
+    /// [`ProvGraph::key`] interned a fresh key outside any property write.
+    /// Journaled so replay assigns identical [`prov_model::PropKeyId`]s.
+    InternKey {
+        /// The interned key name.
+        key: Arc<str>,
+    },
+}
+
 /// The mutable property graph store.
 #[derive(Debug, Default, Clone)]
 pub struct ProvGraph {
@@ -129,6 +197,30 @@ pub struct ProvGraph {
     by_name: FxHashMap<Arc<str>, Vec<VertexId>>,
     indexes: crate::index::IndexRegistry,
     clock: u64,
+    /// Pending [`WalOp`]s since the last [`ProvGraph::take_journal`]; only
+    /// populated while `journaling` is on (a durable facade drains this into
+    /// its write-ahead log after every mutation batch).
+    journal: Vec<WalOp>,
+    journaling: bool,
+}
+
+/// Semantic store equality: every observable column (vertices, edges,
+/// adjacency, interner, kind/name indexes, declared property indexes, the
+/// birth clock) — but *not* the transient journal state, so a recovered
+/// graph (journaling on, journal drained) compares equal to the in-memory
+/// twin it must reproduce.
+impl PartialEq for ProvGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.vertices == other.vertices
+            && self.edges == other.edges
+            && self.out_adj == other.out_adj
+            && self.in_adj == other.in_adj
+            && self.keys == other.keys
+            && self.by_kind == other.by_kind
+            && self.by_name == other.by_name
+            && self.indexes == other.indexes
+            && self.clock == other.clock
+    }
 }
 
 impl ProvGraph {
@@ -209,6 +301,9 @@ impl ProvGraph {
         let name_arc: Option<Arc<str>> = name.map(Arc::from);
         if let Some(n) = &name_arc {
             self.by_name.entry(n.clone()).or_default().push(id);
+        }
+        if self.journaling {
+            self.journal.push(WalOp::AddVertex { kind, name: name_arc.clone() });
         }
         self.vertices.push(VertexRecord {
             kind,
@@ -319,6 +414,9 @@ impl ProvGraph {
         check_edge_types(kind, src_kind, dst_kind)?;
         // lint-ok(narrowing-cast): check_capacity above just proved len < u32::MAX.
         let id = EdgeId::new(self.edges.len() as u32);
+        if self.journaling {
+            self.journal.push(WalOp::AddEdge { kind, src, dst });
+        }
         self.edges.push(EdgeRecord { kind, src, dst, props: PropMap::new() });
         self.out_adj[src.index()].push(id);
         self.in_adj[dst.index()].push(id);
@@ -392,6 +490,9 @@ impl ProvGraph {
 
     /// Intern a property key name.
     pub fn key(&mut self, name: &str) -> prov_model::PropKeyId {
+        if self.journaling && self.keys.get(name).is_none() {
+            self.journal.push(WalOp::InternKey { key: Arc::from(name) });
+        }
         self.keys.intern(name)
     }
 
@@ -409,6 +510,9 @@ impl ProvGraph {
     pub fn set_vprop(&mut self, v: VertexId, key: &str, value: impl Into<PropValue>) {
         let k = self.keys.intern(key);
         let value = value.into();
+        if self.journaling {
+            self.journal.push(WalOp::SetVProp { v, key: Arc::from(key), value: value.clone() });
+        }
         let kind = self.vertices[v.index()].kind;
         let old = self.vertices[v.index()].props.set(k, value.clone());
         if let Some(index) = self.indexes.get_mut(kind, k) {
@@ -433,6 +537,9 @@ impl ProvGraph {
         let k = self.keys.get(key)?;
         let kind = self.vertices[v.index()].kind;
         let old = self.vertices[v.index()].props.unset(k)?;
+        if self.journaling {
+            self.journal.push(WalOp::UnsetVProp { v, key: Arc::from(key) });
+        }
         if let Some(index) = self.indexes.get_mut(kind, k) {
             index.remove(&old, v);
         }
@@ -442,7 +549,11 @@ impl ProvGraph {
     /// Set an edge property (`ω(e, p) := o`).
     pub fn set_eprop(&mut self, e: EdgeId, key: &str, value: impl Into<PropValue>) {
         let k = self.keys.intern(key);
-        self.edges[e.index()].props.set(k, value.into());
+        let value = value.into();
+        if self.journaling {
+            self.journal.push(WalOp::SetEProp { e, key: Arc::from(key), value: value.clone() });
+        }
+        self.edges[e.index()].props.set(k, value);
     }
 
     /// Get an edge property by key name (`ω(e, p)`).
@@ -483,7 +594,12 @@ impl ProvGraph {
     pub fn create_vprop_index(&mut self, kind: VertexKind, key: &str) {
         let k = self.keys.intern(key);
         if self.indexes.has(kind, k) {
+            // No state change (the key was necessarily interned before the
+            // index was declared), so nothing to journal either.
             return;
+        }
+        if self.journaling {
+            self.journal.push(WalOp::CreateVPropIndex { kind, key: Arc::from(key) });
         }
         // Collect existing values first (borrow discipline), then fill.
         let existing: Vec<(VertexId, PropValue)> = self.by_kind[kind.as_index()]
@@ -499,6 +615,79 @@ impl ProvGraph {
     /// Is `(kind, key)` covered by a secondary index?
     pub fn has_vprop_index(&self, kind: VertexKind, key: &str) -> bool {
         self.keys.get(key).is_some_and(|k| self.indexes.has(kind, k))
+    }
+
+    /// Every declared secondary index as sorted `(kind, key)` pairs — what a
+    /// columnar snapshot persists.
+    pub fn declared_vprop_indexes(&self) -> Vec<(VertexKind, prov_model::PropKeyId)> {
+        self.indexes.declared()
+    }
+
+    // ------------------------------------------------------------------
+    // Write-ahead journaling
+    // ------------------------------------------------------------------
+
+    /// Turn [`WalOp`] journaling on or off. Off by default: a purely
+    /// in-memory store pays nothing. A durable facade turns it on and drains
+    /// the journal into its write-ahead log after every mutation batch.
+    pub fn set_journaling(&mut self, on: bool) {
+        self.journaling = on;
+    }
+
+    /// Is journaling enabled?
+    pub fn journaling(&self) -> bool {
+        self.journaling
+    }
+
+    /// Number of pending (not yet drained) journal ops.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Drain the pending journal: every op recorded since the previous call,
+    /// in mutation order.
+    pub fn take_journal(&mut self) -> Vec<WalOp> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Replay one journaled op through the ordinary mutators.
+    ///
+    /// Ids referenced by the op are bounds-checked first so a CRC-valid but
+    /// semantically impossible record surfaces as a typed error instead of an
+    /// index panic (the storage layer maps it to
+    /// [`StoreError::CorruptLog`][crate::StoreError]). Replay is exact: ops
+    /// applied in journal order onto an equal prefix reproduce the original
+    /// graph including births, interner ids, and index contents. The replay
+    /// target usually has journaling *off*; when it is on, replayed ops are
+    /// re-journaled like any other mutation.
+    pub fn apply_wal_op(&mut self, op: &WalOp) -> StoreResult<()> {
+        match op {
+            WalOp::AddVertex { kind, name } => {
+                self.add_vertex(*kind, name.as_deref())?;
+            }
+            WalOp::AddEdge { kind, src, dst } => {
+                self.add_edge(*kind, *src, *dst)?;
+            }
+            WalOp::SetVProp { v, key, value } => {
+                self.try_vertex(*v)?;
+                self.set_vprop(*v, key, value.clone());
+            }
+            WalOp::UnsetVProp { v, key } => {
+                self.try_vertex(*v)?;
+                self.unset_vprop(*v, key);
+            }
+            WalOp::SetEProp { e, key, value } => {
+                self.try_edge(*e)?;
+                self.set_eprop(*e, key, value.clone());
+            }
+            WalOp::CreateVPropIndex { kind, key } => {
+                self.create_vprop_index(*kind, key);
+            }
+            WalOp::InternKey { key } => {
+                self.key(key);
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1041,6 +1230,90 @@ mod tests {
             let (mut g, ..) = tiny();
             g.by_name.remove("alice");
             assert_names(&g, "name index files");
+        }
+    }
+
+    /// The WAL journal: every mutator records exactly its state transition,
+    /// and replaying the journal reproduces the graph exactly (PR 9).
+    mod journal {
+        use super::*;
+
+        fn journaled_tiny() -> (ProvGraph, Vec<WalOp>) {
+            let mut g = ProvGraph::new();
+            g.set_journaling(true);
+            assert!(g.journaling());
+            let data = g.add_entity("data-v1");
+            let train = g.add_activity("train");
+            g.add_edge(EdgeKind::Used, train, data).unwrap();
+            g.set_vprop(data, "tag", "raw");
+            g.set_vprop(train, "command", "train -gpu");
+            g.set_eprop(EdgeId::new(0), "role", "input");
+            g.create_vprop_index(VertexKind::Entity, "tag");
+            g.key("declared-early");
+            g.unset_vprop(train, "command");
+            let ops = g.take_journal();
+            (g, ops)
+        }
+
+        #[test]
+        fn replay_reproduces_graph_exactly() {
+            let (g, ops) = journaled_tiny();
+            assert_eq!(ops.len(), 9);
+            let mut replayed = ProvGraph::new();
+            for op in &ops {
+                replayed.apply_wal_op(op).unwrap();
+            }
+            assert_eq!(replayed, g);
+            // Exactness includes interner id assignment…
+            assert_eq!(replayed.key_id("declared-early"), g.key_id("declared-early"));
+            // …and the declared index set.
+            assert_eq!(replayed.declared_vprop_indexes(), g.declared_vprop_indexes());
+            replayed.validate().unwrap();
+        }
+
+        #[test]
+        fn journal_drains_and_noop_mutations_record_nothing() {
+            let (mut g, _) = journaled_tiny();
+            assert_eq!(g.journal_len(), 0, "take_journal drained");
+            // No-ops journal nothing: a missed unset, a re-declared index, a
+            // re-interned key.
+            g.unset_vprop(VertexId::new(1), "command");
+            g.create_vprop_index(VertexKind::Entity, "tag");
+            g.key("tag");
+            assert_eq!(g.take_journal(), Vec::new());
+        }
+
+        #[test]
+        fn journaling_off_records_nothing_and_equality_ignores_journal() {
+            let mut quiet = ProvGraph::new();
+            quiet.add_entity("data-v1");
+            assert_eq!(quiet.journal_len(), 0);
+            let mut noisy = ProvGraph::new();
+            noisy.set_journaling(true);
+            noisy.add_entity("data-v1");
+            assert_eq!(noisy.journal_len(), 1);
+            // Same semantic store, different journal state: still equal.
+            assert_eq!(quiet, noisy);
+        }
+
+        #[test]
+        fn replay_of_impossible_ops_is_a_typed_error() {
+            let mut g = ProvGraph::new();
+            let bad_vertex = WalOp::SetVProp {
+                v: VertexId::new(7),
+                key: Arc::from("tag"),
+                value: PropValue::from("x"),
+            };
+            assert!(matches!(g.apply_wal_op(&bad_vertex), Err(StoreError::UnknownVertex(_))));
+            let bad_edge =
+                WalOp::SetEProp { e: EdgeId::new(0), key: Arc::from("role"), value: 1i64.into() };
+            assert!(matches!(g.apply_wal_op(&bad_edge), Err(StoreError::UnknownEdge(_))));
+            let bad_endpoint = WalOp::AddEdge {
+                kind: EdgeKind::Used,
+                src: VertexId::new(0),
+                dst: VertexId::new(1),
+            };
+            assert!(g.apply_wal_op(&bad_endpoint).is_err());
         }
     }
 

@@ -9,7 +9,7 @@ use crate::hash::FxHashMap;
 use prov_model::{PropKeyId, PropValue, VertexId, VertexKind};
 
 /// One secondary index: property value → sorted vertex ids.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PropIndex {
     entries: FxHashMap<PropValue, Vec<VertexId>>,
 }
@@ -45,7 +45,7 @@ impl PropIndex {
 }
 
 /// The index registry carried by the store.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IndexRegistry {
     by_key: FxHashMap<(VertexKind, PropKeyId), PropIndex>,
 }
@@ -67,6 +67,15 @@ impl IndexRegistry {
 
     pub(crate) fn declare(&mut self, kind: VertexKind, key: PropKeyId) -> &mut PropIndex {
         self.by_key.entry((kind, key)).or_default()
+    }
+
+    /// Every declared `(kind, key)` pair, sorted — the deterministic listing
+    /// a columnar snapshot persists so recovery can re-declare (and backfill)
+    /// the same indexes.
+    pub fn declared(&self) -> Vec<(VertexKind, PropKeyId)> {
+        let mut pairs: Vec<(VertexKind, PropKeyId)> = self.by_key.keys().copied().collect();
+        pairs.sort();
+        pairs
     }
 
     /// Number of declared indexes.

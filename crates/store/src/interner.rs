@@ -9,7 +9,7 @@ use prov_model::PropKeyId;
 use std::sync::Arc;
 
 /// Bidirectional map `&str ⇄ PropKeyId`.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct KeyInterner {
     by_name: FxHashMap<Arc<str>, PropKeyId>,
     names: Vec<Arc<str>>,

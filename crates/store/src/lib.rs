@@ -14,6 +14,8 @@
 //! * [`query`] — the composable query IR every read path compiles into:
 //!   step pipelines over CSR snapshots with resumable cursors.
 //! * [`json`] — PROV-JSON-style import/export.
+//! * [`storage`] — the durable write-ahead log with snapshot compaction,
+//!   crash recovery and deterministic fault injection.
 //! * [`hash`], [`interner`] — supporting infrastructure.
 
 pub mod error;
@@ -25,9 +27,10 @@ pub mod json;
 pub mod pattern;
 pub mod query;
 pub mod snapshot;
+pub mod storage;
 
 pub use error::{StoreError, StoreResult};
-pub use graph::{DeltaCursor, EdgeRecord, GraphDelta, GraphStats, ProvGraph, VertexRecord};
+pub use graph::{DeltaCursor, EdgeRecord, GraphDelta, GraphStats, ProvGraph, VertexRecord, WalOp};
 pub use pattern::{
     Budget, MatchOutcome, MaterializedPath, NodeSpec, PathPattern, PatternDir, RelSpec,
 };
@@ -36,3 +39,7 @@ pub use query::{
     QueryCursor, QueryOutput, QueryStats, StartSet, Step, Traverse,
 };
 pub use snapshot::{Csr, Direction, ProvIndex, SharedIndex};
+pub use storage::{
+    DurabilityCounters, DurabilityPolicy, FailpointIo, FaultPlan, Io, IoError, MemIo, Recovered,
+    StdIo, Storage, WalStorage,
+};

@@ -1,0 +1,347 @@
+//! The injectable I/O layer every durable byte flows through.
+//!
+//! [`WalStorage`](crate::storage::WalStorage) never touches the filesystem
+//! directly: it speaks [`Io`], a flat single-directory file namespace with
+//! exactly the primitives a write-ahead log needs (append, whole-file read,
+//! atomic replace-by-rename, truncate, fsync). That indirection is the whole
+//! point of this module — the deterministic
+//! [`FailpointIo`](crate::storage::FailpointIo) wrapper can then inject
+//! crashes, short writes, bit flips, and fsync failures at byte granularity,
+//! and the kill-point harness can fork [`MemIo`] "disks" to simulate a crash
+//! at every offset.
+//!
+//! This file (and only this file) is allowed to use `std::fs`; the
+//! `raw-io` lint rule in `prov-check` keeps every other byte injectable.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// An I/O failure as seen by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// The operation failed (disk error, injected fsync failure, ...).
+    Failed(String),
+    /// An injected crash: the "process" died mid-operation. Every subsequent
+    /// call on the same handle fails with this too, so nothing written after
+    /// the crash point can leak to "disk".
+    Crashed,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Failed(msg) => write!(f, "io failure: {msg}"),
+            IoError::Crashed => write!(f, "crashed (injected failpoint)"),
+        }
+    }
+}
+
+/// I/O result alias.
+pub type IoResult<T> = Result<T, IoError>;
+
+/// A flat, single-directory file namespace — the only surface the storage
+/// engine writes bytes through.
+///
+/// Durability contract: data passed to [`Io::append`]/[`Io::write`] is only
+/// guaranteed on "disk" after a successful [`Io::sync`] of that file;
+/// [`Io::rename`] is atomic and durable once it returns (the `std::fs`
+/// backend fsyncs the directory).
+pub trait Io: std::fmt::Debug + Send + Sync {
+    /// Names of all existing files, sorted.
+    fn list(&self) -> IoResult<Vec<String>>;
+
+    /// Entire contents of `name`, or `None` if it does not exist.
+    fn read(&self, name: &str) -> IoResult<Option<Vec<u8>>>;
+
+    /// Append `data` to `name`, creating it if absent.
+    fn append(&mut self, name: &str, data: &[u8]) -> IoResult<()>;
+
+    /// Replace the contents of `name` with `data`, creating it if absent.
+    fn write(&mut self, name: &str, data: &[u8]) -> IoResult<()>;
+
+    /// Shrink `name` to `len` bytes (recovery's torn-tail truncation).
+    fn truncate(&mut self, name: &str, len: u64) -> IoResult<()>;
+
+    /// Flush `name` to durable storage (fsync).
+    fn sync(&mut self, name: &str) -> IoResult<()>;
+
+    /// Atomically rename `from` to `to`, replacing any existing `to`.
+    fn rename(&mut self, from: &str, to: &str) -> IoResult<()>;
+
+    /// Delete `name`; succeeds silently when it does not exist.
+    fn remove(&mut self, name: &str) -> IoResult<()>;
+}
+
+fn fs_err(op: &str, name: &str, e: std::io::Error) -> IoError {
+    IoError::Failed(format!("{op} {name}: {e}"))
+}
+
+/// The real-filesystem backend: one directory, one file per [`Io`] name.
+#[derive(Debug)]
+pub struct StdIo {
+    dir: std::path::PathBuf,
+}
+
+impl StdIo {
+    /// Open (creating if needed) `dir` as a storage directory.
+    pub fn open(dir: impl Into<std::path::PathBuf>) -> IoResult<StdIo> {
+        let dir = dir.into();
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| fs_err("create dir", &dir.display().to_string(), e))?;
+        Ok(StdIo { dir })
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Fsync the directory itself so renames/creations survive power loss.
+    fn sync_dir(&self) -> IoResult<()> {
+        // lint-ok(raw-io): directory fsync for rename durability.
+        let d = std::fs::File::open(&self.dir)
+            .map_err(|e| fs_err("open dir", &self.dir.display().to_string(), e))?;
+        d.sync_all().map_err(|e| fs_err("sync dir", &self.dir.display().to_string(), e))
+    }
+}
+
+impl Io for StdIo {
+    fn list(&self) -> IoResult<Vec<String>> {
+        let mut names = Vec::new();
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| fs_err("list", &self.dir.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| fs_err("list", &self.dir.display().to_string(), e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> IoResult<Option<Vec<u8>>> {
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(fs_err("read", name, e)),
+        }
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> IoResult<()> {
+        use std::io::Write as _;
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.path(name))
+            .map_err(|e| fs_err("append", name, e))?;
+        f.write_all(data).map_err(|e| fs_err("append", name, e))
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> IoResult<()> {
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        std::fs::write(self.path(name), data).map_err(|e| fs_err("write", name, e))
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> IoResult<()> {
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| fs_err("truncate", name, e))?;
+        f.set_len(len).map_err(|e| fs_err("truncate", name, e))?;
+        f.sync_all().map_err(|e| fs_err("truncate", name, e))
+    }
+
+    fn sync(&mut self, name: &str) -> IoResult<()> {
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        let f = std::fs::File::open(self.path(name)).map_err(|e| fs_err("sync", name, e))?;
+        f.sync_all().map_err(|e| fs_err("sync", name, e))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> IoResult<()> {
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        std::fs::rename(self.path(from), self.path(to)).map_err(|e| fs_err("rename", from, e))?;
+        self.sync_dir()
+    }
+
+    fn remove(&mut self, name: &str) -> IoResult<()> {
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(fs_err("remove", name, e)),
+        }
+    }
+}
+
+/// The in-memory backend: a shared map of file name → bytes.
+///
+/// `Clone` shares the underlying "disk" (the handle is `Arc`ed), which is how
+/// tests model a machine: keep one handle as the disk, give a clone to the
+/// storage engine, "reboot" by opening a fresh engine over another clone.
+/// [`MemIo::fork`] deep-copies the disk — the crash-state constructor of the
+/// kill-point harness.
+#[derive(Debug, Clone, Default)]
+pub struct MemIo {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemIo {
+    /// An empty disk.
+    pub fn new() -> MemIo {
+        MemIo::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.files.lock().expect("MemIo lock")
+    }
+
+    /// A deep copy of the current disk state, independent of the original:
+    /// mutations on either side are invisible to the other.
+    pub fn fork(&self) -> MemIo {
+        MemIo { files: Arc::new(Mutex::new(self.lock().clone())) }
+    }
+
+    /// A deep copy with `name` truncated to its first `len` bytes — the
+    /// "crashed after `len` durable bytes" state the kill-point sweep feeds
+    /// back into recovery.
+    pub fn fork_truncated(&self, name: &str, len: usize) -> MemIo {
+        let forked = self.fork();
+        {
+            let mut files = forked.lock();
+            if let Some(bytes) = files.get_mut(name) {
+                bytes.truncate(len);
+            }
+        }
+        forked
+    }
+
+    /// Current contents of `name`, if present.
+    pub fn file(&self, name: &str) -> Option<Vec<u8>> {
+        self.lock().get(name).cloned()
+    }
+
+    /// Overwrite `name` directly (test corruption injection).
+    pub fn set_file(&self, name: &str, bytes: Vec<u8>) {
+        self.lock().insert(name.to_string(), bytes);
+    }
+}
+
+impl Io for MemIo {
+    fn list(&self) -> IoResult<Vec<String>> {
+        Ok(self.lock().keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> IoResult<Option<Vec<u8>>> {
+        Ok(self.lock().get(name).cloned())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> IoResult<()> {
+        self.lock().entry(name.to_string()).or_default().extend_from_slice(data);
+        Ok(())
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> IoResult<()> {
+        self.lock().insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> IoResult<()> {
+        match self.lock().get_mut(name) {
+            Some(bytes) => {
+                bytes.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(IoError::Failed(format!("truncate {name}: no such file"))),
+        }
+    }
+
+    fn sync(&mut self, _name: &str) -> IoResult<()> {
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> IoResult<()> {
+        let mut files = self.lock();
+        match files.remove(from) {
+            Some(bytes) => {
+                files.insert(to.to_string(), bytes);
+                Ok(())
+            }
+            None => Err(IoError::Failed(format!("rename {from}: no such file"))),
+        }
+    }
+
+    fn remove(&mut self, name: &str) -> IoResult<()> {
+        self.lock().remove(name);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(io: &mut dyn Io) {
+        assert_eq!(io.read("wal").unwrap(), None);
+        io.append("wal", b"abc").unwrap();
+        io.append("wal", b"def").unwrap();
+        assert_eq!(io.read("wal").unwrap().unwrap(), b"abcdef");
+        io.truncate("wal", 4).unwrap();
+        assert_eq!(io.read("wal").unwrap().unwrap(), b"abcd");
+        io.sync("wal").unwrap();
+        io.write("snapshot.tmp", b"SNAP").unwrap();
+        io.rename("snapshot.tmp", "snapshot-1").unwrap();
+        assert_eq!(io.read("snapshot.tmp").unwrap(), None);
+        assert_eq!(io.read("snapshot-1").unwrap().unwrap(), b"SNAP");
+        assert_eq!(io.list().unwrap(), vec!["snapshot-1".to_string(), "wal".to_string()]);
+        io.remove("wal").unwrap();
+        io.remove("wal").unwrap(); // idempotent
+        assert_eq!(io.list().unwrap(), vec!["snapshot-1".to_string()]);
+        // Overwrite-in-place via write.
+        io.write("snapshot-1", b"SNAP2").unwrap();
+        assert_eq!(io.read("snapshot-1").unwrap().unwrap(), b"SNAP2");
+    }
+
+    #[test]
+    fn mem_io_implements_the_contract() {
+        exercise(&mut MemIo::new());
+    }
+
+    #[test]
+    fn std_io_implements_the_contract() {
+        let dir = std::env::temp_dir().join(format!("prov-stdio-{}", std::process::id()));
+        // lint-ok(raw-io): test teardown of the StdIo contract test directory.
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut io = StdIo::open(&dir).unwrap();
+        exercise(&mut io);
+        // lint-ok(raw-io): test teardown of the StdIo contract test directory.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_io_clones_share_forks_do_not() {
+        let disk = MemIo::new();
+        let mut engine = disk.clone();
+        engine.append("wal", b"record").unwrap();
+        assert_eq!(disk.file("wal").unwrap(), b"record", "clones share the disk");
+        let fork = disk.fork_truncated("wal", 3);
+        assert_eq!(fork.file("wal").unwrap(), b"rec");
+        engine.append("wal", b"more").unwrap();
+        assert_eq!(fork.file("wal").unwrap(), b"rec", "forks are independent");
+        assert_eq!(disk.file("wal").unwrap(), b"recordmore");
+    }
+
+    #[test]
+    fn errors_display_and_compare() {
+        assert!(IoError::Failed("disk full".into()).to_string().contains("disk full"));
+        assert!(IoError::Crashed.to_string().contains("crashed"));
+        assert_ne!(IoError::Crashed, IoError::Failed("x".into()));
+        let mut io = MemIo::new();
+        assert!(io.truncate("nope", 0).is_err());
+        assert!(io.rename("nope", "x").is_err());
+    }
+}

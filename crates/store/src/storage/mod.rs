@@ -1,0 +1,726 @@
+//! Durable storage: a checksummed write-ahead log with snapshot compaction
+//! and crash recovery, behind an injectable I/O layer.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!   ProvDb ──journal (Vec<WalOp>)──▶ dyn Storage (WalStorage)
+//!                                        │
+//!                                        ├─ wal.rs       record framing + recovery scan
+//!                                        ├─ snapshot.rs  columnar whole-graph image
+//!                                        ├─ codec.rs     LE primitives + CRC-32
+//!                                        └─ dyn Io ──▶ StdIo (real fs) | MemIo | FailpointIo
+//! ```
+//!
+//! ## Commit protocol
+//!
+//! Every mutation batch drains the graph's op journal into
+//! [`Storage::commit`], which appends one contiguous `[ops record][commit
+//! marker]` pair to the current WAL file and (by default) fsyncs before
+//! acknowledging. A batch is durable iff its commit marker is intact on
+//! disk; commit sequence numbers increase by exactly 1 and survive
+//! compaction, so a spliced or replayed log is detected, never folded in.
+//!
+//! ## On-disk layout
+//!
+//! One directory, generation-numbered files:
+//!
+//! ```text
+//!   wal-0000000000                       generation 0: log only, empty base
+//!   snapshot-0000000003  wal-0000000003  generation 3: image + log suffix
+//!   snapshot.tmp                         in-flight compaction (ignored)
+//! ```
+//!
+//! Compaction writes `snapshot.tmp`, fsyncs, atomically renames it to
+//! `snapshot-{g+1}`, creates an empty `wal-{g+1}`, then deletes the old
+//! generation. The rename is the commit point of a compaction: before it the
+//! old generation is authoritative, after it the new one is. Recovery makes
+//! every intermediate crash state well-defined (stale files are swept, a
+//! missing `wal-{g+1}` is created empty).
+//!
+//! ## Recovery invariants
+//!
+//! Opening a directory yields a graph equal to some committed-batch prefix of
+//! the pre-crash history — never a partial batch, never silently less than
+//! the committed prefix:
+//!
+//! 1. torn tails (structurally damaged suffix of the WAL) are truncated back
+//!    to the last intact commit marker;
+//! 2. CRC-valid bytes that decode to garbage or commit out of sequence are
+//!    **corruption** and fail the open with
+//!    [`StoreError::CorruptLog`](crate::StoreError) — corruption is loud,
+//!    truncation is only for torn writes;
+//! 3. replay drives the ordinary graph mutators, and the recovered secondary
+//!    index is caught up with `ProvIndex::refresh_in_place`, so recovered
+//!    state is bit-for-bit the state the mutators would rebuild.
+//!
+//! After any I/O error the engine is *poisoned*: in-memory state may be ahead
+//! of durable state, so every later commit fails with
+//! [`StoreError::StorageUnavailable`](crate::StoreError) until the process
+//! reopens the directory.
+
+pub mod codec;
+pub mod failpoint;
+pub mod io;
+pub mod snapshot;
+pub mod wal;
+
+pub use failpoint::{FailpointIo, FaultPlan};
+pub use io::{Io, IoError, IoResult, MemIo, StdIo};
+pub use wal::WalScan;
+
+use crate::error::{StoreError, StoreResult};
+use crate::graph::{ProvGraph, WalOp};
+use crate::snapshot::ProvIndex;
+
+/// Name of the in-flight compaction temp file.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// WAL file name for generation `gen`.
+pub fn wal_file_name(gen: u64) -> String {
+    format!("wal-{gen:010}")
+}
+
+/// Snapshot file name for generation `gen`.
+pub fn snapshot_file_name(gen: u64) -> String {
+    format!("snapshot-{gen:010}")
+}
+
+fn parse_gen(name: &str, prefix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?;
+    if digits.len() == 10 && digits.bytes().all(|b| b.is_ascii_digit()) {
+        digits.parse().ok()
+    } else {
+        None
+    }
+}
+
+/// When to fsync and when to compact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Fsync the WAL before acknowledging each commit (default `true`).
+    /// Turning this off trades the durability of the latest commits for
+    /// throughput; recovery still yields a committed prefix.
+    pub fsync_on_commit: bool,
+    /// Compact (snapshot + truncate the log) once the WAL exceeds this many
+    /// bytes (default 1 MiB). `u64::MAX` disables automatic compaction.
+    pub compact_after_wal_bytes: u64,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy { fsync_on_commit: true, compact_after_wal_bytes: 1 << 20 }
+    }
+}
+
+impl DurabilityPolicy {
+    /// A policy that never auto-compacts (explicit [`Storage::compact`] only).
+    pub fn never_compact() -> DurabilityPolicy {
+        DurabilityPolicy { compact_after_wal_bytes: u64::MAX, ..DurabilityPolicy::default() }
+    }
+}
+
+/// Monotone counters describing the durability subsystem's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityCounters {
+    /// Batches appended to the WAL.
+    pub wal_appends: u64,
+    /// Fsync calls issued (commits, snapshot writes).
+    pub fsyncs: u64,
+    /// Cold-start recoveries performed.
+    pub recoveries: u64,
+    /// Torn-tail bytes truncated during recovery.
+    pub truncated_tail_bytes: u64,
+    /// Snapshot images written by compaction.
+    pub snapshots_written: u64,
+    /// Committed batches replayed from the WAL during recovery.
+    pub batches_replayed: u64,
+}
+
+/// The durable backend the database layer (`prov-core`) commits through.
+///
+/// Object-safe so the database holds a `Box<dyn Storage>`; [`WalStorage`] is
+/// the one real implementation, tests substitute instrumented ones.
+pub trait Storage: std::fmt::Debug + Send + Sync {
+    /// Durably commit one batch of ops (one mutation call's journal).
+    fn commit(&mut self, ops: &[WalOp]) -> StoreResult<()>;
+
+    /// Compact if the policy says the WAL has grown past its threshold.
+    /// Returns whether a compaction ran. `graph` must reflect every batch
+    /// committed so far.
+    fn maybe_compact(&mut self, graph: &ProvGraph) -> StoreResult<bool>;
+
+    /// Unconditionally compact: write a snapshot of `graph`, start a fresh
+    /// WAL generation, delete the old one.
+    fn compact(&mut self, graph: &ProvGraph) -> StoreResult<()>;
+
+    /// Activity counters (monotone since open).
+    fn counters(&self) -> DurabilityCounters;
+
+    /// Bytes in the current WAL generation.
+    fn wal_bytes(&self) -> u64;
+}
+
+/// What a cold-start recovery produced.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The recovered graph: snapshot base + committed WAL suffix.
+    pub graph: ProvGraph,
+    /// A secondary index over `graph`, built from the snapshot base and
+    /// caught up with `refresh_in_place` over the replayed suffix.
+    pub index: ProvIndex,
+}
+
+/// The WAL + snapshot storage engine. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct WalStorage {
+    io: Box<dyn Io>,
+    policy: DurabilityPolicy,
+    /// Current file generation (`wal-{gen}` is the live log).
+    gen: u64,
+    /// Sequence number of the last committed batch (0 = none ever).
+    seq: u64,
+    wal_bytes: u64,
+    counters: DurabilityCounters,
+    poisoned: Option<String>,
+}
+
+impl WalStorage {
+    /// Open (or create) a storage directory behind `io`, recovering whatever
+    /// committed state it holds.
+    pub fn open(io: Box<dyn Io>, policy: DurabilityPolicy) -> StoreResult<(WalStorage, Recovered)> {
+        let mut engine = WalStorage {
+            io,
+            policy,
+            gen: 0,
+            seq: 0,
+            wal_bytes: 0,
+            counters: DurabilityCounters::default(),
+            poisoned: None,
+        };
+        let recovered = engine.recover()?;
+        Ok((engine, recovered))
+    }
+
+    fn io_err(e: IoError) -> StoreError {
+        StoreError::StorageUnavailable(e.to_string())
+    }
+
+    fn recover(&mut self) -> StoreResult<Recovered> {
+        // Survey the directory.
+        let names = self.io.list().map_err(Self::io_err)?;
+        let mut wal_gens = Vec::new();
+        let mut snap_gens = Vec::new();
+        let mut had_tmp = false;
+        for name in &names {
+            if let Some(g) = parse_gen(name, "wal-") {
+                wal_gens.push(g);
+            } else if let Some(g) = parse_gen(name, "snapshot-") {
+                snap_gens.push(g);
+            } else if name == SNAPSHOT_TMP {
+                had_tmp = true;
+            }
+            // Unknown names are left alone (foreign files in the directory).
+        }
+        if had_tmp {
+            // An interrupted compaction that never reached its rename commit
+            // point — the old generation is authoritative.
+            self.io.remove(SNAPSHOT_TMP).map_err(Self::io_err)?;
+        }
+
+        // Pick the generation: the newest snapshot wins (renames are atomic,
+        // so a present snapshot is complete — decode failures below are real
+        // corruption, not crash artifacts).
+        let snap_gen = snap_gens.iter().copied().max();
+        let gen = snap_gen.unwrap_or(0);
+        if let Some(&orphan) = wal_gens.iter().find(|&&g| g > gen) {
+            return Err(StoreError::CorruptLog(format!(
+                "wal generation {orphan} has no snapshot (newest snapshot generation: {gen})",
+            )));
+        }
+
+        // Load the base image.
+        let (mut graph, base_seq) = match snap_gen {
+            Some(g) => {
+                let bytes =
+                    self.io.read(&snapshot_file_name(g)).map_err(Self::io_err)?.ok_or_else(
+                        || {
+                            StoreError::StorageUnavailable(format!(
+                                "snapshot generation {g} vanished during recovery"
+                            ))
+                        },
+                    )?;
+                snapshot::decode(&bytes)
+                    .map_err(|e| StoreError::CorruptLog(format!("snapshot generation {g}: {e}")))?
+            }
+            None => (ProvGraph::new(), 0),
+        };
+
+        // Index over the base, *before* replay: the replayed suffix is then
+        // folded in with `refresh_in_place`, exactly as a live process would.
+        let mut index = ProvIndex::build(&graph);
+
+        // Scan the live WAL; truncate the torn tail; replay the committed
+        // batches.
+        let wal_name = wal_file_name(gen);
+        let bytes = match self.io.read(&wal_name).map_err(Self::io_err)? {
+            Some(bytes) => bytes,
+            None => {
+                // Crash window between a compaction's rename and its fresh
+                // WAL creation — finish the job.
+                self.io.write(&wal_name, &[]).map_err(Self::io_err)?;
+                Vec::new()
+            }
+        };
+        let scan = wal::scan(&bytes, base_seq + 1)
+            .map_err(|e| StoreError::CorruptLog(format!("{wal_name}: {e}")))?;
+        if scan.committed_len < bytes.len() {
+            let torn = (bytes.len() - scan.committed_len) as u64;
+            self.io.truncate(&wal_name, scan.committed_len as u64).map_err(Self::io_err)?;
+            self.io.sync(&wal_name).map_err(Self::io_err)?;
+            self.counters.truncated_tail_bytes += torn;
+        }
+        for (i, batch) in scan.batches.iter().enumerate() {
+            for op in batch {
+                graph.apply_wal_op(op).map_err(|e| {
+                    StoreError::CorruptLog(format!(
+                        "{wal_name}: batch {} (seq {}) does not replay: {e}",
+                        i,
+                        base_seq + 1 + i as u64,
+                    ))
+                })?;
+            }
+        }
+        self.counters.batches_replayed += scan.batches.len() as u64;
+        index.refresh_in_place(&graph);
+
+        // Sweep stale older generations (crash window after a compaction's
+        // rename, before its deletes).
+        for &g in wal_gens.iter().filter(|&&g| g < gen) {
+            self.io.remove(&wal_file_name(g)).map_err(Self::io_err)?;
+        }
+        for &g in snap_gens.iter().filter(|&&g| g < gen) {
+            self.io.remove(&snapshot_file_name(g)).map_err(Self::io_err)?;
+        }
+
+        self.gen = gen;
+        self.seq = scan.last_seq;
+        self.wal_bytes = scan.committed_len as u64;
+        self.counters.recoveries += 1;
+        Ok(Recovered { graph, index })
+    }
+
+    /// Fails every future commit with the given reason; recovery by reopen.
+    fn poison<T>(&mut self, err: StoreError) -> StoreResult<T> {
+        self.poisoned = Some(err.to_string());
+        Err(err)
+    }
+
+    fn check_poisoned(&self) -> StoreResult<()> {
+        match &self.poisoned {
+            Some(msg) => Err(StoreError::StorageUnavailable(format!(
+                "storage poisoned by an earlier failure ({msg}); reopen to recover"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// True once an I/O failure has poisoned the engine.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Current file generation.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Sequence number of the last committed batch.
+    pub fn last_seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl Storage for WalStorage {
+    fn commit(&mut self, ops: &[WalOp]) -> StoreResult<()> {
+        self.check_poisoned()?;
+        let wal_name = wal_file_name(self.gen);
+        let bytes = wal::encode_batch(ops, self.seq + 1);
+        if let Err(e) = self.io.append(&wal_name, &bytes) {
+            // The append may have partially landed (short write) — that torn
+            // tail is exactly what recovery truncates. Until then, nothing
+            // more may be acknowledged.
+            return self.poison(Self::io_err(e));
+        }
+        if self.policy.fsync_on_commit {
+            if let Err(e) = self.io.sync(&wal_name) {
+                // The batch is written but not durable; acknowledging it
+                // would lie, so the engine poisons itself.
+                return self.poison(Self::io_err(e));
+            }
+            self.counters.fsyncs += 1;
+        }
+        self.counters.wal_appends += 1;
+        self.wal_bytes += bytes.len() as u64;
+        self.seq += 1;
+        Ok(())
+    }
+
+    fn maybe_compact(&mut self, graph: &ProvGraph) -> StoreResult<bool> {
+        if self.wal_bytes < self.policy.compact_after_wal_bytes {
+            return Ok(false);
+        }
+        self.compact(graph)?;
+        Ok(true)
+    }
+
+    fn compact(&mut self, graph: &ProvGraph) -> StoreResult<()> {
+        self.check_poisoned()?;
+        let old_gen = self.gen;
+        let new_gen = old_gen + 1;
+        let image = snapshot::encode(graph, self.seq);
+        let result = (|| -> Result<(), IoError> {
+            self.io.write(SNAPSHOT_TMP, &image)?;
+            self.io.sync(SNAPSHOT_TMP)?;
+            // The commit point: after this rename the new generation is
+            // authoritative; before it, a crash leaves only a tmp file that
+            // recovery sweeps.
+            self.io.rename(SNAPSHOT_TMP, &snapshot_file_name(new_gen))?;
+            self.io.write(&wal_file_name(new_gen), &[])?;
+            self.io.sync(&wal_file_name(new_gen))?;
+            self.io.remove(&wal_file_name(old_gen))?;
+            // Generation 0 has no snapshot; remove is idempotent either way.
+            self.io.remove(&snapshot_file_name(old_gen))?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            return self.poison(Self::io_err(e));
+        }
+        self.counters.fsyncs += 2; // tmp + fresh wal
+        self.counters.snapshots_written += 1;
+        self.gen = new_gen;
+        self.wal_bytes = 0;
+        Ok(())
+    }
+
+    fn counters(&self) -> DurabilityCounters {
+        self.counters
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.wal_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::VertexKind;
+
+    /// Run `n` mutation batches against `graph` (journaling on), committing
+    /// each drained journal through `storage`. Mirrors what ProvDb does.
+    fn ingest(graph: &mut ProvGraph, storage: &mut WalStorage, n: usize, tag: &str) {
+        graph.set_journaling(true);
+        for i in 0..n {
+            let v = graph.add_entity(&format!("{tag}-{i}"));
+            graph.set_vprop(v, "version", i as i64);
+            if i % 3 == 0 {
+                graph.create_vprop_index(VertexKind::Entity, "version");
+            }
+            let ops = graph.take_journal();
+            storage.commit(&ops).unwrap();
+        }
+    }
+
+    fn open_mem(disk: &MemIo) -> (WalStorage, Recovered) {
+        WalStorage::open(Box::new(disk.clone()), DurabilityPolicy::never_compact()).unwrap()
+    }
+
+    #[test]
+    fn commit_reopen_recovers_the_exact_graph_and_index() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        assert_eq!(rec.graph, ProvGraph::new());
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 7, "e");
+        assert_eq!(storage.last_seq(), 7);
+        assert_eq!(storage.counters().wal_appends, 7);
+        assert_eq!(storage.counters().fsyncs, 7);
+
+        let (storage2, rec2) = open_mem(&disk);
+        assert_eq!(rec2.graph, graph);
+        rec2.graph.validate().unwrap();
+        rec2.index.validate().unwrap();
+        assert_eq!(rec2.index, ProvIndex::build(&rec2.graph), "refresh == rebuild");
+        assert_eq!(storage2.last_seq(), 7);
+        assert_eq!(storage2.counters().recoveries, 1);
+        assert_eq!(storage2.counters().batches_replayed, 7);
+        assert_eq!(storage2.counters().truncated_tail_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tails_truncate_and_recover_a_committed_prefix() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 3, "e");
+        let wal = wal_file_name(storage.generation());
+        let full = disk.file(&wal).unwrap();
+        // Simulate a crash mid-append of a 4th batch: stray trailing bytes
+        // are a torn tail.
+        let torn = disk.fork();
+        torn.set_file(&wal, [full.as_slice(), &[0x55; 11]].concat());
+        let (storage2, rec2) = open_mem(&torn);
+        assert_eq!(rec2.graph, graph);
+        assert_eq!(storage2.counters().truncated_tail_bytes, 11);
+        assert_eq!(torn.file(&wal).unwrap(), full, "tail physically truncated");
+
+        // Reopening the truncated disk again finds nothing left to truncate.
+        let (storage3, rec3) = open_mem(&torn);
+        assert_eq!(storage3.counters().truncated_tail_bytes, 0);
+        assert_eq!(rec3.graph, graph);
+    }
+
+    #[test]
+    fn crc_valid_garbage_is_corruption_not_truncation() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 2, "e");
+        let wal = wal_file_name(storage.generation());
+        // Splice a batch whose commit seq skips ahead — every frame is
+        // CRC-clean, so this must fail loudly, not truncate silently.
+        let mut bytes = disk.file(&wal).unwrap();
+        bytes.extend_from_slice(&wal::encode_batch(&[], 9));
+        disk.set_file(&wal, bytes);
+        let err =
+            WalStorage::open(Box::new(disk.clone()), DurabilityPolicy::default()).unwrap_err();
+        assert!(matches!(&err, StoreError::CorruptLog(m) if m.contains("commit seq 9")), "{err}");
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_loudly() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 4, "e");
+        storage.compact(&graph).unwrap();
+        let snap = snapshot_file_name(storage.generation());
+        let mut bytes = disk.file(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        disk.set_file(&snap, bytes);
+        let err =
+            WalStorage::open(Box::new(disk.clone()), DurabilityPolicy::default()).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptLog(_)), "{err}");
+    }
+
+    #[test]
+    fn compaction_starts_a_fresh_generation_and_recovers_identically() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 5, "a");
+        storage.compact(&graph).unwrap();
+        assert_eq!(storage.generation(), 1);
+        assert_eq!(storage.wal_bytes(), 0);
+        assert_eq!(storage.counters().snapshots_written, 1);
+        // Old generation files are gone; new snapshot + empty wal exist.
+        assert_eq!(disk.file(&wal_file_name(0)), None);
+        assert!(disk.file(&snapshot_file_name(1)).is_some());
+        assert_eq!(disk.file(&wal_file_name(1)).unwrap(), b"");
+
+        // Keep committing into the new generation; seq continues monotone.
+        ingest(&mut graph, &mut storage, 3, "b");
+        assert_eq!(storage.last_seq(), 8);
+
+        let (storage2, rec2) = open_mem(&disk);
+        assert_eq!(rec2.graph, graph);
+        assert_eq!(rec2.index, ProvIndex::build(&rec2.graph));
+        assert_eq!(storage2.last_seq(), 8);
+        assert_eq!(storage2.generation(), 1);
+        assert_eq!(storage2.counters().batches_replayed, 3, "only the suffix replays");
+    }
+
+    #[test]
+    fn maybe_compact_honors_the_policy_threshold() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = WalStorage::open(
+            Box::new(disk.clone()),
+            DurabilityPolicy { compact_after_wal_bytes: 64, ..DurabilityPolicy::default() },
+        )
+        .unwrap();
+        let mut graph = rec.graph;
+        graph.set_journaling(true);
+        graph.add_entity("tiny");
+        let ops = graph.take_journal();
+        storage.commit(&ops).unwrap();
+        assert!(!storage.maybe_compact(&graph).unwrap(), "below threshold");
+        while storage.wal_bytes() < 64 {
+            graph.add_entity("more");
+            let ops = graph.take_journal();
+            storage.commit(&ops).unwrap();
+        }
+        assert!(storage.maybe_compact(&graph).unwrap(), "above threshold");
+        assert_eq!(storage.wal_bytes(), 0);
+        let (_, rec2) = open_mem(&disk);
+        assert_eq!(rec2.graph, graph);
+    }
+
+    #[test]
+    fn every_compaction_crash_window_recovers() {
+        // Build a disk mid-history, compact it for real, then reconstruct
+        // each intermediate crash state by rewinding the final disk.
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 4, "e");
+        let before = disk.fork(); // state before compaction started
+        let old_wal = before.file(&wal_file_name(0)).unwrap();
+        storage.compact(&graph).unwrap();
+        let after = disk.fork(); // state after a complete compaction
+        let image = after.file(&snapshot_file_name(1)).unwrap();
+
+        // Window A: crashed after writing snapshot.tmp, before the rename.
+        // The old generation is authoritative; the tmp is swept.
+        let a = before.fork();
+        a.set_file(SNAPSHOT_TMP, image.clone());
+        let (sa, ra) = open_mem(&a);
+        assert_eq!(ra.graph, graph);
+        assert_eq!(sa.generation(), 0);
+        assert!(a.file(SNAPSHOT_TMP).is_none(), "tmp swept");
+
+        // Window B: crashed after the rename, before creating wal-1 or
+        // deleting generation 0. The new snapshot is authoritative.
+        let b = before.fork();
+        b.set_file(&snapshot_file_name(1), image.clone());
+        let (sb, rb) = open_mem(&b);
+        assert_eq!(rb.graph, graph);
+        assert_eq!(sb.generation(), 1);
+        assert_eq!(sb.last_seq(), 4);
+        assert!(b.file(&wal_file_name(0)).is_none(), "stale wal swept");
+        assert_eq!(b.file(&wal_file_name(1)), Some(Vec::new()), "fresh wal created");
+
+        // Window C: crashed after creating wal-1, before deleting gen 0.
+        let c = after.fork();
+        c.set_file(&wal_file_name(0), old_wal.clone());
+        let (sc, rc) = open_mem(&c);
+        assert_eq!(rc.graph, graph);
+        assert_eq!(sc.generation(), 1);
+        assert!(c.file(&wal_file_name(0)).is_none(), "stale wal swept");
+
+        // And a second compaction from a recovered window still works.
+        let (mut sd, rd) = open_mem(&b);
+        let mut g2 = rd.graph;
+        ingest(&mut g2, &mut sd, 2, "later");
+        sd.compact(&g2).unwrap();
+        assert_eq!(sd.generation(), 2);
+        let (_, re) = open_mem(&b);
+        assert_eq!(re.graph, g2);
+    }
+
+    #[test]
+    fn orphan_wal_generations_are_corruption() {
+        let disk = MemIo::new();
+        disk.set_file(&wal_file_name(3), Vec::new());
+        let err =
+            WalStorage::open(Box::new(disk.clone()), DurabilityPolicy::default()).unwrap_err();
+        assert!(matches!(&err, StoreError::CorruptLog(m) if m.contains("generation 3")), "{err}");
+    }
+
+    #[test]
+    fn fsync_failure_poisons_until_reopen() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 2, "e"); // syncs #0, #1
+        let committed = graph.clone();
+
+        // Rebuild the engine over a failpoint io whose next sync fails.
+        let fp = FailpointIo::new(disk.clone(), FaultPlan::fail_sync(0));
+        let (mut storage, rec) =
+            WalStorage::open(Box::new(fp), DurabilityPolicy::never_compact()).unwrap();
+        let mut graph = rec.graph;
+        graph.set_journaling(true);
+        graph.add_entity("doomed");
+        let ops = graph.take_journal();
+        let err = storage.commit(&ops).unwrap_err();
+        assert!(matches!(err, StoreError::StorageUnavailable(_)), "{err}");
+        assert!(storage.is_poisoned());
+        // Every later commit fails too, even though later syncs would work.
+        graph.add_entity("also-doomed");
+        let ops = graph.take_journal();
+        let err = storage.commit(&ops).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::StorageUnavailable(m) if m.contains("poisoned")),
+            "{err}"
+        );
+        // Compaction is refused as well.
+        assert!(storage.compact(&graph).is_err());
+
+        // Reopen: the unacknowledged batch is on disk but recovery keeps it
+        // only because it is structurally complete — either way the result
+        // is a committed prefix plus nothing torn.
+        let (_, rec2) = open_mem(&disk);
+        rec2.graph.validate().unwrap();
+        assert!(
+            rec2.graph == committed || rec2.graph.vertex_count() == committed.vertex_count() + 1
+        );
+    }
+
+    #[test]
+    fn crash_mid_append_recovers_the_prior_prefix() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = open_mem(&disk);
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 2, "e");
+        let committed = graph.clone();
+
+        // Engine whose disk dies 5 bytes into the next append (the budget
+        // counts bytes appended through this handle; recovery appends none).
+        let fp = FailpointIo::new(disk.fork(), FaultPlan::crash_after(5));
+        let crashed_disk = fp.disk();
+        let (mut storage, rec) =
+            WalStorage::open(Box::new(fp), DurabilityPolicy::never_compact()).unwrap();
+        let mut graph = rec.graph;
+        graph.set_journaling(true);
+        graph.add_entity("lost");
+        let ops = graph.take_journal();
+        assert!(storage.commit(&ops).is_err());
+        assert!(storage.is_poisoned());
+
+        // Reboot from the crashed disk: the 5 stray bytes are a torn tail.
+        let (s2, rec2) = open_mem(&crashed_disk);
+        assert_eq!(rec2.graph, committed);
+        assert_eq!(s2.counters().truncated_tail_bytes, 5);
+        assert_eq!(s2.last_seq(), 2);
+    }
+
+    #[test]
+    fn policy_defaults_are_as_documented() {
+        let p = DurabilityPolicy::default();
+        assert!(p.fsync_on_commit);
+        assert_eq!(p.compact_after_wal_bytes, 1 << 20);
+        assert_eq!(DurabilityPolicy::never_compact().compact_after_wal_bytes, u64::MAX);
+        assert_eq!(wal_file_name(3), "wal-0000000003");
+        assert_eq!(snapshot_file_name(12), "snapshot-0000000012");
+        assert_eq!(parse_gen("wal-0000000003", "wal-"), Some(3));
+        assert_eq!(parse_gen("wal-3", "wal-"), None);
+        assert_eq!(parse_gen("snapshot.tmp", "snapshot-"), None);
+    }
+
+    #[test]
+    fn no_fsync_policy_skips_syncs_but_still_recovers() {
+        let disk = MemIo::new();
+        let (mut storage, rec) = WalStorage::open(
+            Box::new(disk.clone()),
+            DurabilityPolicy { fsync_on_commit: false, ..DurabilityPolicy::never_compact() },
+        )
+        .unwrap();
+        let mut graph = rec.graph;
+        ingest(&mut graph, &mut storage, 3, "e");
+        assert_eq!(storage.counters().fsyncs, 0);
+        let (_, rec2) = open_mem(&disk);
+        assert_eq!(rec2.graph, graph);
+    }
+}

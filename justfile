@@ -53,6 +53,14 @@ query-test:
     cargo test -q -p prov-api --test query_cursor_stability
     cargo test -q -p prov --test cypher_query1
 
+# The durability suites alone: the kill-point sweep (recovery at every WAL
+# byte offset lands on a committed-batch prefix), the random
+# ingest/crash/restart/query proptest, and the storage engine's own
+# failpoint/compaction/torn-tail tests.
+recovery-test:
+    cargo test -q -p prov-store storage::
+    cargo test -q -p prov-core --test recovery_killpoints --test durability_proptest
+
 # Public docs with rustdoc warnings denied.
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
@@ -72,3 +80,5 @@ bench-gate:
         --json BENCH_fig7.new.json --baseline BENCH_fig7.json
     cargo run -q -p prov-bench --release --bin figure -- --quick fig8 \
         --json BENCH_fig8.new.json --baseline BENCH_fig8.json
+    cargo run -q -p prov-bench --release --bin figure -- --quick coldstart \
+        --json BENCH_coldstart.new.json --baseline BENCH_coldstart.json

@@ -32,5 +32,7 @@ run $scale fig6 --json BENCH_fig6.json
 run $scale fig7 --json BENCH_fig7.json
 # shellcheck disable=SC2086
 run $scale fig8 --json BENCH_fig8.json
+# shellcheck disable=SC2086
+run $scale coldstart --json BENCH_coldstart.json
 
-echo "regenerated BENCH_fig5.json BENCH_fig6.json BENCH_fig7.json BENCH_fig8.json" >&2
+echo "regenerated BENCH_fig5.json BENCH_fig6.json BENCH_fig7.json BENCH_fig8.json BENCH_coldstart.json" >&2
