@@ -172,6 +172,27 @@ pub struct DurabilityActivity {
     pub snapshots_written: u64,
     /// Committed batches replayed from the WAL during recovery.
     pub batches_replayed: u64,
+    /// Grouped WAL flushes performed by the commit pipeline. Absent on old
+    /// wires: deserializes to 0.
+    #[serde(default)]
+    pub group_flushes: u64,
+    /// Batches covered by those grouped flushes. Absent on old wires: 0.
+    #[serde(default)]
+    pub group_flushed_batches: u64,
+    /// Snapshot property segments deferred at open (lazy decode). Absent on
+    /// old wires: 0.
+    #[serde(default)]
+    pub lazy_segments_deferred: u64,
+    /// Bytes of snapshot payload not read at open (lazy decode). Absent on
+    /// old wires: 0.
+    #[serde(default)]
+    pub lazy_deferred_bytes: u64,
+    /// Deferred segments loaded on first touch. Absent on old wires: 0.
+    #[serde(default)]
+    pub lazy_segment_loads: u64,
+    /// Bytes range-read by first-touch loads. Absent on old wires: 0.
+    #[serde(default)]
+    pub lazy_bytes_loaded: u64,
 }
 
 impl From<prov_core::DurabilityCounters> for DurabilityActivity {
@@ -183,6 +204,12 @@ impl From<prov_core::DurabilityCounters> for DurabilityActivity {
             truncated_tail_bytes: c.truncated_tail_bytes,
             snapshots_written: c.snapshots_written,
             batches_replayed: c.batches_replayed,
+            group_flushes: c.group_flushes,
+            group_flushed_batches: c.group_flushed_batches,
+            lazy_segments_deferred: c.lazy_segments_deferred,
+            lazy_deferred_bytes: c.lazy_deferred_bytes,
+            lazy_segment_loads: c.lazy_segment_loads,
+            lazy_bytes_loaded: c.lazy_bytes_loaded,
         }
     }
 }

@@ -48,6 +48,12 @@ fn stats() -> Stats {
             truncated_tail_bytes: 11,
             snapshots_written: 2,
             batches_replayed: 5,
+            group_flushes: 12,
+            group_flushed_batches: 31,
+            lazy_segments_deferred: 2,
+            lazy_deferred_bytes: 4096,
+            lazy_segment_loads: 2,
+            lazy_bytes_loaded: 4096,
         },
     }
 }

@@ -23,6 +23,9 @@
 //!
 //! # The cold-start recovery trajectory (`coldstart` shorthand for cs):
 //! cargo run -p prov-bench --release -- --quick coldstart --json BENCH_coldstart.json
+//!
+//! # The durable-ingest trajectory (`fig10` shorthand for 10a 10b):
+//! cargo run -p prov-bench --release -- --quick fig10 --json BENCH_fig10.json
 //! ```
 //!
 //! With `--baseline`, the process exits non-zero when any matched series
@@ -33,7 +36,7 @@
 
 use prov_bench::{
     run_figure_with_caches, BenchReport, FigureResult, PdCache, Scale, SdCache, ALL_FIGURES,
-    BENCH_FIGURES, COLDSTART_FIGURES, FIG6_FIGURES, FIG7_FIGURES, FIG8_FIGURES,
+    BENCH_FIGURES, COLDSTART_FIGURES, FIG10_FIGURES, FIG6_FIGURES, FIG7_FIGURES, FIG8_FIGURES,
 };
 
 struct Cli {
@@ -87,6 +90,7 @@ fn main() {
                 "fig7" => FIG7_FIGURES.iter().map(|s| s.to_string()).collect(),
                 "fig8" => FIG8_FIGURES.iter().map(|s| s.to_string()).collect(),
                 "coldstart" => COLDSTART_FIGURES.iter().map(|s| s.to_string()).collect(),
+                "fig10" => FIG10_FIGURES.iter().map(|s| s.to_string()).collect(),
                 _ => vec![id.clone()],
             })
             .collect()
@@ -107,7 +111,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown figure id {id:?}; valid: {ALL_FIGURES:?}, `fig6`, `fig7`, `fig8`, \
-                     `coldstart`, or `all`"
+                     `coldstart`, `fig10`, or `all`"
                 );
                 std::process::exit(2);
             }

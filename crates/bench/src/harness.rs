@@ -946,6 +946,8 @@ pub fn run_figure_with_caches(
         "8b" => crate::fig8::fig8b_cached(scale, pd),
         "8t" => crate::fig8::fig8t_cached(scale, pd),
         "cs" => crate::coldstart::figcs(scale),
+        "10a" => crate::fig10::fig10a(scale),
+        "10b" => crate::fig10::fig10b(scale),
         _ => return None,
     })
 }
@@ -953,9 +955,9 @@ pub fn run_figure_with_caches(
 /// All figure ids in paper order (plus the worklist ablation, the
 /// summarization runtime sweeps, the serving-loop sweeps, the query-layer
 /// sweeps, and the thread-scaling sweeps).
-pub const ALL_FIGURES: [&str; 22] = [
+pub const ALL_FIGURES: [&str; 24] = [
     "5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "5t", "6a", "6b", "6c", "6t", "7a", "7b",
-    "7c", "7t", "8a", "8b", "8t", "cs",
+    "7c", "7t", "8a", "8b", "8t", "cs", "10a", "10b",
 ];
 
 /// The ids the JSON bench mode runs by default: the runtime sweeps
@@ -983,6 +985,11 @@ pub const FIG8_FIGURES: [&str; 3] = ["8a", "8b", "8t"];
 /// to a serving state after a restart — snapshot+tail recovery vs full WAL
 /// replay vs in-memory re-ingest (ISSUE 9).
 pub const COLDSTART_FIGURES: [&str; 1] = ["cs"];
+
+/// The durable-ingest trajectory committed as `BENCH_fig10.json`: group-commit
+/// ingest throughput sweeping the flush window, and eager-vs-lazy snapshot
+/// decode cold starts (ISSUE 10).
+pub const FIG10_FIGURES: [&str; 2] = ["10a", "10b"];
 
 #[cfg(test)]
 mod tests {
@@ -1069,7 +1076,7 @@ mod tests {
             // Only check resolvability, not execution (expensive).
             assert!([
                 "5a", "5b", "5c", "5d", "5e", "5f", "5g", "5h", "wl", "5t", "6a", "6b", "6c", "6t",
-                "7a", "7b", "7c", "7t", "8a", "8b", "8t", "cs"
+                "7a", "7b", "7c", "7t", "8a", "8b", "8t", "cs", "10a", "10b"
             ]
             .contains(&id));
         }
@@ -1087,6 +1094,9 @@ mod tests {
         }
         for id in COLDSTART_FIGURES {
             assert!(ALL_FIGURES.contains(&id), "coldstart subset must stay resolvable");
+        }
+        for id in FIG10_FIGURES {
+            assert!(ALL_FIGURES.contains(&id), "fig10 subset must stay resolvable");
         }
     }
 

@@ -26,17 +26,19 @@
 //! * `benches/` — Criterion micro-benchmarks over the same kernels.
 
 pub mod coldstart;
+pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod harness;
 pub mod report;
 
 pub use coldstart::figcs;
+pub use fig10::{fig10a, fig10b};
 pub use fig7::{fig7a, fig7b, fig7c, fig7t};
 pub use fig8::{fig8a, fig8b, fig8t};
 pub use harness::{
     run_figure, run_figure_cached, run_figure_with_caches, FigureResult, PdCache, PdInstance,
-    Point, Scale, SdCache, Series, ALL_FIGURES, BENCH_FIGURES, COLDSTART_FIGURES, FIG6_FIGURES,
-    FIG7_FIGURES, FIG8_FIGURES, THREAD_SWEEP,
+    Point, Scale, SdCache, Series, ALL_FIGURES, BENCH_FIGURES, COLDSTART_FIGURES, FIG10_FIGURES,
+    FIG6_FIGURES, FIG7_FIGURES, FIG8_FIGURES, THREAD_SWEEP,
 };
 pub use report::{BenchReport, REGRESSION_FACTOR, REGRESSION_FLOOR_SECS};

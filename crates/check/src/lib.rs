@@ -29,7 +29,7 @@
 //!   CFL views) carry justification markers.
 //! * [`RAW_IO`] — no direct `std::fs`/`File`/`OpenOptions` use outside
 //!   `crates/store/src/storage/` (ISSUE 9): every durable byte goes through
-//!   the [`Io`] trait so failpoints can intercept it and the kill-point
+//!   the `Io` trait so failpoints can intercept it and the kill-point
 //!   harness can prove recovery. A raw `std::fs` call is invisible to fault
 //!   injection and unordered with respect to the WAL's fsync protocol.
 //!   Non-durable tooling (the linter's own walker, the bench report writer)
@@ -85,6 +85,9 @@ enum Scope {
     /// Every workspace file except the storage engine's own directory — the
     /// only place allowed to touch the filesystem directly.
     StorageConsumers,
+    /// Every workspace file except the column codec and the Io backends —
+    /// the only places allowed to slurp whole snapshot files into memory.
+    SnapshotReaders,
 }
 
 /// A lint rule: an identifier, a scope, and a line predicate over masked code.
@@ -160,9 +163,30 @@ pub const RAW_IO: Rule = Rule {
     },
 };
 
+/// Ban whole-file snapshot reads outside the column codec and Io backends.
+pub const SNAPSHOT_SLURP: Rule = Rule {
+    id: "snapshot-slurp",
+    description: "no whole-file snapshot reads (read(&snapshot_file_name…), read_to_end) outside \
+                  crates/store/src/storage/{column,io}.rs; snapshot bytes are range-read through \
+                  ColumnSource so lazy decode stays O(touched columns), not O(image)",
+    scope: Scope::SnapshotReaders,
+    matches: |code| {
+        code.contains("read(&snapshot_file_name")
+            || code.contains("read(&snapshot_tmp")
+            || code.contains("read_to_end(")
+    },
+};
+
 /// Every rule the gate enforces.
-pub const RULES: [&Rule; 6] =
-    [&STD_COLLECTIONS, &THREAD_SPAWN, &NARROWING_CAST, &RELAXED_ORDERING, &CSR_TRAVERSAL, &RAW_IO];
+pub const RULES: [&Rule; 7] = [
+    &STD_COLLECTIONS,
+    &THREAD_SPAWN,
+    &NARROWING_CAST,
+    &RELAXED_ORDERING,
+    &CSR_TRAVERSAL,
+    &RAW_IO,
+    &SNAPSHOT_SLURP,
+];
 
 /// Does `code` contain a cast `as <ty>` as whole tokens (`has u32` or
 /// `alias u32x4` must not match)?
@@ -203,6 +227,11 @@ fn in_scope(scope: Scope, path: &Path) -> bool {
         }
         Scope::StorageConsumers => {
             !p.starts_with("vendor/") && !p.starts_with("crates/store/src/storage/")
+        }
+        Scope::SnapshotReaders => {
+            !p.starts_with("vendor/")
+                && p != "crates/store/src/storage/column.rs"
+                && p != "crates/store/src/storage/io.rs"
         }
     }
 }
@@ -582,6 +611,26 @@ mod tests {
         let src = "// lint-ok(raw-io): bench report writer, nothing durable flows here\n\
                    std::fs::write(path, report.to_json())?;\n";
         assert!(at("crates/bench/src/bin/figure.rs", src).is_empty());
+        // The group-commit pipeline and the column codec live inside the
+        // boundary: raw-io does not fire on them.
+        assert!(at("crates/store/src/storage/pipeline.rs", "std::fs::read(p)?;\n").is_empty());
+        assert!(at("crates/store/src/storage/column.rs", "File::open(p)?;\n").is_empty());
+    }
+
+    #[test]
+    fn snapshot_slurp_guards_lazy_decode() {
+        // Whole-file snapshot reads outside the column codec / Io backends
+        // defeat lazy decode's O(touched-columns) cold start.
+        let slurp = "let bytes = self.io.read(&snapshot_file_name(g))?;\n";
+        let hits = at("crates/store/src/storage/mod.rs", slurp);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "snapshot-slurp");
+        assert_eq!(at("crates/core/src/provdb.rs", "f.read_to_end(&mut buf)?;\n").len(), 1);
+        // The codec and the backends ARE the slurp boundary.
+        assert!(at("crates/store/src/storage/column.rs", slurp).is_empty());
+        assert!(at("crates/store/src/storage/io.rs", "f.read_to_end(&mut buf)?;\n").is_empty());
+        // WAL reads are whole-file by design; the rule keys on snapshot names.
+        assert!(at("crates/store/src/storage/mod.rs", "self.io.read(&wal_name)?;\n").is_empty());
     }
 
     // ---- masking / engine mechanics -----------------------------------

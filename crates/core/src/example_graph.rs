@@ -281,7 +281,7 @@ mod tests {
     #[test]
     fn fig2_lookup_panics_on_typo() {
         let ex = fig2::build();
-        let caught = std::panic::catch_unwind(|| ex.v("weight-v9"));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ex.v("weight-v9")));
         assert!(caught.is_err());
     }
 

@@ -11,7 +11,7 @@ use prov_model::{PropValue, VertexId, VertexKind};
 use prov_segment::{PgSegOptions, PgSegQuery, PgSegSession, SegmentGraph};
 use prov_store::hash::FxHashMap;
 use prov_store::storage::{
-    DurabilityCounters, DurabilityPolicy, Io, Recovered, StdIo, Storage, WalStorage,
+    CommitPipeline, DurabilityCounters, DurabilityPolicy, Io, Recovered, StdIo, Storage, WalStorage,
 };
 use prov_store::{
     DeltaCursor, Pipeline, Plan, ProvGraph, ProvIndex, QueryOutput, SharedIndex, StoreError,
@@ -130,8 +130,11 @@ pub struct SnapshotCounters {
 pub struct ProvDb {
     graph: Arc<ProvGraph>,
     index: RwLock<Option<SharedIndex>>,
-    /// Next version number per artifact name.
-    versions: FxHashMap<String, u32>,
+    /// Next version number per artifact name. `None` = not yet hydrated
+    /// from the graph's `filename`/`version` properties — a lazily-decoded
+    /// database defers the hydration scan (it would touch every property
+    /// column) until versions are actually consulted.
+    versions: RwLock<Option<FxHashMap<String, u32>>>,
     /// Durable backend, when opened through [`ProvDb::open`] /
     /// [`ProvDb::open_with_io`]. `None` = purely in-memory (the default).
     /// When present, the graph journals its mutations and every ingestion
@@ -158,7 +161,7 @@ impl ProvDb {
     /// the graph, so [`ProvDb::add_artifact_version`] continues numbering
     /// where the wrapped history left off instead of colliding at `v1`.
     pub fn from_graph(graph: ProvGraph) -> Self {
-        let versions = Self::versions_from_graph(&graph);
+        let versions = RwLock::new(Some(Self::versions_from_graph(&graph)));
         ProvDb { graph: Arc::new(graph), versions, ..ProvDb::default() }
     }
 
@@ -174,9 +177,16 @@ impl ProvDb {
     /// tests run a durable database on a [`MemIo`](prov_store::storage::MemIo)
     /// disk or behind a fault injector.
     pub fn open_with_io(io: Box<dyn Io>, policy: DurabilityPolicy) -> StoreResult<ProvDb> {
-        let (storage, Recovered { mut graph, index }) = WalStorage::open(io, policy)?;
+        let (engine, Recovered { mut graph, index }) = WalStorage::open(io, policy)?;
         graph.set_journaling(true);
-        let versions = Self::versions_from_graph(&graph);
+        // A lazily-decoded graph keeps its property columns deferred: the
+        // version-counter hydration scan (which touches every vertex
+        // property) is deferred with them, until first consulted.
+        let versions = if graph.has_deferred_props() {
+            RwLock::new(None)
+        } else {
+            RwLock::new(Some(Self::versions_from_graph(&graph)))
+        };
         Ok(ProvDb {
             graph: Arc::new(graph),
             // Install the recovered index (snapshot base caught up with
@@ -185,7 +195,10 @@ impl ProvDb {
             // rebuild.
             index: RwLock::new(Some(Arc::new(index))),
             versions,
-            storage: Some(Box::new(storage)),
+            // All commits route through the group-commit pipeline; with the
+            // default policy (`group_max_batches` = 1) every batch still
+            // flushes before `persist()` acknowledges it.
+            storage: Some(Box::new(CommitPipeline::new(engine))),
             ..ProvDb::default()
         })
     }
@@ -218,6 +231,17 @@ impl ProvDb {
         }
     }
 
+    /// Durably flush any group-buffered commits. Under a grouped
+    /// [`DurabilityPolicy`] (`group_max_batches` > 1), mutations between
+    /// flush points are accepted but not yet durable — this is the explicit
+    /// durability barrier. No-op for ungrouped and in-memory databases.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        match self.storage.as_mut() {
+            Some(storage) => storage.flush(),
+            None => Ok(()),
+        }
+    }
+
     /// Drain the graph's op journal into one durably committed WAL batch.
     /// No-op (and infallible) for in-memory databases and empty journals.
     ///
@@ -234,6 +258,20 @@ impl ProvDb {
         storage.commit(&ops)?;
         storage.maybe_compact(&self.graph)?;
         Ok(())
+    }
+
+    /// Hydrate the version counters from the graph if they are still
+    /// deferred (lazy decode). Idempotent; takes `&self` so read paths
+    /// ([`ProvDb::latest_version`]) can trigger it too.
+    fn ensure_versions(&self) {
+        if self.versions.read().expect("versions lock").is_some() {
+            return;
+        }
+        let map = Self::versions_from_graph(&self.graph);
+        let mut slot = self.versions.write().expect("versions lock");
+        if slot.is_none() {
+            *slot = Some(map);
+        }
     }
 
     /// Rebuild the per-artifact version counters from `filename`/`version`
@@ -444,7 +482,9 @@ impl ProvDb {
     }
 
     fn next_version(&mut self, artifact: &str) -> u32 {
-        let slot = self.versions.entry(artifact.to_string()).or_insert(0);
+        self.ensure_versions();
+        let mut versions = self.versions.write().expect("versions lock");
+        let slot = versions.as_mut().expect("hydrated").entry(artifact.to_string()).or_insert(0);
         *slot += 1;
         *slot
     }
@@ -533,7 +573,8 @@ impl ProvDb {
 
     /// Latest version of an artifact, if any.
     pub fn latest_version(&self, artifact: &str) -> Option<VertexId> {
-        let v = *self.versions.get(artifact)?;
+        self.ensure_versions();
+        let v = *self.versions.read().expect("versions lock").as_ref()?.get(artifact)?;
         self.graph.vertex_by_name(&format!("{artifact}-v{v}"))
     }
 

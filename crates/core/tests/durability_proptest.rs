@@ -18,6 +18,13 @@
 //! the db's tail must not touch them).
 //!
 //! Runs unmodified under `--features paranoid` (the CI matrix does both).
+//!
+//! Each case also draws a random [`DurabilityPolicy`]: fsync on or off,
+//! group-commit windows of 1–5 batches per flush, eager or lazy snapshot
+//! decode. The twin differential must hold across group flush points (an
+//! accepted-but-unflushed batch is visible in memory and absent from disk),
+//! a crash at `frac·wal_len` must still recover a committed-batch prefix of
+//! the *flushed* log, and a clean shutdown flushes before reopening.
 
 use proptest::prelude::*;
 use prov_core::segment::{PgSegOptions, PgSegQuery, PgSegSession};
@@ -41,7 +48,9 @@ enum Op {
     /// Kill the process with the WAL torn at `frac/255` of its length,
     /// then recover and check the surviving prefix.
     CrashRestart { frac: u8 },
-    /// Clean shutdown + reopen: nothing may be lost.
+    /// Explicit durability barrier: flush any group-buffered batches.
+    Flush,
+    /// Clean shutdown (flush) + reopen: nothing may be lost.
     Reopen,
 }
 
@@ -60,8 +69,22 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             }),
         1 => Just(Op::Compact),
         3 => any::<u8>().prop_map(|frac| Op::CrashRestart { frac }),
+        1 => Just(Op::Flush),
         1 => Just(Op::Reopen),
     ]
+}
+
+/// The policy space under test: every combination of fsync on/off, group
+/// windows 1–5 batches/flush, and eager/lazy snapshot decode.
+fn policy_strategy() -> impl Strategy<Value = DurabilityPolicy> {
+    (any::<bool>(), any::<u8>(), any::<bool>()).prop_map(|(fsync, group, lazy)| {
+        let mut p = DurabilityPolicy::never_compact().with_group_batches(1 + u32::from(group) % 5);
+        p.fsync_on_commit = fsync;
+        if lazy {
+            p = p.with_lazy_decode();
+        }
+        p
+    })
 }
 
 /// The interpreter. `gen_prefixes[i]` is a clone of the graph after `i`
@@ -71,6 +94,8 @@ struct Harness {
     disk: MemIo,
     db: ProvDb,
     twin: ProvDb,
+    /// The randomly drawn durability policy every (re)open uses.
+    policy: DurabilityPolicy,
     generation: u64,
     /// Batches committed before the current generation started (= the seq of
     /// the snapshot the generation's WAL replays on top of).
@@ -81,25 +106,30 @@ struct Harness {
     agents: u32,
 }
 
-fn open_disk(disk: &MemIo) -> ProvDb {
-    ProvDb::open_with_io(Box::new(disk.clone()), DurabilityPolicy::never_compact()).unwrap()
+fn open_disk(disk: &MemIo, policy: &DurabilityPolicy) -> ProvDb {
+    ProvDb::open_with_io(Box::new(disk.clone()), policy.clone()).unwrap()
 }
 
 impl Harness {
-    fn new() -> Harness {
+    fn new(policy: DurabilityPolicy) -> Harness {
         let disk = MemIo::new();
-        let db = open_disk(&disk);
+        let db = open_disk(&disk, &policy);
         let empty = db.graph().clone();
         Harness {
             disk,
             db,
             twin: ProvDb::new(),
+            policy,
             generation: 0,
             base_seq: 0,
             gen_prefixes: vec![empty],
             entities: Vec::new(),
             agents: 0,
         }
+    }
+
+    fn reopen(&self) -> ProvDb {
+        open_disk(&self.disk, &self.policy)
     }
 
     /// Record a committed batch: twin must match exactly, oracle grows.
@@ -192,9 +222,20 @@ impl Harness {
                 assert_eq!(self.db.graph(), self.twin.graph());
             }
             Op::CrashRestart { frac } => self.crash_restart(frac),
-            Op::Reopen => {
+            Op::Flush => {
+                // A durability barrier: afterwards every accepted batch is on
+                // disk. In-memory state never moves.
                 let before = self.db.graph().clone();
-                self.db = open_disk(&self.disk);
+                self.db.flush().unwrap();
+                assert_eq!(self.db.graph(), &before, "flush mutated the graph");
+                assert_eq!(self.db.graph(), self.twin.graph());
+            }
+            Op::Reopen => {
+                // A clean shutdown flushes group-buffered batches first; only
+                // then may "nothing is lost" be demanded of the reopen.
+                self.db.flush().unwrap();
+                let before = self.db.graph().clone();
+                self.db = self.reopen();
                 assert_eq!(self.db.graph(), &before, "clean reopen lost data");
                 assert_eq!(self.db.graph(), self.twin.graph());
                 assert_eq!(self.db.durability_counters().unwrap().recoveries, 1);
@@ -203,6 +244,10 @@ impl Harness {
     }
 
     fn crash_restart(&mut self, frac: u8) {
+        // Only *flushed* bytes are on disk: with a group window open, the
+        // buffered tail of accepted batches dies with the process, and the
+        // scan below naturally predicts the surviving prefix of the flushed
+        // log. Unflushed batches were never acknowledged as durable.
         let wal_name = wal_file_name(self.generation);
         let bytes = self.disk.file(&wal_name).unwrap();
         let cut = bytes.len() * frac as usize / 255;
@@ -217,7 +262,7 @@ impl Harness {
         // The crash destroys the tail for good: the truncated fork IS the
         // disk from now on.
         self.disk = self.disk.fork_truncated(&wal_name, cut);
-        self.db = open_disk(&self.disk);
+        self.db = self.reopen();
 
         let predicted = self.gen_prefixes[surviving].clone();
         let predicted = &predicted;
@@ -265,11 +310,12 @@ impl Harness {
             .ok()
     }
 
-    /// End-of-program check: one last clean reopen loses nothing.
+    /// End-of-program check: one last clean shutdown + reopen loses nothing.
     fn finish(mut self) {
         assert_eq!(self.db.graph(), self.twin.graph());
+        self.db.flush().unwrap();
         let last = self.db.graph().clone();
-        self.db = open_disk(&self.disk);
+        self.db = self.reopen();
         self.db.graph().validate().unwrap();
         assert_eq!(self.db.graph(), &last, "final reopen lost data");
         assert_eq!(*self.db.snapshot(), ProvIndex::build(self.db.graph()));
@@ -281,9 +327,10 @@ proptest! {
 
     #[test]
     fn random_ingest_crash_restart_query_interleavings(
+        policy in policy_strategy(),
         ops in proptest::collection::vec(op_strategy(), 1..24)
     ) {
-        let mut h = Harness::new();
+        let mut h = Harness::new(policy);
         for op in &ops {
             h.apply(op);
         }

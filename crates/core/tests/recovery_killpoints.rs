@@ -14,8 +14,8 @@
 //!    suffix) equal to a from-scratch `ProvIndex::build`.
 
 use prov_core::{ActivityRecord, DurabilityPolicy, OutputSpec, ProvDb};
-use prov_store::storage::{wal, wal_file_name, MemIo};
-use prov_store::{ProvGraph, ProvIndex};
+use prov_store::storage::{wal, wal_file_name, FailpointIo, FaultPlan, MemIo};
+use prov_store::{ProvGraph, ProvIndex, StoreError};
 
 fn open_mem(disk: &MemIo) -> ProvDb {
     ProvDb::open_with_io(Box::new(disk.clone()), DurabilityPolicy::never_compact()).unwrap()
@@ -138,6 +138,62 @@ fn recovery_at_every_wal_byte_after_compaction() {
     prefixes.push(db.graph().clone());
     drop(db);
     sweep(&disk, 1, base_seq, &prefixes);
+}
+
+#[test]
+fn recovery_at_every_byte_of_a_multi_batch_group_append() {
+    // Group commit: the whole scripted history is accepted into one group
+    // and flushed as ONE contiguous WAL append + one fsync. Because every
+    // batch keeps its own commit marker, crashing at any byte of that group
+    // append must recover exactly the batches whose markers survived — the
+    // same committed-prefix property as ungrouped commits, byte for byte.
+    let disk = MemIo::new();
+    let policy = DurabilityPolicy::never_compact().with_group_batches(100);
+    let mut db = ProvDb::open_with_io(Box::new(disk.clone()), policy).unwrap();
+    let mut prefixes = vec![db.graph().clone()]; // [0] = empty
+    scripted_ingest(&mut db, &mut prefixes);
+    // Nothing flushed yet: every batch is accepted-but-unacknowledged.
+    let c = db.durability_counters().unwrap();
+    assert_eq!((c.wal_appends, c.fsyncs, c.group_flushes), (0, 0, 0));
+    assert_eq!(disk.file(&wal_file_name(0)).unwrap(), b"", "group still buffered");
+    db.flush().unwrap();
+    let c = db.durability_counters().unwrap();
+    assert_eq!(c.wal_appends, (prefixes.len() - 1) as u64);
+    assert_eq!(c.fsyncs, 1, "the whole group cost one fsync");
+    assert_eq!(c.group_flushes, 1);
+    assert_eq!(c.group_flushed_batches, (prefixes.len() - 1) as u64);
+    drop(db);
+    // The on-disk log is indistinguishable from per-batch commits, so the
+    // full per-byte sweep applies unchanged.
+    sweep(&disk, 0, 0, &prefixes);
+}
+
+#[test]
+fn fsync_failure_mid_group_poisons_with_no_acknowledged_batch_lost() {
+    let disk = MemIo::new();
+    let fp = FailpointIo::new(disk.clone(), FaultPlan::fail_sync(0));
+    let policy = DurabilityPolicy::never_compact().with_group_batches(100);
+    let mut db = ProvDb::open_with_io(Box::new(fp), policy).unwrap();
+    let alice = db.add_agent("alice").unwrap();
+    db.add_artifact_version("dataset", Some(alice)).unwrap();
+    // Both batches accepted, neither acknowledged as durable.
+    assert_eq!(db.durability_counters().unwrap().fsyncs, 0);
+    // The flush's fsync fails mid-group: the error surfaces here, before
+    // anything was acknowledged, and the pipeline poisons.
+    let err = db.flush().unwrap_err();
+    assert!(matches!(err, StoreError::StorageUnavailable(_)), "{err}");
+    // Every later mutation refuses instead of pretending durability.
+    let err = db.add_agent("bob").unwrap_err();
+    assert!(matches!(&err, StoreError::StorageUnavailable(m) if m.contains("poisoned")), "{err}");
+    drop(db);
+    // Reopen the underlying disk: the group's bytes landed (only the fsync
+    // failed), so recovery may keep all of it or none — both are committed
+    // prefixes of unacknowledged work. No acknowledged batch existed to lose.
+    let db =
+        ProvDb::open_with_io(Box::new(disk.clone()), DurabilityPolicy::never_compact()).unwrap();
+    db.graph().validate().unwrap();
+    let n = db.graph().vertex_count();
+    assert!(n == 0 || n == 2, "committed prefix only, got {n} vertices");
 }
 
 #[test]

@@ -17,7 +17,7 @@ use crate::error::{StoreError, StoreResult};
 use crate::hash::FxHashMap;
 use crate::interner::KeyInterner;
 use prov_model::{check_edge_types, EdgeId, EdgeKind, PropMap, PropValue, VertexId, VertexKind};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A stored vertex.
 #[derive(Debug, Clone, PartialEq)]
@@ -182,6 +182,51 @@ pub enum WalOp {
     },
 }
 
+/// Decoder for snapshot property columns whose materialization was deferred
+/// at recovery time (the lazy-decode path of the segmented snapshot format).
+///
+/// `load` is called at most once, on the first property touch, and must
+/// return every vertex/edge property triple of the snapshot keyed by the
+/// [`prov_model::PropKeyId`]s the structural decode already re-interned.
+pub trait PropLoader: std::fmt::Debug + Send + Sync {
+    /// Decode the deferred columns. Errors (a corrupt deferred segment, a
+    /// vanished backing file) surface as a panic at the first property touch
+    /// — the price of deferring the integrity check past `open()`.
+    fn load(&self) -> Result<LoadedColumns, String>;
+}
+
+/// The deferred property columns, decoded (see [`PropLoader`]).
+#[derive(Debug, Default)]
+pub struct LoadedColumns {
+    /// Vertex property triples in snapshot (column) order.
+    pub vprops: Vec<(VertexId, prov_model::PropKeyId, PropValue)>,
+    /// Edge property triples in snapshot (column) order.
+    pub eprops: Vec<(EdgeId, prov_model::PropKeyId, PropValue)>,
+}
+
+/// The materialized form of deferred columns: one `PropMap` per vertex/edge
+/// plus the secondary indexes backfilled from the final property state.
+/// While a graph stays lazy, this overlay — not the records — is the single
+/// source of property truth (record `PropMap`s are all empty).
+#[derive(Debug, Clone)]
+struct Overlay {
+    vprops: Vec<PropMap>,
+    eprops: Vec<PropMap>,
+    indexes: crate::index::IndexRegistry,
+}
+
+/// Deferred-decode state: the loader for the cold columns, index
+/// declarations known so far (snapshot-declared, then any replayed from the
+/// WAL tail), property ops queued from replay, and the once-materialized
+/// overlay. Shared by `Arc` so clones of a lazy graph materialize once.
+#[derive(Debug)]
+struct LazyProps {
+    loader: Box<dyn PropLoader>,
+    declared: Vec<(VertexKind, Arc<str>)>,
+    replay: Vec<WalOp>,
+    overlay: OnceLock<Overlay>,
+}
+
 /// The mutable property graph store.
 #[derive(Debug, Default, Clone)]
 pub struct ProvGraph {
@@ -202,24 +247,52 @@ pub struct ProvGraph {
     /// its write-ahead log after every mutation batch).
     journal: Vec<WalOp>,
     journaling: bool,
+    /// Deferred snapshot property columns (lazy decode). `None` on every
+    /// eagerly-built graph; property mutators dissolve it back into the
+    /// records before touching anything.
+    lazy: Option<Arc<LazyProps>>,
 }
 
 /// Semantic store equality: every observable column (vertices, edges,
 /// adjacency, interner, kind/name indexes, declared property indexes, the
 /// birth clock) — but *not* the transient journal state, so a recovered
 /// graph (journaling on, journal drained) compares equal to the in-memory
-/// twin it must reproduce.
+/// twin it must reproduce. A lazily-decoded graph compares by *effective*
+/// properties and indexes (this materializes its overlay), so lazy == eager
+/// whenever the observable state agrees.
 impl PartialEq for ProvGraph {
     fn eq(&self, other: &Self) -> bool {
-        self.vertices == other.vertices
-            && self.edges == other.edges
-            && self.out_adj == other.out_adj
+        let common = self.out_adj == other.out_adj
             && self.in_adj == other.in_adj
             && self.keys == other.keys
             && self.by_kind == other.by_kind
             && self.by_name == other.by_name
-            && self.indexes == other.indexes
-            && self.clock == other.clock
+            && self.clock == other.clock;
+        if !common {
+            return false;
+        }
+        if self.lazy.is_none() && other.lazy.is_none() {
+            return self.vertices == other.vertices
+                && self.edges == other.edges
+                && self.indexes == other.indexes;
+        }
+        // At least one side is lazy: compare structural fields, then the
+        // effective property/index state (forcing materialization).
+        self.vertices.len() == other.vertices.len()
+            && self.edges.len() == other.edges.len()
+            && self
+                .vertices
+                .iter()
+                .zip(&other.vertices)
+                .all(|(a, b)| a.kind == b.kind && a.name == b.name && a.birth == b.birth)
+            && self
+                .edges
+                .iter()
+                .zip(&other.edges)
+                .all(|(a, b)| a.kind == b.kind && a.src == b.src && a.dst == b.dst)
+            && self.vertex_ids().all(|v| self.vertex_props(v) == other.vertex_props(v))
+            && self.edge_ids().all(|e| self.edge_props(e) == other.edge_props(e))
+            && self.effective_indexes() == other.effective_indexes()
     }
 }
 
@@ -508,6 +581,7 @@ impl ProvGraph {
 
     /// Set a vertex property (`σ(v, p) := o`), maintaining any declared index.
     pub fn set_vprop(&mut self, v: VertexId, key: &str, value: impl Into<PropValue>) {
+        self.dissolve_lazy();
         let k = self.keys.intern(key);
         let value = value.into();
         if self.journaling {
@@ -526,7 +600,7 @@ impl ProvGraph {
     /// Get a vertex property by key name (`σ(v, p)`).
     pub fn vprop(&self, v: VertexId, key: &str) -> Option<&PropValue> {
         let k = self.keys.get(key)?;
-        self.vertices[v.index()].props.get(k)
+        self.vertex_props(v).get(k)
     }
 
     /// Remove a vertex property (`σ(v, p) := ⊥`), returning the previous
@@ -534,6 +608,7 @@ impl ProvGraph {
     /// removal twin of [`ProvGraph::set_vprop`], so an indexed lookup never
     /// answers a value the vertex no longer carries.
     pub fn unset_vprop(&mut self, v: VertexId, key: &str) -> Option<PropValue> {
+        self.dissolve_lazy();
         let k = self.keys.get(key)?;
         let kind = self.vertices[v.index()].kind;
         let old = self.vertices[v.index()].props.unset(k)?;
@@ -548,6 +623,7 @@ impl ProvGraph {
 
     /// Set an edge property (`ω(e, p) := o`).
     pub fn set_eprop(&mut self, e: EdgeId, key: &str, value: impl Into<PropValue>) {
+        self.dissolve_lazy();
         let k = self.keys.intern(key);
         let value = value.into();
         if self.journaling {
@@ -559,7 +635,31 @@ impl ProvGraph {
     /// Get an edge property by key name (`ω(e, p)`).
     pub fn eprop(&self, e: EdgeId, key: &str) -> Option<&PropValue> {
         let k = self.keys.get(key)?;
-        self.edges[e.index()].props.get(k)
+        self.edge_props(e).get(k)
+    }
+
+    /// Effective property map of a vertex: the lazy overlay's entry when
+    /// deferred columns are attached (materializing them on first touch),
+    /// the record's own map otherwise. Vertices added after materialization
+    /// fall through to their (empty) record map — any property *write*
+    /// dissolves the overlay first, so the record map is authoritative there.
+    pub fn vertex_props(&self, v: VertexId) -> &PropMap {
+        if let Some(ov) = self.lazy_overlay() {
+            if let Some(m) = ov.vprops.get(v.index()) {
+                return m;
+            }
+        }
+        &self.vertices[v.index()].props
+    }
+
+    /// Effective property map of an edge (see [`ProvGraph::vertex_props`]).
+    pub fn edge_props(&self, e: EdgeId) -> &PropMap {
+        if let Some(ov) = self.lazy_overlay() {
+            if let Some(m) = ov.eprops.get(e.index()) {
+                return m;
+            }
+        }
+        &self.edges[e.index()].props
     }
 
     /// Access the key interner (read-only).
@@ -579,19 +679,20 @@ impl ProvGraph {
     /// test in `tests/find_by_prop_differential.rs` pins this).
     pub fn find_by_prop(&self, kind: VertexKind, key: &str, value: &PropValue) -> Vec<VertexId> {
         let Some(k) = self.keys.get(key) else { return Vec::new() };
-        if let Some(index) = self.indexes.get(kind, k) {
+        if let Some(index) = self.effective_indexes().get(kind, k) {
             return index.get(value).to_vec();
         }
         self.vertices_of_kind(kind)
             .iter()
             .copied()
-            .filter(|&v| self.vertices[v.index()].props.get(k) == Some(value))
+            .filter(|&v| self.vertex_props(v).get(k) == Some(value))
             .collect()
     }
 
     /// Declare (and backfill) a secondary index on `(kind, key)` — the
     /// Neo4j-style schema index. Subsequent `set_vprop` calls keep it fresh.
     pub fn create_vprop_index(&mut self, kind: VertexKind, key: &str) {
+        self.dissolve_lazy();
         let k = self.keys.intern(key);
         if self.indexes.has(kind, k) {
             // No state change (the key was necessarily interned before the
@@ -612,15 +713,184 @@ impl ProvGraph {
         }
     }
 
-    /// Is `(kind, key)` covered by a secondary index?
+    /// Is `(kind, key)` covered by a secondary index? On a lazy graph this
+    /// consults the pending declaration list *without* materializing.
     pub fn has_vprop_index(&self, kind: VertexKind, key: &str) -> bool {
-        self.keys.get(key).is_some_and(|k| self.indexes.has(kind, k))
+        let Some(k) = self.keys.get(key) else { return false };
+        if let Some(lazy) = &self.lazy {
+            if let Some(ov) = lazy.overlay.get() {
+                return ov.indexes.has(kind, k);
+            }
+            return lazy
+                .declared
+                .iter()
+                .any(|(dk, dkey)| *dk == kind && self.keys.get(dkey) == Some(k));
+        }
+        self.indexes.has(kind, k)
     }
 
     /// Every declared secondary index as sorted `(kind, key)` pairs — what a
-    /// columnar snapshot persists.
+    /// columnar snapshot persists. On a lazy graph this consults the pending
+    /// declaration list *without* materializing.
     pub fn declared_vprop_indexes(&self) -> Vec<(VertexKind, prov_model::PropKeyId)> {
+        if let Some(lazy) = &self.lazy {
+            if let Some(ov) = lazy.overlay.get() {
+                return ov.indexes.declared();
+            }
+            let mut pairs: Vec<(VertexKind, prov_model::PropKeyId)> = lazy
+                .declared
+                .iter()
+                .filter_map(|(kind, key)| self.keys.get(key).map(|k| (*kind, k)))
+                .collect();
+            pairs.sort();
+            pairs.dedup();
+            return pairs;
+        }
         self.indexes.declared()
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred snapshot columns (lazy decode)
+    // ------------------------------------------------------------------
+
+    /// Attach deferred snapshot property columns to a structurally-decoded
+    /// graph. `declared` lists the snapshot's secondary-index declarations
+    /// (their keys are already in the interner — the interner column is
+    /// structural). Called by the storage layer's lazy `recover()` path;
+    /// the graph must carry no properties or indexes yet.
+    pub fn attach_lazy_props(
+        &mut self,
+        loader: Box<dyn PropLoader>,
+        declared: Vec<(VertexKind, Arc<str>)>,
+    ) {
+        debug_assert!(self.lazy.is_none(), "deferred columns already attached");
+        debug_assert!(self.indexes.is_empty(), "lazy attach onto a graph with live indexes");
+        self.lazy = Some(Arc::new(LazyProps {
+            loader,
+            declared,
+            replay: Vec::new(),
+            overlay: OnceLock::new(),
+        }));
+    }
+
+    /// True while deferred snapshot columns are attached (whether or not the
+    /// overlay has materialized) — i.e. properties live outside the records.
+    pub fn has_deferred_props(&self) -> bool {
+        self.lazy.is_some()
+    }
+
+    /// True while the deferred columns have not been loaded yet — the state
+    /// a cold start pays nothing for.
+    pub fn deferred_props_untouched(&self) -> bool {
+        self.lazy.as_ref().is_some_and(|l| l.overlay.get().is_none())
+    }
+
+    /// The effective secondary-index registry: the overlay's when deferred
+    /// columns are attached (materializing on first call), the store's own
+    /// otherwise.
+    fn effective_indexes(&self) -> &crate::index::IndexRegistry {
+        match self.lazy_overlay() {
+            Some(ov) => &ov.indexes,
+            None => &self.indexes,
+        }
+    }
+
+    /// The materialized overlay, if deferred columns are attached — loading
+    /// and replaying them on the first call (`OnceLock`, so clones sharing
+    /// the `Arc` materialize once).
+    fn lazy_overlay(&self) -> Option<&Overlay> {
+        let lazy = self.lazy.as_ref()?;
+        Some(lazy.overlay.get_or_init(|| self.build_overlay(lazy)))
+    }
+
+    /// Load the deferred columns and replay the queued WAL-tail property ops
+    /// over them, then backfill every declared index from the final property
+    /// state. The result is exactly the property/index state an eager decode
+    /// plus eager replay would have produced: replay order is preserved, and
+    /// index backfill from final values matches incremental maintenance
+    /// because [`crate::index::PropIndex`] keeps ids sorted.
+    fn build_overlay(&self, lazy: &LazyProps) -> Overlay {
+        let cols = lazy.loader.load().unwrap_or_else(|e| {
+            panic!("deferred snapshot columns failed to load on first touch: {e}")
+        });
+        let mut vprops = vec![PropMap::new(); self.vertices.len()];
+        let mut eprops = vec![PropMap::new(); self.edges.len()];
+        for (v, k, value) in cols.vprops {
+            match vprops.get_mut(v.index()) {
+                Some(m) => {
+                    m.set(k, value);
+                }
+                None => panic!("deferred vertex-property column names unknown vertex {v}"),
+            }
+        }
+        for (e, k, value) in cols.eprops {
+            match eprops.get_mut(e.index()) {
+                Some(m) => {
+                    m.set(k, value);
+                }
+                None => panic!("deferred edge-property column names unknown edge {e}"),
+            }
+        }
+        for op in &lazy.replay {
+            match op {
+                WalOp::SetVProp { v, key, value } => {
+                    // Queueing interned the key, so lookup cannot miss.
+                    if let Some(k) = self.keys.get(key) {
+                        vprops[v.index()].set(k, value.clone());
+                    }
+                }
+                WalOp::UnsetVProp { v, key } => {
+                    // A never-interned key was a no-op on the eager path too.
+                    if let Some(k) = self.keys.get(key) {
+                        vprops[v.index()].unset(k);
+                    }
+                }
+                WalOp::SetEProp { e, key, value } => {
+                    if let Some(k) = self.keys.get(key) {
+                        eprops[e.index()].set(k, value.clone());
+                    }
+                }
+                _ => unreachable!("only property ops are queued for lazy replay"),
+            }
+        }
+        let mut indexes = crate::index::IndexRegistry::default();
+        for (kind, key) in &lazy.declared {
+            let Some(k) = self.keys.get(key) else { continue };
+            if indexes.has(*kind, k) {
+                continue;
+            }
+            let members = &self.by_kind[kind.as_index()];
+            let index = indexes.declare(*kind, k);
+            for &v in members {
+                if let Some(value) = vprops.get(v.index()).and_then(|m| m.get(k)) {
+                    index.insert(value.clone(), v);
+                }
+            }
+        }
+        Overlay { vprops, eprops, indexes }
+    }
+
+    /// Fold a materialized overlay back into the records and detach the lazy
+    /// state — called by every property/index mutator before it touches
+    /// anything, so the eager representation is authoritative from the first
+    /// write onward. No-op on eager graphs.
+    fn dissolve_lazy(&mut self) {
+        if self.lazy.is_none() {
+            return;
+        }
+        let _ = self.lazy_overlay(); // force materialization
+        let lazy = self.lazy.take().expect("lazy state checked above");
+        let overlay = match Arc::try_unwrap(lazy) {
+            Ok(owned) => owned.overlay.into_inner().expect("overlay just materialized"),
+            Err(shared) => shared.overlay.get().expect("overlay just materialized").clone(),
+        };
+        for (rec, props) in self.vertices.iter_mut().zip(overlay.vprops) {
+            rec.props = props;
+        }
+        for (rec, props) in self.edges.iter_mut().zip(overlay.eprops) {
+            rec.props = props;
+        }
+        self.indexes = overlay.indexes;
     }
 
     // ------------------------------------------------------------------
@@ -661,6 +931,9 @@ impl ProvGraph {
     /// target usually has journaling *off*; when it is on, replayed ops are
     /// re-journaled like any other mutation.
     pub fn apply_wal_op(&mut self, op: &WalOp) -> StoreResult<()> {
+        if self.queue_lazy_op(op)? {
+            return Ok(());
+        }
         match op {
             WalOp::AddVertex { kind, name } => {
                 self.add_vertex(*kind, name.as_deref())?;
@@ -688,6 +961,50 @@ impl ProvGraph {
             }
         }
         Ok(())
+    }
+
+    /// While deferred columns are attached and unmaterialized, property ops
+    /// replayed from the WAL tail are *queued* (for application at
+    /// materialization time) instead of applied — structural ops fall
+    /// through to the eager path, which never touches properties. Returns
+    /// `Ok(true)` when the op was queued. Bounds checks and key interning
+    /// happen at queue time so typed replay errors and interner id
+    /// assignment match the eager path exactly.
+    fn queue_lazy_op(&mut self, op: &WalOp) -> StoreResult<bool> {
+        let queueable =
+            !self.journaling && self.lazy.as_ref().is_some_and(|l| l.overlay.get().is_none());
+        if !queueable {
+            return Ok(false);
+        }
+        match op {
+            WalOp::SetVProp { v, key, .. } => {
+                self.try_vertex(*v)?;
+                self.keys.intern(key);
+            }
+            WalOp::UnsetVProp { v, .. } => {
+                // The eager path does not intern on unset.
+                self.try_vertex(*v)?;
+            }
+            WalOp::SetEProp { e, key, .. } => {
+                self.try_edge(*e)?;
+                self.keys.intern(key);
+            }
+            WalOp::CreateVPropIndex { key, .. } => {
+                self.keys.intern(key);
+            }
+            _ => return Ok(false),
+        }
+        let lazy = self.lazy.as_mut().expect("queueable implies lazy state");
+        let Some(l) = Arc::get_mut(lazy) else {
+            // The lazy state is shared with a clone: fall back to the eager
+            // path, which dissolves the overlay before mutating.
+            return Ok(false);
+        };
+        match op {
+            WalOp::CreateVPropIndex { kind, key } => l.declared.push((*kind, key.clone())),
+            _ => l.replay.push(op.clone()),
+        }
+        Ok(true)
     }
 
     // ------------------------------------------------------------------

@@ -73,8 +73,8 @@ pub fn to_json(graph: &ProvGraph) -> JsonGraph {
         .vertex_ids()
         .map(|v| {
             let rec = graph.vertex(v);
-            let props = rec
-                .props
+            let props = graph
+                .vertex_props(v)
                 .iter()
                 .map(|(k, val)| (graph.key_name(k).expect("interned key").to_string(), val.clone()))
                 .collect();
@@ -90,8 +90,8 @@ pub fn to_json(graph: &ProvGraph) -> JsonGraph {
         .edge_ids()
         .map(|eid| {
             let e = graph.edge(eid);
-            let props = e
-                .props
+            let props = graph
+                .edge_props(eid)
                 .iter()
                 .map(|(k, val)| (graph.key_name(k).expect("interned key").to_string(), val.clone()))
                 .collect();

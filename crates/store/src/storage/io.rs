@@ -39,6 +39,36 @@ impl std::fmt::Display for IoError {
 /// I/O result alias.
 pub type IoResult<T> = Result<T, IoError>;
 
+/// Random-access byte source over one stored file — the abstraction the
+/// lazy snapshot decoder range-reads deferred columns through. A source
+/// stays readable after the file it was opened on is removed or replaced
+/// (the `std::fs` backend keeps the descriptor open; compaction forces
+/// materialization before sweeping the old snapshot regardless).
+#[allow(clippy::len_without_is_empty)] // a zero-length snapshot is invalid, not "empty"
+pub trait ColumnSource: std::fmt::Debug + Send + Sync {
+    /// Total length of the file in bytes.
+    fn len(&self) -> u64;
+
+    /// Read exactly `len` bytes at `offset`; a short read is an error.
+    fn read_range(&self, offset: u64, len: usize) -> IoResult<Vec<u8>>;
+}
+
+/// Slice `bytes[offset..offset + len]`, surfacing an out-of-range request as
+/// a typed error naming the file.
+pub(crate) fn slice_range(bytes: &[u8], name: &str, offset: u64, len: usize) -> IoResult<Vec<u8>> {
+    usize::try_from(offset)
+        .ok()
+        .and_then(|start| start.checked_add(len).map(|end| (start, end)))
+        .and_then(|(start, end)| bytes.get(start..end))
+        .map(<[u8]>::to_vec)
+        .ok_or_else(|| {
+            IoError::Failed(format!(
+                "read_range {name}: {offset}+{len} runs past the end ({} bytes)",
+                bytes.len()
+            ))
+        })
+}
+
 /// A flat, single-directory file namespace — the only surface the storage
 /// engine writes bytes through.
 ///
@@ -52,6 +82,27 @@ pub trait Io: std::fmt::Debug + Send + Sync {
 
     /// Entire contents of `name`, or `None` if it does not exist.
     fn read(&self, name: &str) -> IoResult<Option<Vec<u8>>>;
+
+    /// `len` bytes of `name` starting at `offset`, or `None` if the file
+    /// does not exist; a range running past the end is an error. The default
+    /// buffers the whole file and slices — real backends override with
+    /// genuine range reads.
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> IoResult<Option<Vec<u8>>> {
+        match self.read(name)? {
+            Some(bytes) => slice_range(&bytes, name, offset, len).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// An open random-access handle on `name` for lazy column reads, when
+    /// the backend can serve one without buffering the whole file. `None`
+    /// (the default) tells the caller to fall back to a buffered source —
+    /// the fault-injection wrapper relies on this so injected corruption
+    /// keeps flowing through its `read` path.
+    fn column_source(&self, name: &str) -> IoResult<Option<Box<dyn ColumnSource>>> {
+        let _ = name;
+        Ok(None)
+    }
 
     /// Append `data` to `name`, creating it if absent.
     fn append(&mut self, name: &str, data: &[u8]) -> IoResult<()>;
@@ -130,6 +181,31 @@ impl Io for StdIo {
         }
     }
 
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> IoResult<Option<Vec<u8>>> {
+        use std::io::{Read as _, Seek as _};
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        let mut f = match std::fs::File::open(self.path(name)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(fs_err("read_range", name, e)),
+        };
+        f.seek(std::io::SeekFrom::Start(offset)).map_err(|e| fs_err("read_range", name, e))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).map_err(|e| fs_err("read_range", name, e))?;
+        Ok(Some(buf))
+    }
+
+    fn column_source(&self, name: &str) -> IoResult<Option<Box<dyn ColumnSource>>> {
+        // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
+        let f = match std::fs::File::open(self.path(name)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(fs_err("open column source", name, e)),
+        };
+        let len = f.metadata().map_err(|e| fs_err("stat column source", name, e))?.len();
+        Ok(Some(Box::new(FileColumnSource { name: name.to_string(), file: Mutex::new(f), len })))
+    }
+
     fn append(&mut self, name: &str, data: &[u8]) -> IoResult<()> {
         use std::io::Write as _;
         // lint-ok(raw-io): StdIo IS the std::fs backend behind the Io trait.
@@ -178,6 +254,32 @@ impl Io for StdIo {
     }
 }
 
+/// [`ColumnSource`] over an open file descriptor: range reads survive the
+/// file later being unlinked or replaced (the snapshot sweep after a
+/// compaction), because the descriptor pins the inode.
+#[derive(Debug)]
+struct FileColumnSource {
+    name: String,
+    file: Mutex<std::fs::File>,
+    len: u64,
+}
+
+impl ColumnSource for FileColumnSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_range(&self, offset: u64, len: usize) -> IoResult<Vec<u8>> {
+        use std::io::{Read as _, Seek as _};
+        let mut f = self.file.lock().expect("column source lock");
+        f.seek(std::io::SeekFrom::Start(offset))
+            .map_err(|e| fs_err("read_range", &self.name, e))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).map_err(|e| fs_err("read_range", &self.name, e))?;
+        Ok(buf)
+    }
+}
+
 /// The in-memory backend: a shared map of file name → bytes.
 ///
 /// `Clone` shares the underlying "disk" (the handle is `Arc`ed), which is how
@@ -188,6 +290,11 @@ impl Io for StdIo {
 #[derive(Debug, Clone, Default)]
 pub struct MemIo {
     files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+    /// Byte-range read log `(name, offset, len)` — every `read_range` and
+    /// whole-file `read` that flows through the [`Io`] trait. Tests use it to
+    /// prove lazy decode never touched a deferred column. Clones share the
+    /// log (the disk handle observes the engine); forks start fresh.
+    reads: Arc<Mutex<Vec<(String, u64, u64)>>>,
 }
 
 impl MemIo {
@@ -203,7 +310,7 @@ impl MemIo {
     /// A deep copy of the current disk state, independent of the original:
     /// mutations on either side are invisible to the other.
     pub fn fork(&self) -> MemIo {
-        MemIo { files: Arc::new(Mutex::new(self.lock().clone())) }
+        MemIo { files: Arc::new(Mutex::new(self.lock().clone())), reads: Arc::default() }
     }
 
     /// A deep copy with `name` truncated to its first `len` bytes — the
@@ -229,6 +336,44 @@ impl MemIo {
     pub fn set_file(&self, name: &str, bytes: Vec<u8>) {
         self.lock().insert(name.to_string(), bytes);
     }
+
+    fn log_read(&self, name: &str, offset: u64, len: u64) {
+        self.reads.lock().expect("MemIo reads lock").push((name.to_string(), offset, len));
+    }
+
+    /// Every `(name, offset, len)` read through the [`Io`] trait since the
+    /// last [`MemIo::clear_range_reads`] — whole-file reads log as
+    /// `(name, 0, file_len)`.
+    pub fn range_reads(&self) -> Vec<(String, u64, u64)> {
+        self.reads.lock().expect("MemIo reads lock").clone()
+    }
+
+    /// Reset the read log.
+    pub fn clear_range_reads(&self) {
+        self.reads.lock().expect("MemIo reads lock").clear();
+    }
+}
+
+/// [`ColumnSource`] over a [`MemIo`] file: serves slices of the in-memory
+/// bytes, flowing every access through the shared read log.
+#[derive(Debug)]
+struct MemColumnSource {
+    io: MemIo,
+    name: String,
+    len: u64,
+}
+
+impl ColumnSource for MemColumnSource {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read_range(&self, offset: u64, len: usize) -> IoResult<Vec<u8>> {
+        match self.io.read_range(&self.name, offset, len)? {
+            Some(bytes) => Ok(bytes),
+            None => Err(IoError::Failed(format!("read_range {}: file vanished", self.name))),
+        }
+    }
 }
 
 impl Io for MemIo {
@@ -237,7 +382,30 @@ impl Io for MemIo {
     }
 
     fn read(&self, name: &str) -> IoResult<Option<Vec<u8>>> {
-        Ok(self.lock().get(name).cloned())
+        let bytes = self.lock().get(name).cloned();
+        if let Some(b) = &bytes {
+            self.log_read(name, 0, b.len() as u64);
+        }
+        Ok(bytes)
+    }
+
+    fn read_range(&self, name: &str, offset: u64, len: usize) -> IoResult<Option<Vec<u8>>> {
+        let sliced = match self.lock().get(name) {
+            Some(bytes) => Some(slice_range(bytes, name, offset, len)?),
+            None => None,
+        };
+        if sliced.is_some() {
+            self.log_read(name, offset, len as u64);
+        }
+        Ok(sliced)
+    }
+
+    fn column_source(&self, name: &str) -> IoResult<Option<Box<dyn ColumnSource>>> {
+        let len = match self.lock().get(name) {
+            Some(bytes) => bytes.len() as u64,
+            None => return Ok(None),
+        };
+        Ok(Some(Box::new(MemColumnSource { io: self.clone(), name: name.to_string(), len })))
     }
 
     fn append(&mut self, name: &str, data: &[u8]) -> IoResult<()> {

@@ -4,10 +4,12 @@
 //! ## Architecture
 //!
 //! ```text
-//!   ProvDb ──journal (Vec<WalOp>)──▶ dyn Storage (WalStorage)
+//!   ProvDb ──journal (Vec<WalOp>)──▶ dyn Storage (CommitPipeline ▶ WalStorage)
 //!                                        │
+//!                                        ├─ pipeline.rs  group commit: batches/fsync
 //!                                        ├─ wal.rs       record framing + recovery scan
-//!                                        ├─ snapshot.rs  columnar whole-graph image
+//!                                        ├─ snapshot.rs  whole-image entry points
+//!                                        ├─ column.rs    segmented image + lazy decode
 //!                                        ├─ codec.rs     LE primitives + CRC-32
 //!                                        └─ dyn Io ──▶ StdIo (real fs) | MemIo | FailpointIo
 //! ```
@@ -20,6 +22,12 @@
 //! acknowledging. A batch is durable iff its commit marker is intact on
 //! disk; commit sequence numbers increase by exactly 1 and survive
 //! compaction, so a spliced or replayed log is detected, never folded in.
+//!
+//! Under a grouped [`DurabilityPolicy`] the [`CommitPipeline`] buffers
+//! encoded batches and flushes several of them as **one** contiguous WAL
+//! append + one fsync. Each batch keeps its own commit marker, so recovery
+//! is byte-for-byte the same protocol; durability is acknowledged at flush
+//! boundaries (see `pipeline.rs` for the leader/waiter protocol).
 //!
 //! ## On-disk layout
 //!
@@ -60,13 +68,17 @@
 //! reopens the directory.
 
 pub mod codec;
+pub mod column;
 pub mod failpoint;
 pub mod io;
+pub mod pipeline;
 pub mod snapshot;
 pub mod wal;
 
+pub use column::LazyStats;
 pub use failpoint::{FailpointIo, FaultPlan};
-pub use io::{Io, IoError, IoResult, MemIo, StdIo};
+pub use io::{ColumnSource, Io, IoError, IoResult, MemIo, StdIo};
+pub use pipeline::CommitPipeline;
 pub use wal::WalScan;
 
 use crate::error::{StoreError, StoreResult};
@@ -95,7 +107,21 @@ fn parse_gen(name: &str, prefix: &str) -> Option<u64> {
     }
 }
 
-/// When to fsync and when to compact.
+/// How `recover()` materializes the snapshot base image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotDecode {
+    /// Decode every column at open — full integrity check up front
+    /// (default).
+    #[default]
+    Eager,
+    /// Decode only the structural columns at open; defer the property
+    /// columns behind a [`ColumnSource`] until first touch. Cold start is
+    /// O(structural columns); corruption inside a deferred column surfaces
+    /// at first touch instead of at open.
+    Lazy,
+}
+
+/// When to fsync, when to compact, how to group commits, how to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DurabilityPolicy {
     /// Fsync the WAL before acknowledging each commit (default `true`).
@@ -104,12 +130,30 @@ pub struct DurabilityPolicy {
     pub fsync_on_commit: bool,
     /// Compact (snapshot + truncate the log) once the WAL exceeds this many
     /// bytes (default 1 MiB). `u64::MAX` disables automatic compaction.
+    /// Buffered-but-unflushed group bytes count toward the threshold.
     pub compact_after_wal_bytes: u64,
+    /// Group up to this many op-batches into one WAL append + one fsync
+    /// (default 1 — every batch flushes immediately, exactly the ungrouped
+    /// protocol). With a larger window, a batch is *accepted* on submit and
+    /// *durable* once the flush covering it returns (window full, byte
+    /// window reached, or explicit [`Storage::flush`]).
+    pub group_max_batches: u32,
+    /// Also flush once the buffered group reaches this many encoded bytes
+    /// (default 0 — no byte trigger; the batch window alone decides).
+    pub group_window_bytes: u64,
+    /// Snapshot decode mode at open (default [`SnapshotDecode::Eager`]).
+    pub decode: SnapshotDecode,
 }
 
 impl Default for DurabilityPolicy {
     fn default() -> Self {
-        DurabilityPolicy { fsync_on_commit: true, compact_after_wal_bytes: 1 << 20 }
+        DurabilityPolicy {
+            fsync_on_commit: true,
+            compact_after_wal_bytes: 1 << 20,
+            group_max_batches: 1,
+            group_window_bytes: 0,
+            decode: SnapshotDecode::Eager,
+        }
     }
 }
 
@@ -117,6 +161,24 @@ impl DurabilityPolicy {
     /// A policy that never auto-compacts (explicit [`Storage::compact`] only).
     pub fn never_compact() -> DurabilityPolicy {
         DurabilityPolicy { compact_after_wal_bytes: u64::MAX, ..DurabilityPolicy::default() }
+    }
+
+    /// Group up to `n` batches per WAL flush (clamped to at least 1).
+    pub fn with_group_batches(mut self, n: u32) -> DurabilityPolicy {
+        self.group_max_batches = n.max(1);
+        self
+    }
+
+    /// Also flush once the buffered group reaches `bytes` encoded bytes.
+    pub fn with_group_window_bytes(mut self, bytes: u64) -> DurabilityPolicy {
+        self.group_window_bytes = bytes;
+        self
+    }
+
+    /// Defer property-column decode until first touch at recovery.
+    pub fn with_lazy_decode(mut self) -> DurabilityPolicy {
+        self.decode = SnapshotDecode::Lazy;
+        self
     }
 }
 
@@ -135,6 +197,18 @@ pub struct DurabilityCounters {
     pub snapshots_written: u64,
     /// Committed batches replayed from the WAL during recovery.
     pub batches_replayed: u64,
+    /// Grouped WAL flushes performed by the commit pipeline.
+    pub group_flushes: u64,
+    /// Batches covered by those grouped flushes.
+    pub group_flushed_batches: u64,
+    /// Property segments whose decode was deferred at open (lazy mode).
+    pub lazy_segments_deferred: u64,
+    /// Bytes of snapshot payload not read at open (lazy mode).
+    pub lazy_deferred_bytes: u64,
+    /// Deferred segments loaded on first touch.
+    pub lazy_segment_loads: u64,
+    /// Bytes range-read by first-touch loads.
+    pub lazy_bytes_loaded: u64,
 }
 
 /// The durable backend the database layer (`prov-core`) commits through.
@@ -153,6 +227,12 @@ pub trait Storage: std::fmt::Debug + Send + Sync {
     /// Unconditionally compact: write a snapshot of `graph`, start a fresh
     /// WAL generation, delete the old one.
     fn compact(&mut self, graph: &ProvGraph) -> StoreResult<()>;
+
+    /// Durably flush any buffered-but-unflushed commits. A no-op for
+    /// engines that flush on every commit.
+    fn flush(&mut self) -> StoreResult<()> {
+        Ok(())
+    }
 
     /// Activity counters (monotone since open).
     fn counters(&self) -> DurabilityCounters;
@@ -182,6 +262,9 @@ pub struct WalStorage {
     seq: u64,
     wal_bytes: u64,
     counters: DurabilityCounters,
+    /// Lazy-decode activity, shared with the deferred loader attached to the
+    /// recovered graph (which outlives `recover()` and loads on first touch).
+    lazy_stats: std::sync::Arc<LazyStats>,
     poisoned: Option<String>,
 }
 
@@ -196,6 +279,7 @@ impl WalStorage {
             seq: 0,
             wal_bytes: 0,
             counters: DurabilityCounters::default(),
+            lazy_stats: std::sync::Arc::default(),
             poisoned: None,
         };
         let recovered = engine.recover()?;
@@ -239,18 +323,19 @@ impl WalStorage {
             )));
         }
 
-        // Load the base image.
+        // Load the base image through a column source: eager mode reads the
+        // whole image, lazy mode decodes only the structural segments and
+        // leaves the property columns addressable behind the source.
         let (mut graph, base_seq) = match snap_gen {
             Some(g) => {
-                let bytes =
-                    self.io.read(&snapshot_file_name(g)).map_err(Self::io_err)?.ok_or_else(
-                        || {
-                            StoreError::StorageUnavailable(format!(
-                                "snapshot generation {g} vanished during recovery"
-                            ))
-                        },
-                    )?;
-                snapshot::decode(&bytes)
+                let source = column::source_for(self.io.as_ref(), &snapshot_file_name(g))
+                    .map_err(Self::io_err)?
+                    .ok_or_else(|| {
+                        StoreError::StorageUnavailable(format!(
+                            "snapshot generation {g} vanished during recovery"
+                        ))
+                    })?;
+                column::recover_snapshot(source, self.policy.decode, &self.lazy_stats)
                     .map_err(|e| StoreError::CorruptLog(format!("snapshot generation {g}: {e}")))?
             }
             None => (ProvGraph::new(), 0),
@@ -339,6 +424,41 @@ impl WalStorage {
     pub fn last_seq(&self) -> u64 {
         self.seq
     }
+
+    /// The engine's durability policy.
+    pub fn policy(&self) -> &DurabilityPolicy {
+        &self.policy
+    }
+
+    /// Append a pre-encoded group of `batches` already-framed commit batches
+    /// (each its own `[ops record][commit marker]` pair, seqs continuing at
+    /// `last_seq() + 1` and ending at `last_seq`) as **one** contiguous write
+    /// and at most one fsync. This is the group-commit fast path the
+    /// [`CommitPipeline`] flushes through; on-disk bytes are identical to
+    /// `batches` individual commits.
+    pub fn append_group(&mut self, bytes: &[u8], batches: u64, last_seq: u64) -> StoreResult<()> {
+        self.check_poisoned()?;
+        debug_assert_eq!(self.seq + batches, last_seq, "group seqs must be gapless");
+        let wal_name = wal_file_name(self.gen);
+        if let Err(e) = self.io.append(&wal_name, bytes) {
+            // A short write tears at most the group's tail — recovery
+            // truncates back to the last intact commit marker, which can only
+            // drop batches whose flush was never acknowledged.
+            return self.poison(Self::io_err(e));
+        }
+        if self.policy.fsync_on_commit {
+            if let Err(e) = self.io.sync(&wal_name) {
+                return self.poison(Self::io_err(e));
+            }
+            self.counters.fsyncs += 1;
+        }
+        self.counters.wal_appends += batches;
+        self.counters.group_flushes += 1;
+        self.counters.group_flushed_batches += batches;
+        self.wal_bytes += bytes.len() as u64;
+        self.seq = last_seq;
+        Ok(())
+    }
 }
 
 impl Storage for WalStorage {
@@ -404,7 +524,13 @@ impl Storage for WalStorage {
     }
 
     fn counters(&self) -> DurabilityCounters {
-        self.counters
+        use std::sync::atomic::Ordering;
+        let mut c = self.counters;
+        c.lazy_segments_deferred = self.lazy_stats.segments_deferred.load(Ordering::Relaxed);
+        c.lazy_deferred_bytes = self.lazy_stats.deferred_bytes.load(Ordering::Relaxed);
+        c.lazy_segment_loads = self.lazy_stats.segment_loads.load(Ordering::Relaxed);
+        c.lazy_bytes_loaded = self.lazy_stats.bytes_loaded.load(Ordering::Relaxed);
+        c
     }
 
     fn wal_bytes(&self) -> u64 {
@@ -701,7 +827,14 @@ mod tests {
         let p = DurabilityPolicy::default();
         assert!(p.fsync_on_commit);
         assert_eq!(p.compact_after_wal_bytes, 1 << 20);
+        assert_eq!(p.group_max_batches, 1, "ungrouped by default");
+        assert_eq!(p.group_window_bytes, 0);
+        assert_eq!(p.decode, SnapshotDecode::Eager);
         assert_eq!(DurabilityPolicy::never_compact().compact_after_wal_bytes, u64::MAX);
+        assert_eq!(p.clone().with_group_batches(0).group_max_batches, 1, "clamped");
+        assert_eq!(p.clone().with_group_batches(8).group_max_batches, 8);
+        assert_eq!(p.clone().with_group_window_bytes(512).group_window_bytes, 512);
+        assert_eq!(p.clone().with_lazy_decode().decode, SnapshotDecode::Lazy);
         assert_eq!(wal_file_name(3), "wal-0000000003");
         assert_eq!(snapshot_file_name(12), "snapshot-0000000012");
         assert_eq!(parse_gen("wal-0000000003", "wal-"), Some(3));

@@ -1,23 +1,15 @@
 //! The columnar on-disk snapshot: a checksummed, whole-graph image written
 //! by compaction so recovery replays only the WAL suffix.
 //!
-//! ## Format
-//!
-//! ```text
-//! [8-byte magic "PROVSNAP"][u32 body_len][u32 crc32(body)][body]
-//! ```
-//!
-//! The body serializes the store column by column, mirroring the in-memory
-//! layout (the store is already columnar — DESIGN.md §1):
-//!
-//! 1. `u64 seq` — the commit sequence number of the last batch folded in
-//!    (the WAL of the same generation continues at `seq + 1`);
-//! 2. the key interner, in id order (so replay re-interns identically);
-//! 3. the vertex columns: kinds, names (births are implicit — the clock
-//!    advances only in `add_vertex`, so vertex `i` was born at tick `i`);
-//! 4. the vertex property column as `(vertex, key id, value)` triples;
-//! 5. the edge columns: kind, src, dst, then `(edge, key id, value)` props;
-//! 6. the declared secondary indexes as `(kind, key id)` pairs.
+//! The format itself lives in [`super::column`]: a `PROVSEG1` image with a
+//! CRC'd directory of per-column segments (interner, vertices, edges,
+//! vprops, eprops, indexes), each independently offset/length/CRC-addressed
+//! so recovery can range-read columns on demand. This module keeps the
+//! stable whole-image entry points: [`encode`] writes the full image,
+//! [`decode`] materializes every segment eagerly — any corrupted byte fails
+//! the decode. The lazy path ([`super::column::recover_snapshot`] with
+//! [`super::SnapshotDecode::Lazy`]) defers the property segments until
+//! first touch.
 //!
 //! Decoding replays the columns through the ordinary [`ProvGraph`] mutators,
 //! which rebuilds every derived structure (adjacency, kind/name indexes,
@@ -28,192 +20,26 @@
 //! snapshot is never a torn write — decode failures are corruption
 //! ([`crate::StoreError::CorruptLog`] upstream), not something to truncate.
 
-use super::codec::{crc32, put_prop_value, put_str, put_u32, put_u64, put_u8, Reader};
+use super::column;
 use crate::graph::ProvGraph;
-use prov_model::{EdgeKind, VertexKind};
-
-const MAGIC: &[u8; 8] = b"PROVSNAP";
 
 /// Encode `graph` (whose durable state ends at commit `seq`) as a snapshot
 /// image.
 pub fn encode(graph: &ProvGraph, seq: u64) -> Vec<u8> {
-    let mut body = Vec::new();
-    put_u64(&mut body, seq);
-    // Interner, in id order.
-    // lint-ok(narrowing-cast): key cardinality is far below u32::MAX.
-    put_u32(&mut body, graph.interner().len() as u32);
-    for (_, name) in graph.interner().iter() {
-        put_str(&mut body, name);
-    }
-    // Vertex columns.
-    // lint-ok(narrowing-cast): the store bounds vertex count below u32::MAX.
-    put_u32(&mut body, graph.vertex_count() as u32);
-    for v in graph.vertex_ids() {
-        let rec = graph.vertex(v);
-        // lint-ok(narrowing-cast): VertexKind::as_index is 0..3.
-        put_u8(&mut body, rec.kind.as_index() as u8);
-        match &rec.name {
-            Some(n) => {
-                put_u8(&mut body, 1);
-                put_str(&mut body, n);
-            }
-            None => put_u8(&mut body, 0),
-        }
-    }
-    // Vertex property column.
-    let vprops: Vec<_> = graph
-        .vertex_ids()
-        .flat_map(|v| graph.vertex(v).props.iter().map(move |(k, val)| (v, k, val.clone())))
-        .collect();
-    // lint-ok(narrowing-cast): bounded by vertices × small prop counts.
-    put_u32(&mut body, vprops.len() as u32);
-    for (v, k, val) in &vprops {
-        put_u32(&mut body, v.raw());
-        put_u32(&mut body, k.raw());
-        put_prop_value(&mut body, val);
-    }
-    // Edge columns.
-    // lint-ok(narrowing-cast): the store bounds edge count below u32::MAX.
-    put_u32(&mut body, graph.edge_count() as u32);
-    for e in graph.edge_ids() {
-        let rec = graph.edge(e);
-        // lint-ok(narrowing-cast): EdgeKind::as_index is 0..5.
-        put_u8(&mut body, rec.kind.as_index() as u8);
-        put_u32(&mut body, rec.src.raw());
-        put_u32(&mut body, rec.dst.raw());
-    }
-    let eprops: Vec<_> = graph
-        .edge_ids()
-        .flat_map(|e| graph.edge(e).props.iter().map(move |(k, val)| (e, k, val.clone())))
-        .collect();
-    // lint-ok(narrowing-cast): bounded by edges × small prop counts.
-    put_u32(&mut body, eprops.len() as u32);
-    for (e, k, val) in &eprops {
-        put_u32(&mut body, e.raw());
-        put_u32(&mut body, k.raw());
-        put_prop_value(&mut body, val);
-    }
-    // Declared secondary indexes.
-    let declared = graph.declared_vprop_indexes();
-    // lint-ok(narrowing-cast): kinds × keys is tiny.
-    put_u32(&mut body, declared.len() as u32);
-    for (kind, key) in &declared {
-        // lint-ok(narrowing-cast): VertexKind::as_index is 0..3.
-        put_u8(&mut body, kind.as_index() as u8);
-        put_u32(&mut body, key.raw());
-    }
-
-    let mut out = Vec::with_capacity(MAGIC.len() + 8 + body.len());
-    out.extend_from_slice(MAGIC);
-    // lint-ok(narrowing-cast): a 4 GiB snapshot body cannot fit the dense id space.
-    put_u32(&mut out, body.len() as u32);
-    put_u32(&mut out, crc32(&body));
-    out.extend_from_slice(&body);
-    out
+    column::encode(graph, seq)
 }
 
 /// Decode a snapshot image back into a graph (journaling off) and the commit
-/// sequence number it covers. Every failure names the first malformed field.
+/// sequence number it covers, materializing every segment. Every failure
+/// names the first malformed field.
 pub fn decode(bytes: &[u8]) -> Result<(ProvGraph, u64), String> {
-    if bytes.len() < MAGIC.len() + 8 {
-        return Err(format!("snapshot too short ({} bytes)", bytes.len()));
-    }
-    if &bytes[..MAGIC.len()] != MAGIC {
-        return Err("bad snapshot magic".to_string());
-    }
-    let mut header = Reader::new(&bytes[MAGIC.len()..MAGIC.len() + 8]);
-    let body_len = header.u32("snapshot body length")? as usize;
-    let crc = header.u32("snapshot crc")?;
-    let body = &bytes[MAGIC.len() + 8..];
-    if body.len() != body_len {
-        return Err(format!("snapshot body is {} bytes, header says {body_len}", body.len()));
-    }
-    if crc32(body) != crc {
-        return Err("snapshot crc mismatch".to_string());
-    }
-
-    let mut r = Reader::new(body);
-    let seq = r.u64("snapshot seq")?;
-    let mut g = ProvGraph::new();
-    // Interner first, in id order, so key ids referenced below resolve and
-    // replayed interning matches the encoded graph exactly.
-    let key_count = r.u32("key count")?;
-    let mut key_names = Vec::with_capacity(key_count as usize);
-    for i in 0..key_count {
-        let name = r.str("key name")?;
-        let id = g.key(&name);
-        if id.raw() != i {
-            return Err(format!("key {name:?} interned as {id:?}, expected id {i}"));
-        }
-        key_names.push(name);
-    }
-    let key_name = |id: u32, what: &str| -> Result<&std::sync::Arc<str>, String> {
-        key_names.get(id as usize).ok_or_else(|| format!("{what} names unknown key {id}"))
-    };
-    // Vertices.
-    let n = r.u32("vertex count")?;
-    for i in 0..n {
-        let kind_raw = r.u8("vertex kind")?;
-        let kind = VertexKind::from_index(kind_raw as usize)
-            .ok_or_else(|| format!("vertex {i}: unknown kind {kind_raw}"))?;
-        let name = match r.u8("vertex name flag")? {
-            0 => None,
-            1 => Some(r.str("vertex name")?),
-            f => return Err(format!("vertex {i}: bad name flag {f}")),
-        };
-        g.add_vertex(kind, name.as_deref()).map_err(|e| format!("vertex {i}: {e}"))?;
-    }
-    // Vertex props.
-    let vprop_count = r.u32("vprop count")?;
-    for i in 0..vprop_count {
-        let v = r.u32("vprop vertex")?;
-        if v >= n {
-            return Err(format!("vprop {i} names unknown vertex {v}"));
-        }
-        let key = key_name(r.u32("vprop key")?, "vprop")?.clone();
-        let value = r.prop_value("vprop value")?;
-        g.set_vprop(prov_model::VertexId::new(v), &key, value);
-    }
-    // Edges.
-    let m = r.u32("edge count")?;
-    for i in 0..m {
-        let kind_raw = r.u8("edge kind")?;
-        let kind = EdgeKind::from_index(kind_raw as usize)
-            .ok_or_else(|| format!("edge {i}: unknown kind {kind_raw}"))?;
-        let src = prov_model::VertexId::new(r.u32("edge src")?);
-        let dst = prov_model::VertexId::new(r.u32("edge dst")?);
-        g.add_edge(kind, src, dst).map_err(|e| format!("edge {i}: {e}"))?;
-    }
-    // Edge props.
-    let eprop_count = r.u32("eprop count")?;
-    for i in 0..eprop_count {
-        let e = r.u32("eprop edge")?;
-        if e >= m {
-            return Err(format!("eprop {i} names unknown edge {e}"));
-        }
-        let key = key_name(r.u32("eprop key")?, "eprop")?.clone();
-        let value = r.prop_value("eprop value")?;
-        g.set_eprop(prov_model::EdgeId::new(e), &key, value);
-    }
-    // Secondary indexes (declaration backfills from the columns just loaded).
-    let idx_count = r.u32("index count")?;
-    for i in 0..idx_count {
-        let kind_raw = r.u8("index kind")?;
-        let kind = VertexKind::from_index(kind_raw as usize)
-            .ok_or_else(|| format!("index {i}: unknown kind {kind_raw}"))?;
-        let key = key_name(r.u32("index key")?, "index")?.clone();
-        g.create_vprop_index(kind, &key);
-    }
-    if !r.is_exhausted() {
-        return Err(format!("{} trailing bytes after snapshot body", r.remaining()));
-    }
-    Ok((g, seq))
+    column::decode_eager(bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prov_model::{EdgeId, PropValue};
+    use prov_model::{EdgeId, EdgeKind, PropValue, VertexKind};
 
     fn rich_graph() -> ProvGraph {
         let mut g = ProvGraph::new();
@@ -265,8 +91,9 @@ mod tests {
     fn every_corrupted_byte_is_detected() {
         let g = rich_graph();
         let bytes = encode(&g, 7);
-        // Flip one bit in every byte: magic, header, and body corruption must
-        // all surface as decode errors, never as a silently different graph.
+        // Flip one bit in every byte: magic, directory, and segment corruption
+        // must all surface as decode errors, never as a silently different
+        // graph.
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x40;
@@ -291,11 +118,9 @@ mod tests {
         let mut g = ProvGraph::new();
         g.add_entity("e");
         let mut bytes = encode(&g, 1);
-        // Corrupt the body in a way that keeps the CRC honest: rebuild a
-        // snapshot whose vprop column names vertex 9. Easiest path — encode a
-        // graph, then hand-patch is fragile; instead decode-fail via a
-        // hand-built body is covered by the bit-flip sweep above. Here just
-        // check the magic/short-input paths.
+        // Dangling ids inside a CRC-honest image are covered by the decoder
+        // bounds checks (exercised by column.rs tests); here just check the
+        // magic/short-input paths.
         bytes.truncate(4);
         assert!(decode(&bytes).unwrap_err().contains("too short"));
         assert!(decode(b"NOTASNAPxxxxxxxxyyyy").unwrap_err().contains("magic"));

@@ -54,12 +54,19 @@ query-test:
     cargo test -q -p prov --test cypher_query1
 
 # The durability suites alone: the kill-point sweep (recovery at every WAL
-# byte offset lands on a committed-batch prefix), the random
-# ingest/crash/restart/query proptest, and the storage engine's own
+# byte offset lands on a committed-batch prefix, group appends included), the
+# random ingest/crash/restart/query proptest (fsync/group/lazy policy sweep),
+# the lazy-vs-eager ColumnSource differential, and the storage engine's own
 # failpoint/compaction/torn-tail tests.
 recovery-test:
     cargo test -q -p prov-store storage::
+    cargo test -q -p prov-store --test column_source_differential
     cargo test -q -p prov-core --test recovery_killpoints --test durability_proptest
+
+# Regenerate just the durable-ingest/lazy-decode trajectory (fig10).
+fig10:
+    cargo run -q -p prov-bench --release --bin figure -- --quick fig10 \
+        --json BENCH_fig10.json
 
 # Public docs with rustdoc warnings denied.
 doc:
@@ -82,3 +89,5 @@ bench-gate:
         --json BENCH_fig8.new.json --baseline BENCH_fig8.json
     cargo run -q -p prov-bench --release --bin figure -- --quick coldstart \
         --json BENCH_coldstart.new.json --baseline BENCH_coldstart.json
+    cargo run -q -p prov-bench --release --bin figure -- --quick fig10 \
+        --json BENCH_fig10.new.json --baseline BENCH_fig10.json

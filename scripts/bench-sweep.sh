@@ -34,5 +34,7 @@ run $scale fig7 --json BENCH_fig7.json
 run $scale fig8 --json BENCH_fig8.json
 # shellcheck disable=SC2086
 run $scale coldstart --json BENCH_coldstart.json
+# shellcheck disable=SC2086
+run $scale fig10 --json BENCH_fig10.json
 
-echo "regenerated BENCH_fig5.json BENCH_fig6.json BENCH_fig7.json BENCH_fig8.json BENCH_coldstart.json" >&2
+echo "regenerated BENCH_fig5.json BENCH_fig6.json BENCH_fig7.json BENCH_fig8.json BENCH_coldstart.json BENCH_fig10.json" >&2
